@@ -1,0 +1,41 @@
+# Developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench experiments experiments-quick figures cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+figures:
+	$(GO) run ./cmd/figures
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

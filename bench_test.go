@@ -1,0 +1,293 @@
+// Package hotpotato_test is the root benchmark harness: one benchmark per
+// reproduced experiment (E1-E10, see DESIGN.md), so `go test -bench=.`
+// regenerates a performance profile of every result in the paper, plus
+// engine microbenchmarks. The full tables are produced by cmd/experiments;
+// the benchmarks here time representative cells of each table.
+package hotpotato_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/analysis"
+	"hotpotato/internal/core"
+	"hotpotato/internal/geometry"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// runOnce routes one instance and reports steps as a custom metric.
+func runOnce(b *testing.B, m *mesh.Mesh, pol sim.Policy, packets []*sim.Packet, lvl sim.ValidationLevel, track bool) *sim.Result {
+	b.Helper()
+	e, err := sim.New(m, pol, packets, sim.Options{Seed: 1, Validation: lvl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if track {
+		e.AddObserver(core.NewTracker(m, packets, core.TrackerOptions{}))
+	}
+	res, err := e.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Delivered != res.Total {
+		b.Fatalf("%d/%d delivered", res.Delivered, res.Total)
+	}
+	return res
+}
+
+func freshUniform(b *testing.B, m *mesh.Mesh, k int, seed int64) []*sim.Packet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	packets, err := workload.UniformRandom(m, k, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return packets
+}
+
+// BenchmarkE1Theorem20 times the E1 cell n=16, k=256 (restricted-priority,
+// strict validation) and checks the Theorem-20 bound each iteration.
+func BenchmarkE1Theorem20(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	bound := analysis.Theorem20Bound(16, 256)
+	steps := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packets := freshUniform(b, m, 256, int64(i))
+		res := runOnce(b, m, core.NewRestrictedPriority(), packets, sim.ValidateRestricted, false)
+		if float64(res.Steps) > bound {
+			b.Fatalf("bound violated: %d > %f", res.Steps, bound)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/run")
+}
+
+// BenchmarkE2ScalingK times the largest-k cell of the E2 sweep.
+func BenchmarkE2ScalingK(b *testing.B) {
+	m := mesh.MustNew(2, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packets := freshUniform(b, m, 24*24, int64(i))
+		runOnce(b, m, core.NewRestrictedPriority(), packets, sim.ValidateGreedy, false)
+	}
+}
+
+// BenchmarkE3ScalingN times the largest-n cell of the E3 sweep.
+func BenchmarkE3ScalingN(b *testing.B) {
+	m := mesh.MustNew(2, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packets := freshUniform(b, m, 32*32/4, int64(i))
+		runOnce(b, m, core.NewRestrictedPriority(), packets, sim.ValidateGreedy, false)
+	}
+}
+
+// BenchmarkE4DDim times the 3-dimensional cell of E4 (fewest-good-first)
+// and checks the Section-5 bound.
+func BenchmarkE4DDim(b *testing.B) {
+	m := mesh.MustNew(3, 6)
+	bound := analysis.Section5Bound(3, 6, 216)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packets := freshUniform(b, m, 216, int64(i))
+		res := runOnce(b, m, core.NewFewestGoodFirst(), packets, sim.ValidateGreedy, false)
+		if float64(res.Steps) > bound {
+			b.Fatalf("section-5 bound violated: %d > %f", res.Steps, bound)
+		}
+	}
+}
+
+// BenchmarkE5Property8 times a fully tracked run (potential function plus
+// all invariant checks), the configuration E5 uses.
+func BenchmarkE5Property8(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packets := freshUniform(b, m, 128, int64(i))
+		runOnce(b, m, core.NewRestrictedPriority(), packets, sim.ValidateRestricted, true)
+	}
+}
+
+// BenchmarkE6PhiDrop times the tracked run with the series recording E6
+// uses for the decay-chain statistics.
+func BenchmarkE6PhiDrop(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	rng := rand.New(rand.NewSource(5))
+	base := workload.Permutation(m, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		packets := make([]*sim.Packet, len(base))
+		for j, p := range base {
+			packets[j] = sim.NewPacket(p.ID, p.Src, p.Dst)
+		}
+		e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{Seed: int64(i), Validation: sim.ValidateRestricted})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := core.NewTracker(m, packets, core.TrackerOptions{RecordSeries: true})
+		e.AddObserver(tr)
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Violations().Any() {
+			b.Fatal("violations in benchmark run")
+		}
+	}
+}
+
+// BenchmarkE7Isoperimetric times the Claim-13 check pipeline on a random
+// 3-D volume of 400 cells.
+func BenchmarkE7Isoperimetric(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	v, err := geometry.RandomBlob(3, 400, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := v.CheckClaim13(); !ok {
+			b.Fatal("claim 13 violated")
+		}
+		if lhs, rhs := v.ShearerEntropy(); lhs > rhs+1e-9 {
+			b.Fatal("Shearer violated")
+		}
+	}
+}
+
+// BenchmarkE8FullLoad times a full random permutation (k = n^2) on the
+// 16x16 mesh and checks the parity-split 8n^2 bound.
+func BenchmarkE8FullLoad(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	bound := analysis.FullPermutationBound(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		packets := workload.Permutation(m, rng)
+		res := runOnce(b, m, core.NewRestrictedPriority(), packets, sim.ValidateGreedy, false)
+		if float64(res.Steps) > bound {
+			b.Fatalf("8n^2 bound violated: %d > %f", res.Steps, bound)
+		}
+	}
+}
+
+// BenchmarkE9Comparison times every policy of the comparison table on the
+// same uniform instance shape.
+func BenchmarkE9Comparison(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	policies := []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"restricted", core.NewRestrictedPriority},
+		{"fewest-good", core.NewFewestGoodFirst},
+		{"random", routing.NewRandomGreedy},
+		{"dest-order", routing.NewDestOrderGreedy},
+		{"farthest", routing.NewFarthestFirst},
+		{"nearest", routing.NewNearestFirst},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				packets := freshUniform(b, m, 256, int64(i))
+				runOnce(b, m, pol.mk(), packets, sim.ValidateGreedy, false)
+			}
+		})
+	}
+}
+
+// BenchmarkE10Livelock times the livelock-detecting run configuration on
+// the 4x4 mesh used by the E10 search.
+func BenchmarkE10Livelock(b *testing.B) {
+	m := mesh.MustNew(2, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		packets, err := workload.UniformRandom(m, 16, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sim.New(m, routing.NewFixedPriority(), packets, sim.Options{
+			Seed:           int64(i),
+			Validation:     sim.ValidateGreedy,
+			MaxSteps:       4000,
+			DetectLivelock: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulation speed: packet-hops per
+// second on a dense instance without validation or tracking.
+func BenchmarkEngineThroughput(b *testing.B) {
+	m := mesh.MustNew(2, 32)
+	var hops int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		packets, err := workload.FullLoad(m, 2, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{Seed: int64(i), Validation: sim.ValidateOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops += res.TotalHops
+	}
+	b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "hops/s")
+}
+
+// BenchmarkValidationOverhead compares a validated against an unvalidated
+// run of the same instance shape.
+func BenchmarkValidationOverhead(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	for _, lvl := range []struct {
+		name string
+		lvl  sim.ValidationLevel
+	}{
+		{"off", sim.ValidateOff},
+		{"basic", sim.ValidateBasic},
+		{"greedy", sim.ValidateGreedy},
+		{"restricted", sim.ValidateRestricted},
+	} {
+		b.Run(lvl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				packets := freshUniform(b, m, 256, int64(i))
+				runOnce(b, m, core.NewRestrictedPriority(), packets, lvl.lvl, false)
+			}
+		})
+	}
+}
+
+// BenchmarkTrackerOverhead isolates the cost of the potential tracker.
+func BenchmarkTrackerOverhead(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	for _, track := range []struct {
+		name string
+		on   bool
+	}{{"without", false}, {"with", true}} {
+		b.Run(track.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				packets := freshUniform(b, m, 256, int64(i))
+				runOnce(b, m, core.NewRestrictedPriority(), packets, sim.ValidateOff, track.on)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Command experiments regenerates the reproduction tables E1-E10 listed in
+// DESIGN.md: one table (or table group) per claim of the paper, printed as
+// aligned text or CSV.
+//
+// Usage:
+//
+//	experiments                 # run everything, full size
+//	experiments -quick          # CI-sized runs
+//	experiments -exp E1,E5      # a subset
+//	experiments -csv            # CSV instead of text
+//	experiments -list           # list experiments and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hotpotato/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "smaller meshes and fewer trials")
+		exp      = fs.String("exp", "all", "comma-separated experiment ids (e.g. E1,E7) or 'all'")
+		seed     = fs.Int64("seed", 1, "base seed for all trials")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		outDir   = fs.String("out", "", "also write one file per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range analysis.Experiments() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []analysis.Experiment
+	if *exp == "all" {
+		selected = analysis.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := analysis.Lookup(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	cfg := analysis.Config{Quick: *quick, SeedBase: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("claim: %s\n\n", e.Claim)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		var fileBuf strings.Builder
+		fmt.Fprintf(&fileBuf, "%s: %s\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+		for _, tb := range tables {
+			var werr error
+			switch {
+			case *csv:
+				werr = tb.WriteCSV(os.Stdout)
+			case *markdown:
+				werr = tb.WriteMarkdown(os.Stdout)
+			default:
+				werr = tb.WriteText(os.Stdout)
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Println()
+			if *outDir != "" {
+				if err := tb.WriteText(&fileBuf); err != nil {
+					return err
+				}
+				fileBuf.WriteByte('\n')
+			}
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(fileBuf.String()), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			sb.Write(tmp[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E7", "E10", "E13"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperimentText(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "E7"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"=== E7", "claim:", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "E7", "-csv"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "d,shape,volumes") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "E2, E3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== E2") || !strings.Contains(out, "=== E3") {
+		t.Error("expected both E2 and E3")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-exp", "E99"}) }); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestOutDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, func() error { return run([]string{"-quick", "-exp", "E7", "-out", dir}) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/E7.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "E7 (Claim 13)") {
+		t.Errorf("E7.txt content wrong:\n%s", data)
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick", "-exp", "E7", "-markdown"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| d | shape |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+}

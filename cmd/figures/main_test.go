@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			sb.Write(tmp[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestAllFigures(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-n", "8"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(out, "Figure "+string(rune('0'+i))) {
+			t.Errorf("figure %d missing", i)
+		}
+	}
+	if !strings.Contains(out, "live snapshot") {
+		t.Error("figures 3-4 snapshot header missing")
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-fig", "2", "-n", "6"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 2") || strings.Contains(out, "Figure 1") {
+		t.Errorf("unexpected figures:\n%s", out)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	run1, err := capture(t, func() error { return run([]string{"-fig", "4", "-n", "10", "-seed", "5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := capture(t, func() error { return run([]string{"-fig", "4", "-n", "10", "-seed", "5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1 != run2 {
+		t.Error("snapshot figures not deterministic under a fixed seed")
+	}
+}
+
+func TestBadMeshSize(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-fig", "1", "-n", "1"}) }); err == nil {
+		t.Error("n=1 accepted")
+	}
+}

@@ -1,0 +1,267 @@
+// Command hotpotato runs one hot-potato routing problem on a d-dimensional
+// mesh and reports the outcome, optionally with full potential-function
+// tracking.
+//
+// Usage:
+//
+//	hotpotato -d 2 -n 16 -workload uniform -k 128 -policy restricted -seed 1 -track
+//
+// Policies: restricted, restricted-det, restricted-bfirst, fewest-good,
+// random, fixed, dest-order, farthest, nearest.
+// Workloads: uniform, permutation, partial-perm, transpose, bit-reversal,
+// single-target, hotspot, local, full-load, corner-rush.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hotpotato/internal/analysis"
+	"hotpotato/internal/bound"
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/trace"
+	"hotpotato/internal/viz"
+	"hotpotato/internal/workload"
+)
+
+// verifyTrace independently replays a recorded trace file.
+func verifyTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	rep, err := tr.Verify(true)
+	if err != nil {
+		return fmt.Errorf("trace INVALID: %w", err)
+	}
+	fmt.Printf("trace OK: mesh(d=%d, n=%d), %d packets, %d steps, %d delivered, %d deflections\n",
+		tr.Dim, tr.Side, len(tr.Packets), rep.Steps, rep.Delivered, rep.Deflections)
+	fmt.Println("checks passed: hot-potato compliance, arc capacity, on-mesh moves, greediness (Definition 6)")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hotpotato:", err)
+		os.Exit(1)
+	}
+}
+
+func newPolicy(name string) (sim.Policy, error) {
+	switch name {
+	case "restricted":
+		return core.NewRestrictedPriority(), nil
+	case "restricted-det":
+		return core.NewRestrictedPriorityDeterministic(), nil
+	case "restricted-bfirst":
+		return core.NewRestrictedPriorityTypeBFirst(), nil
+	case "fewest-good":
+		return core.NewFewestGoodFirst(), nil
+	case "random":
+		return routing.NewRandomGreedy(), nil
+	case "fixed":
+		return routing.NewFixedPriority(), nil
+	case "dest-order":
+		return routing.NewDestOrderGreedy(), nil
+	case "farthest":
+		return routing.NewFarthestFirst(), nil
+	case "nearest":
+		return routing.NewNearestFirst(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func newWorkload(name string, m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+	switch name {
+	case "uniform":
+		return workload.UniformRandom(m, k, rng)
+	case "permutation":
+		return workload.Permutation(m, rng), nil
+	case "partial-perm":
+		return workload.PartialPermutation(m, k, rng)
+	case "transpose":
+		return workload.Transpose(m)
+	case "bit-reversal":
+		return workload.BitReversal(m)
+	case "single-target":
+		return workload.SingleTarget(m, k, mesh.NodeID(m.Size()/2), rng)
+	case "hotspot":
+		return workload.HotSpot(m, k, 0.5, rng)
+	case "local":
+		return workload.LocalRandom(m, k, 4, rng)
+	case "full-load":
+		return workload.FullLoad(m, 2, rng)
+	case "corner-rush":
+		return workload.CornerRush(m, k, rng)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hotpotato", flag.ContinueOnError)
+	var (
+		dim      = fs.Int("d", 2, "mesh dimension")
+		side     = fs.Int("n", 16, "mesh side length")
+		k        = fs.Int("k", 64, "packet count (where the workload takes one)")
+		policy   = fs.String("policy", "restricted", "routing policy")
+		wl       = fs.String("workload", "uniform", "workload generator")
+		seed     = fs.Int64("seed", 1, "random seed")
+		maxSteps = fs.Int("max-steps", 0, "step budget (0 = default)")
+		track    = fs.Bool("track", false, "attach the potential tracker and report invariant checks")
+		series   = fs.Bool("series", false, "with -track, print the per-step Phi/G/B/F series")
+		validate = fs.String("validate", "greedy", "validation level: off, basic, greedy, restricted")
+		livelock = fs.Bool("detect-livelock", true, "detect repeated configurations (deterministic policies)")
+		traceOut = fs.String("trace-out", "", "record the run to this trace file")
+		verify   = fs.String("verify-trace", "", "verify a recorded trace file and exit (other flags ignored)")
+		heatmap  = fs.Bool("heatmap", false, "print a per-node deflection heat map after the run (2-D only)")
+		animate  = fs.Int("animate", 0, "print the first N steps as text frames (2-D only)")
+		workers  = fs.Int("workers", 0, "route nodes concurrently on this many goroutines (0 = serial)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *verify != "" {
+		return verifyTrace(*verify)
+	}
+
+	m, err := mesh.New(*dim, *side)
+	if err != nil {
+		return err
+	}
+	pol, err := newPolicy(*policy)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	packets, err := newWorkload(*wl, m, *k, rng)
+	if err != nil {
+		return err
+	}
+	var lvl sim.ValidationLevel
+	switch *validate {
+	case "off":
+		lvl = sim.ValidateOff
+	case "basic":
+		lvl = sim.ValidateBasic
+	case "greedy":
+		lvl = sim.ValidateGreedy
+	case "restricted":
+		lvl = sim.ValidateRestricted
+	default:
+		return fmt.Errorf("unknown validation level %q", *validate)
+	}
+
+	e, err := sim.New(m, pol, packets, sim.Options{
+		Seed:           *seed + 1,
+		Validation:     lvl,
+		MaxSteps:       *maxSteps,
+		DetectLivelock: *livelock,
+		Workers:        *workers,
+	})
+	if err != nil {
+		return err
+	}
+	var tracker *core.Tracker
+	if *track {
+		tracker = core.NewTracker(m, packets, core.TrackerOptions{RecordSeries: *series, SelfCheckEvery: 64})
+		e.AddObserver(tracker)
+	}
+	var recorder *trace.Recorder
+	if *traceOut != "" {
+		recorder = trace.NewRecorder(m, packets)
+		e.AddObserver(recorder)
+	}
+	var deflections *viz.DeflectionCounter
+	if *heatmap {
+		if *dim != 2 {
+			return fmt.Errorf("-heatmap needs a 2-dimensional mesh")
+		}
+		deflections = viz.NewDeflectionCounter(m)
+		e.AddObserver(deflections)
+	}
+	var animator *viz.Animator
+	if *animate > 0 {
+		animator, err = viz.NewAnimator(m, os.Stdout, *animate)
+		if err != nil {
+			return err
+		}
+		e.AddObserver(animator)
+	}
+	res, err := e.Run()
+	if err == nil && animator != nil && animator.Err() != nil {
+		err = animator.Err()
+	}
+	if err != nil {
+		return err
+	}
+	if recorder != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := recorder.Trace().Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:       written to %s\n", *traceOut)
+	}
+
+	fmt.Printf("mesh:        %v (diameter %d)\n", m, m.Diameter())
+	fmt.Printf("policy:      %s\n", pol.Name())
+	fmt.Printf("workload:    %s, k=%d, dmax=%d\n", *wl, res.Total, workload.MaxDistance(m, packets))
+	fmt.Printf("steps:       %d (instance lower bound %d)\n", res.Steps, bound.Instance(m, packets))
+	fmt.Printf("delivered:   %d/%d\n", res.Delivered, res.Total)
+	fmt.Printf("deflections: %d (of %d hops)\n", res.TotalDeflections, res.TotalHops)
+	fmt.Printf("max load:    %d packets in one node\n", res.MaxNodeLoad)
+	if res.Livelocked {
+		fmt.Println("LIVELOCK detected: the configuration repeated")
+	}
+	if res.HitMaxSteps {
+		fmt.Println("step budget exhausted before completion")
+	}
+	if *dim == 2 {
+		bound := analysis.Theorem20Bound(*side, res.Total)
+		fmt.Printf("theorem 20:  bound %.0f, measured/bound = %.4f\n", bound, float64(res.Steps)/bound)
+	} else {
+		bound := analysis.Section5Bound(*dim, *side, res.Total)
+		fmt.Printf("section 5:   bound %.0f, measured/bound = %.6f\n", bound, float64(res.Steps)/bound)
+	}
+	if tracker != nil {
+		v := tracker.Violations()
+		fmt.Printf("potential:   Phi(0)=%d, M=%d, final Phi=%d\n", tracker.Phi0(), tracker.M(), tracker.Phi())
+		fmt.Printf("invariants:  %s\n", v.String())
+		fmt.Printf("min phi:     %d, min spare: %d\n", tracker.MinPhi(), tracker.MinSpare())
+		if *series {
+			fmt.Println("\n  t     Phi(t+1)   G(t)   B(t)   F(t)   adv   defl")
+			for _, s := range tracker.Series() {
+				fmt.Printf("%5d %10d %6d %6d %6d %5d %6d\n",
+					s.Time, s.PhiAfter, s.Good, s.Bad, s.SurfaceArcs, s.Advanced, s.Deflected)
+			}
+		}
+	}
+	if deflections != nil {
+		out, err := viz.Heatmap(m, deflections.Counts(),
+			fmt.Sprintf("\ndeflection heat map (%d deflections total):", deflections.Total()))
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	return nil
+}

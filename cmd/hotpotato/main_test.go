@@ -1,0 +1,197 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			sb.Write(tmp[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunBasic(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "20", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mesh(d=2, n=8)", "delivered:   20/20", "theorem 20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTracked(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "20", "-track", "-series", "-validate", "restricted"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no violations", "Phi(t+1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDDim(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-d", "3", "-n", "4", "-k", "30", "-policy", "fewest-good"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "section 5") {
+		t.Errorf("3-D run missing section-5 bound:\n%s", out)
+	}
+}
+
+func TestRunAllPoliciesAndWorkloads(t *testing.T) {
+	for _, pol := range []string{"restricted", "restricted-det", "restricted-bfirst", "fewest-good", "random", "fixed", "dest-order", "farthest", "nearest"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"-n", "6", "-k", "10", "-policy", pol})
+		}); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+	}
+	for _, wl := range []string{"uniform", "permutation", "partial-perm", "transpose", "single-target", "hotspot", "local", "full-load", "corner-rush"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"-n", "6", "-k", "10", "-workload", wl})
+		}); err != nil {
+			t.Errorf("workload %s: %v", wl, err)
+		}
+	}
+	// bit-reversal needs a power-of-two side.
+	if _, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-workload", "bit-reversal"})
+	}); err != nil {
+		t.Errorf("bit-reversal: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "bogus"},
+		{"-workload", "bogus"},
+		{"-validate", "bogus"},
+		{"-d", "0"},
+		{"-n", "1"},
+		{"-workload", "bit-reversal", "-n", "6"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestTraceRoundTripCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if _, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "30", "-trace-out", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-verify-trace", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace OK") {
+		t.Errorf("verify output: %s", out)
+	}
+	// Corrupt the trace and expect failure.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-verify-trace", path})
+	}); err == nil {
+		t.Error("corrupted trace accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-verify-trace", "/does/not/exist"})
+	}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestRunAnimate(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "6", "-k", "8", "-animate", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t=0:") || !strings.Contains(out, "t=1:") {
+		t.Errorf("animation frames missing:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-d", "3", "-n", "4", "-animate", "2"})
+	}); err == nil {
+		t.Error("3-D animate accepted")
+	}
+}
+
+func TestRunHeatmap(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-workload", "corner-rush", "-k", "20", "-heatmap"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deflection heat map") {
+		t.Errorf("heatmap missing:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-d", "3", "-n", "4", "-heatmap"})
+	}); err == nil {
+		t.Error("3-D heatmap accepted")
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "30", "-workers", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "delivered:   30/30") {
+		t.Errorf("parallel run wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReproQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repro run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "REPORT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## E1 —", "## E21 —", "no violations", "| n | k |"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	figs, err := os.ReadFile(filepath.Join(dir, "figures.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(string(figs), "Figure "+string(rune('0'+i))) {
+			t.Errorf("figures.txt missing figure %d", i)
+		}
+	}
+}
+
+func TestReproBadDir(t *testing.T) {
+	if err := run([]string{"-dir", "/dev/null/nope"}); err == nil {
+		t.Error("unwritable dir accepted")
+	}
+}
+
+func TestRenderFigureUnknown(t *testing.T) {
+	if _, err := renderFigure(9); err == nil {
+		t.Error("figure 9 accepted")
+	}
+}

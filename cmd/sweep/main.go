@@ -1,0 +1,202 @@
+// Command sweep runs a full parameter grid — policies x workloads x mesh
+// sizes x packet counts — and prints one row per cell, with the relevant
+// paper bound alongside. It is the free-form companion to cmd/experiments:
+// where experiments regenerates the fixed tables of EXPERIMENTS.md, sweep
+// lets you explore any slice of the parameter space.
+//
+// Example:
+//
+//	sweep -d 2 -n 8,16 -k 64,256 -policy restricted,random -workload uniform,permutation -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"hotpotato/internal/analysis"
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func policyByName(name string) (func() sim.Policy, error) {
+	switch name {
+	case "restricted":
+		return core.NewRestrictedPriority, nil
+	case "restricted-det":
+		return core.NewRestrictedPriorityDeterministic, nil
+	case "restricted-bfirst":
+		return core.NewRestrictedPriorityTypeBFirst, nil
+	case "fewest-good":
+		return core.NewFewestGoodFirst, nil
+	case "random":
+		return routing.NewRandomGreedy, nil
+	case "fixed":
+		return routing.NewFixedPriority, nil
+	case "dest-order":
+		return routing.NewDestOrderGreedy, nil
+	case "oldest":
+		return routing.NewOldestFirst, nil
+	case "farthest":
+		return routing.NewFarthestFirst, nil
+	case "nearest":
+		return routing.NewNearestFirst, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func workloadByName(name string, m *mesh.Mesh, k int) (func(rng *rand.Rand) ([]*sim.Packet, error), error) {
+	switch name {
+	case "uniform":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.UniformRandom(m, k, rng) }, nil
+	case "permutation":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.Permutation(m, rng), nil }, nil
+	case "partial-perm":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.PartialPermutation(m, k, rng) }, nil
+	case "hotspot":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.HotSpot(m, k, 0.5, rng) }, nil
+	case "single-target":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.SingleTarget(m, k, mesh.NodeID(m.Size()/2), rng)
+		}, nil
+	case "local":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.LocalRandom(m, k, 4, rng) }, nil
+	case "full-load":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.FullLoad(m, 2, rng) }, nil
+	case "corner-rush":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.CornerRush(m, k, rng) }, nil
+	case "transpose":
+		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.Transpose(m) }, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		dim           = fs.Int("d", 2, "mesh dimension")
+		nsFlag        = fs.String("n", "8,16", "comma-separated mesh side lengths")
+		ksFlag        = fs.String("k", "64", "comma-separated packet counts (for workloads that take one)")
+		polFlag       = fs.String("policy", "restricted", "comma-separated policies")
+		wlFlag        = fs.String("workload", "uniform", "comma-separated workloads")
+		trials        = fs.Int("trials", 3, "trials per cell")
+		seed          = fs.Int64("seed", 1, "base seed")
+		torus         = fs.Bool("torus", false, "use a torus instead of a mesh")
+		track         = fs.Bool("track", false, "attach the potential tracker and report violations")
+		workers       = fs.Int("parallel", 1, "worker goroutines per cell")
+		engineWorkers = fs.Int("workers", 0, "in-engine routing goroutines per run (0 = serial)")
+		csvOut        = fs.Bool("csv", false, "emit CSV")
+		validate      = fs.Bool("strict", false, "validate Definition 18 (restricted preference) too")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return err
+	}
+	ks, err := parseInts(*ksFlag)
+	if err != nil {
+		return err
+	}
+
+	lvl := sim.ValidateGreedy
+	if *validate {
+		lvl = sim.ValidateRestricted
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("sweep: d=%d, %d trials per cell", *dim, *trials),
+		"network", "n", "k", "workload", "policy",
+		"steps_mean", "steps_std", "steps_max", "defl_mean", "bound", "max/bound", "violations")
+	for _, n := range ns {
+		var m *mesh.Mesh
+		if *torus {
+			m, err = mesh.NewTorus(*dim, n)
+		} else {
+			m, err = mesh.New(*dim, n)
+		}
+		if err != nil {
+			return err
+		}
+		for _, k := range ks {
+			for _, wlName := range strings.Split(*wlFlag, ",") {
+				wlName = strings.TrimSpace(wlName)
+				mkWl, err := workloadByName(wlName, m, k)
+				if err != nil {
+					return err
+				}
+				for _, polName := range strings.Split(*polFlag, ",") {
+					polName = strings.TrimSpace(polName)
+					mkPol, err := policyByName(polName)
+					if err != nil {
+						return err
+					}
+					results, err := analysis.RunTrialsParallel(analysis.TrialSpec{
+						Mesh:        m,
+						NewPolicy:   mkPol,
+						NewWorkload: mkWl,
+						Track:       *track,
+						Validation:  lvl,
+						Workers:     *engineWorkers,
+					}, *trials, *seed, *workers)
+					if err != nil {
+						return fmt.Errorf("cell n=%d k=%d %s/%s: %w", n, k, wlName, polName, err)
+					}
+					sm := stats.SummarizeInts(analysis.Steps(results))
+					var deflSum float64
+					kAct := 0
+					for _, r := range results {
+						deflSum += float64(r.Result.TotalDeflections)
+						kAct = r.Result.Total
+					}
+					var bound float64
+					if *dim == 2 && !*torus {
+						bound = analysis.Theorem20Bound(n, kAct)
+					} else {
+						bound = analysis.Section5Bound(*dim, n, kAct)
+					}
+					viol := "-"
+					if *track {
+						viol = analysis.TotalViolations(results).String()
+					}
+					tb.AddRow(m.String(), n, kAct, wlName, polName,
+						sm.Mean, sm.Std, int(sm.Max), deflSum/float64(len(results)),
+						bound, sm.Max/bound, viol)
+				}
+			}
+		}
+	}
+	if *csvOut {
+		return tb.WriteCSV(os.Stdout)
+	}
+	return tb.WriteText(os.Stdout)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			sb.Write(tmp[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestSweepBasicGrid(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "6,8", "-k", "16,32", "-policy", "restricted,random",
+			"-workload", "uniform", "-trials", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes x 2 ks x 1 workload x 2 policies = 8 rows.
+	if got := strings.Count(out, "mesh(d=2"); got != 8 {
+		t.Errorf("expected 8 grid rows, found %d:\n%s", got, out)
+	}
+}
+
+func TestSweepTorusTracked(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-torus", "-n", "6", "-k", "16", "-trials", "2", "-track", "-strict"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "torus(d=2, n=6)") {
+		t.Errorf("torus row missing:\n%s", out)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	args := []string{"-n", "8", "-k", "40", "-policy", "restricted", "-trials", "4"}
+	serial, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, func() error { return run(append(args, "-parallel", "3")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("parallel sweep output differs from serial:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "6", "-k", "10", "-trials", "1", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "network,n,k,") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "bogus"},
+		{"-workload", "bogus"},
+		{"-n", "abc"},
+		{"-k", "1,x"},
+		{"-d", "0"},
+		{"-torus", "-n", "2"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestSweepEngineWorkers(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "40", "-trials", "2", "-workers", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mesh(d=2, n=8)") {
+		t.Errorf("workers sweep output wrong:\n%s", out)
+	}
+}

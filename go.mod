@@ -1,0 +1,3 @@
+module hotpotato
+
+go 1.22

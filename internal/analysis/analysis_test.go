@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func TestBoundFormulas(t *testing.T) {
+	// Theorem 20 is Theorem 17 with d=2, M=4n.
+	n, k := 16, 100
+	if got, want := Theorem17Bound(2, k, float64(4*n)), Theorem20Bound(n, k); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Theorem17Bound(2,k,4n) = %v, Theorem20Bound = %v", got, want)
+	}
+	if got := Theorem20Bound(16, 100); math.Abs(got-8*math.Sqrt2*16*10) > 1e-9 {
+		t.Errorf("Theorem20Bound = %v", got)
+	}
+	// Section 5 at d=2: 4^{2.5} * 2^{0.5} * sqrt(k) * n = 32*sqrt(2)*n*sqrt(k).
+	if got, want := Section5Bound(2, n, k), 32*math.Sqrt2*16*10.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Section5Bound(2) = %v, want %v", got, want)
+	}
+	// Monotonicity in each parameter.
+	if Section5Bound(3, 8, 100) <= Section5Bound(2, 8, 100) {
+		t.Error("Section5Bound not increasing in d on these values")
+	}
+	if Theorem20Bound(16, 101) <= Theorem20Bound(16, 100) {
+		t.Error("Theorem20Bound not increasing in k")
+	}
+	if FullPermutationBound(10) != 800 {
+		t.Errorf("FullPermutationBound(10) = %v", FullPermutationBound(10))
+	}
+	if FullLoadBound(10) != 1600 {
+		t.Errorf("FullLoadBound(10) = %v", FullLoadBound(10))
+	}
+	if BTSBound(0, 5) != 0 || BTSBound(1, 5) != 5 || BTSBound(10, 7) != 25 {
+		t.Error("BTSBound wrong")
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	target := m.ID([]int{4, 4})
+	if got := SingleTargetLowerBound(m, target, 0, 0); got != 0 {
+		t.Errorf("empty single-target LB = %d", got)
+	}
+	// 9 packets through in-degree 4: capacity bound ceil(9/4) = 3.
+	if got := SingleTargetLowerBound(m, target, 9, 2); got != 3 {
+		t.Errorf("capacity LB = %d, want 3", got)
+	}
+	// Distance dominates when dmax is large.
+	if got := SingleTargetLowerBound(m, target, 4, 9); got != 9 {
+		t.Errorf("distance LB = %d, want 9", got)
+	}
+	packets := []*sim.Packet{
+		sim.NewPacket(0, m.ID([]int{0, 0}), m.ID([]int{7, 7})),
+		sim.NewPacket(1, m.ID([]int{1, 1}), m.ID([]int{1, 2})),
+	}
+	if got := MaxDistLowerBound(m, packets); got != 14 {
+		t.Errorf("MaxDistLowerBound = %d, want 14", got)
+	}
+}
+
+func TestRunTrialBasics(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	spec := TrialSpec{
+		Mesh:      m,
+		NewPolicy: core.NewRestrictedPriority,
+		NewWorkload: func(rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.UniformRandom(m, 30, rng)
+		},
+		Seed:       1,
+		Track:      true,
+		Validation: sim.ValidateRestricted,
+	}
+	res, err := RunTrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Delivered != 30 {
+		t.Errorf("Delivered = %d", res.Result.Delivered)
+	}
+	if res.DMax <= 0 || res.DMax > m.Diameter() {
+		t.Errorf("DMax = %d", res.DMax)
+	}
+	if res.Phi0 <= 0 || res.Tracker == nil {
+		t.Errorf("tracker fields missing: Phi0=%d", res.Phi0)
+	}
+	if res.Violations.Any() {
+		t.Errorf("violations: %s", res.Violations.String())
+	}
+}
+
+func TestRunTrialValidatesSpec(t *testing.T) {
+	if _, err := RunTrial(TrialSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+func TestRunTrialsAndHelpers(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	spec := TrialSpec{
+		Mesh:      m,
+		NewPolicy: core.NewRestrictedPriority,
+		NewWorkload: func(rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.UniformRandom(m, 10, rng)
+		},
+		Track: true,
+	}
+	results, err := RunTrials(spec, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	steps := Steps(results)
+	if len(steps) != 3 {
+		t.Fatalf("Steps() = %v", steps)
+	}
+	maxv := MaxSteps(results)
+	for _, s := range steps {
+		if s > maxv {
+			t.Errorf("MaxSteps %d < %d", maxv, s)
+		}
+	}
+	if !AllDelivered(results) {
+		t.Error("AllDelivered = false")
+	}
+	if v := TotalViolations(results); v.Any() {
+		t.Errorf("violations: %s", v.String())
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	wantOrder := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
+	if len(exps) != len(wantOrder) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(wantOrder))
+	}
+	for i, e := range exps {
+		if e.ID != wantOrder[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, wantOrder[i])
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("E1"); !ok {
+		t.Error("Lookup(E1) failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("Lookup(E99) succeeded")
+	}
+}
+
+// TestExperimentsQuick runs every experiment in quick mode end to end; this
+// is the integration test of the whole reproduction pipeline.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite skipped in -short mode")
+	}
+	cfg := Config{Quick: true, SeedBase: 1}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.Rows() == 0 {
+					t.Errorf("%s: table %q empty", e.ID, tb.Title())
+				}
+				var sb strings.Builder
+				if err := tb.WriteText(&sb); err != nil {
+					t.Errorf("%s: render: %v", e.ID, err)
+				}
+				if !strings.Contains(sb.String(), tb.Title()) {
+					t.Errorf("%s: rendered table missing title", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if ratio(4, 2) != 2 || ratio(1, 0) != 0 {
+		t.Error("ratio helper wrong")
+	}
+}
+
+// TestExperimentsFull runs every experiment at full size — the exact runs
+// EXPERIMENTS.md records. Each runner internally fails on any theorem or
+// invariant breach, so this is the complete reproduction contract.
+// Skipped in -short mode (takes a few seconds).
+func TestExperimentsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short mode")
+	}
+	cfg := Config{Quick: false, SeedBase: 1}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+		})
+	}
+}
+
+func TestHajekBound(t *testing.T) {
+	if HajekBound(0, 4) != 4 || HajekBound(16, 4) != 36 || HajekBound(256, 8) != 520 {
+		t.Error("HajekBound wrong")
+	}
+}

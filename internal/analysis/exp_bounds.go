@@ -1,0 +1,372 @@
+package analysis
+
+// E1-E4 and E8: the running-time bound experiments. Each sweeps instance
+// parameters, runs the paper's policies under strict validation, and
+// tabulates measured routing time against the closed-form bounds.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Theorem 20: routing time vs 8*sqrt(2)*n*sqrt(k)",
+		Claim: "Every greedy algorithm preferring restricted packets routes any k-packet problem on the n x n mesh within 8*sqrt(2)*n*sqrt(k) steps.",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "Scaling in k at fixed n (sqrt(k) shape)",
+		Claim: "At fixed n the bound grows as sqrt(k). On random instances measured time is distance-dominated, so the fitted exponent is well below 0.5 while the bound always holds - quantifying how far typical greedy behavior sits below the worst case (the 'superb performance' of Section 1).",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E3",
+		Title: "Scaling in n at fixed load fraction",
+		Claim: "At constant load fraction k = n^2/4 the bound is Theta(n^2); measured times on random instances grow near-linearly in n (distance-dominated), staying under the bound by a widening margin.",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E4",
+		Title: "Section 5: d-dimensional bound",
+		Claim: "The fewest-good-directions greedy policy routes k packets on the n^d mesh within 4^{d+1-1/d} d^{1-1/d} k^{1/d} n^{d-1} steps.",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Title: "Section 4 remark: full-load permutations and parity splitting",
+		Claim: "For k = n^2 (every node an origin) the parity-split argument gives an 8n^2 bound; for two packets per node, 11.4n^2 (Theorem 20 with k = 2n^2 gives 16n^2); origin parity classes never interact.",
+		Run:   runE8,
+	})
+}
+
+func uniformSpec(m *mesh.Mesh, k int) func(rng *rand.Rand) ([]*sim.Packet, error) {
+	return func(rng *rand.Rand) ([]*sim.Packet, error) {
+		return workload.UniformRandom(m, k, rng)
+	}
+}
+
+func runE1(cfg Config) ([]*stats.Table, error) {
+	type cell struct{ n, k int }
+	var cells []cell
+	ns := []int{8, 16, 32}
+	if cfg.Quick {
+		ns = []int{8, 16}
+	}
+	for _, n := range ns {
+		seen := map[int]bool{}
+		for _, k := range []int{n / 2, 2 * n, n * n / 4, n * n} {
+			if !seen[k] {
+				seen[k] = true
+				cells = append(cells, cell{n, k})
+			}
+		}
+	}
+	trials := cfg.trials(5, 2)
+	tb := stats.NewTable(
+		"E1 (Theorem 20): restricted-priority greedy on uniform random many-to-many",
+		"n", "k", "steps_mean", "steps_max", "bound", "max/bound", "dmax_mean", "violations")
+	for _, c := range cells {
+		m, err := mesh.New(2, c.n)
+		if err != nil {
+			return nil, err
+		}
+		results, err := RunTrials(TrialSpec{
+			Mesh:        m,
+			NewPolicy:   core.NewRestrictedPriority,
+			NewWorkload: uniformSpec(m, c.k),
+			Track:       true,
+			Validation:  sim.ValidateRestricted,
+		}, trials, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		if !AllDelivered(results) {
+			return nil, fmt.Errorf("E1: undelivered packets at n=%d k=%d", c.n, c.k)
+		}
+		sm := stats.SummarizeInts(Steps(results))
+		var dmaxSum int
+		for _, r := range results {
+			dmaxSum += r.DMax
+		}
+		bound := Theorem20Bound(c.n, c.k)
+		v := TotalViolations(results)
+		// The theorem is unconditional: exceeding the bound or breaking an
+		// invariant is a reproduction failure, not a data point.
+		if sm.Max > bound {
+			return nil, fmt.Errorf("E1: Theorem 20 violated at n=%d k=%d: %d > %.0f", c.n, c.k, int(sm.Max), bound)
+		}
+		if v.Any() {
+			return nil, fmt.Errorf("E1: potential invariants violated at n=%d k=%d: %s", c.n, c.k, v.String())
+		}
+		tb.AddRow(c.n, c.k, sm.Mean, int(sm.Max), bound, ratio(sm.Max, bound),
+			float64(dmaxSum)/float64(len(results)), v.String())
+	}
+	tb.AddNote("%d trials per row; bound = 8*sqrt(2)*n*sqrt(k); all runs at ValidateRestricted", trials)
+	return []*stats.Table{tb}, nil
+}
+
+func runE2(cfg Config) ([]*stats.Table, error) {
+	n := 24
+	if cfg.Quick {
+		n = 12
+	}
+	m, err := mesh.New(2, n)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.trials(5, 2)
+	tb := stats.NewTable(
+		fmt.Sprintf("E2 (sqrt(k) scaling): restricted-priority on the %dx%d mesh", n, n),
+		"k", "steps_mean", "bound", "mean/bound")
+	var ks []int
+	for k := 8; k <= n*n; k *= 2 {
+		ks = append(ks, k)
+	}
+	var fitX, fitY []float64
+	for _, k := range ks {
+		results, err := RunTrials(TrialSpec{
+			Mesh:        m,
+			NewPolicy:   core.NewRestrictedPriority,
+			NewWorkload: uniformSpec(m, k),
+			Validation:  sim.ValidateRestricted,
+		}, trials, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		sm := stats.SummarizeInts(Steps(results))
+		bound := Theorem20Bound(n, k)
+		tb.AddRow(k, sm.Mean, bound, ratio(sm.Mean, bound))
+		// Fit only the congestion-dominated regime (k >= n), where the
+		// dmax ~ n term no longer dominates.
+		if k >= n {
+			fitX = append(fitX, float64(k))
+			fitY = append(fitY, sm.Mean)
+		}
+	}
+	if alpha, c, r2, err := stats.PowerLawFit(fitX, fitY); err == nil {
+		tb.AddNote("power-law fit for k >= n: steps ~ %.2f * k^%.3f (R2=%.3f); Theorem 20 predicts exponent <= 0.5", c, alpha, r2)
+	}
+	tb.AddNote("%d trials per row", trials)
+	return []*stats.Table{tb}, nil
+}
+
+func runE3(cfg Config) ([]*stats.Table, error) {
+	ns := []int{8, 12, 16, 24, 32}
+	if cfg.Quick {
+		ns = []int{8, 12, 16}
+	}
+	trials := cfg.trials(5, 2)
+	tb := stats.NewTable(
+		"E3 (n scaling at constant load k = n^2/4): restricted-priority",
+		"n", "k", "steps_mean", "bound", "mean/bound")
+	var fitX, fitY []float64
+	for _, n := range ns {
+		m, err := mesh.New(2, n)
+		if err != nil {
+			return nil, err
+		}
+		k := n * n / 4
+		results, err := RunTrials(TrialSpec{
+			Mesh:        m,
+			NewPolicy:   core.NewRestrictedPriority,
+			NewWorkload: uniformSpec(m, k),
+			Validation:  sim.ValidateRestricted,
+		}, trials, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		sm := stats.SummarizeInts(Steps(results))
+		bound := Theorem20Bound(n, k)
+		tb.AddRow(n, k, sm.Mean, bound, ratio(sm.Mean, bound))
+		fitX = append(fitX, float64(n))
+		fitY = append(fitY, sm.Mean)
+	}
+	if alpha, c, r2, err := stats.PowerLawFit(fitX, fitY); err == nil {
+		tb.AddNote("power-law fit: steps ~ %.2f * n^%.3f (R2=%.3f); bound is Theta(n^2) at this load", c, alpha, r2)
+	}
+	tb.AddNote("%d trials per row", trials)
+	return []*stats.Table{tb}, nil
+}
+
+func runE4(cfg Config) ([]*stats.Table, error) {
+	type cell struct{ d, n, k int }
+	cells := []cell{
+		{2, 16, 64}, {2, 16, 256},
+		{3, 6, 64}, {3, 6, 216},
+		{4, 4, 64}, {4, 4, 256},
+	}
+	if cfg.Quick {
+		cells = []cell{{2, 8, 32}, {3, 4, 32}, {4, 3, 32}}
+	}
+	trials := cfg.trials(4, 2)
+	tb := stats.NewTable(
+		"E4 (Section 5): fewest-good-first greedy on the n^d mesh",
+		"d", "n", "k", "steps_mean", "steps_max", "s5_bound", "max/bound", "prop8_viol_rate")
+	for _, c := range cells {
+		m, err := mesh.New(c.d, c.n)
+		if err != nil {
+			return nil, err
+		}
+		results, err := RunTrials(TrialSpec{
+			Mesh:        m,
+			NewPolicy:   core.NewFewestGoodFirst,
+			NewWorkload: uniformSpec(m, c.k),
+			Track:       true,
+			Validation:  sim.ValidateGreedy,
+		}, trials, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		if !AllDelivered(results) {
+			return nil, fmt.Errorf("E4: undelivered packets at d=%d n=%d k=%d", c.d, c.n, c.k)
+		}
+		sm := stats.SummarizeInts(Steps(results))
+		bound := Section5Bound(c.d, c.n, c.k)
+		if sm.Max > bound {
+			return nil, fmt.Errorf("E4: Section-5 bound violated at d=%d n=%d k=%d", c.d, c.n, c.k)
+		}
+		// For d >= 3 the exact potential construction is thesis-only; we
+		// apply the 2-D Figure-6 rules verbatim and *measure* how often
+		// Property 8 fails per node-step (expected: 0 for d = 2; small but
+		// possibly nonzero for d >= 3, see DESIGN.md).
+		v := TotalViolations(results)
+		var nodeSteps int64
+		for _, r := range results {
+			nodeSteps += r.Result.TotalHops // upper bound proxy: moves = packet-steps
+		}
+		rate := 0.0
+		if nodeSteps > 0 {
+			rate = float64(v.Property8) / float64(nodeSteps)
+		}
+		tb.AddRow(c.d, c.n, c.k, sm.Mean, int(sm.Max), bound, ratio(sm.Max, bound), rate)
+	}
+	tb.AddNote("%d trials per row; s5_bound = 4^{d+1-1/d} d^{1-1/d} k^{1/d} n^{d-1}", trials)
+	tb.AddNote("the exponential-in-d constant makes the bound very loose; the paper notes this (Section 6)")
+	tb.AddNote("prop8_viol_rate: Property-8 failures per packet-move under the 2-D potential rules applied verbatim (reconstruction measurement for d >= 3; exactly 0 required for d = 2)")
+	return []*stats.Table{tb}, nil
+}
+
+func runE8(cfg Config) ([]*stats.Table, error) {
+	ns := []int{8, 16, 24}
+	if cfg.Quick {
+		ns = []int{8, 12}
+	}
+	trials := cfg.trials(5, 2)
+	tb := stats.NewTable(
+		"E8 (remark after Theorem 20): full-load instances",
+		"n", "workload", "k", "steps_mean", "steps_max", "bound", "max/bound")
+	for _, n := range ns {
+		m, err := mesh.New(2, n)
+		if err != nil {
+			return nil, err
+		}
+		// One packet per node: random full permutation, remark bound 8n^2.
+		permResults, err := RunTrials(TrialSpec{
+			Mesh:      m,
+			NewPolicy: core.NewRestrictedPriority,
+			NewWorkload: func(rng *rand.Rand) ([]*sim.Packet, error) {
+				return workload.Permutation(m, rng), nil
+			},
+			Validation: sim.ValidateRestricted,
+		}, trials, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		sm := stats.SummarizeInts(Steps(permResults))
+		bound := FullPermutationBound(n)
+		if sm.Max > bound {
+			return nil, fmt.Errorf("E8: 8n^2 bound violated at n=%d", n)
+		}
+		tb.AddRow(n, "permutation", n*n, sm.Mean, int(sm.Max), bound, ratio(sm.Max, bound))
+
+		// Two packets per node (the densest instance every node, including
+		// corners, can originate), Theorem 20 bound with k = 2n^2.
+		loadResults, err := RunTrials(TrialSpec{
+			Mesh:      m,
+			NewPolicy: core.NewRestrictedPriority,
+			NewWorkload: func(rng *rand.Rand) ([]*sim.Packet, error) {
+				return workload.FullLoad(m, 2, rng)
+			},
+			Validation: sim.ValidateRestricted,
+		}, trials, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		sm = stats.SummarizeInts(Steps(loadResults))
+		bound = Theorem20Bound(n, 2*n*n)
+		tb.AddRow(n, "2-per-node", 2*n*n, sm.Mean, int(sm.Max), bound, ratio(sm.Max, bound))
+	}
+	tb.AddNote("%d trials per row; permutation bound 8n^2 uses the origin-parity split", trials)
+	tb.AddNote("the paper's 4-per-node case (bound 16n^2) is infeasible verbatim: corner nodes have out-degree 2; 2-per-node is the densest legal uniform load")
+
+	// Parity-class independence: verify that packets of the two origin
+	// parity classes never share a node at any step.
+	parity := stats.NewTable(
+		"E8b: origin-parity classes never interact (invariant of the remark)",
+		"n", "steps", "mixed_node_steps")
+	for _, n := range ns[:1] {
+		m, err := mesh.New(2, n)
+		if err != nil {
+			return nil, err
+		}
+		mixed, steps, err := countParityMixing(m, cfg.SeedBase)
+		if err != nil {
+			return nil, err
+		}
+		parity.AddRow(n, steps, mixed)
+	}
+	parity.AddNote("a node-step is 'mixed' if a node simultaneously holds packets whose origins have different coordinate-sum parity; the invariant predicts 0")
+	return []*stats.Table{tb, parity}, nil
+}
+
+// countParityMixing runs one permutation instance and counts node-steps
+// where the two origin-parity classes meet.
+func countParityMixing(m *mesh.Mesh, seed int64) (mixed, steps int, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	packets := workload.Permutation(m, rng)
+	parityOf := func(p *sim.Packet) int {
+		sum := 0
+		for a := 0; a < m.Dim(); a++ {
+			sum += m.CoordAxis(p.Src, a)
+		}
+		return sum & 1
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+		Seed:       seed,
+		Validation: sim.ValidateRestricted,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	e.AddObserver(sim.ObserverFunc(func(rec *sim.StepRecord) {
+		for lo := 0; lo < len(rec.Moves); {
+			hi := lo + 1
+			p0 := parityOf(rec.Moves[lo].Packet)
+			isMixed := false
+			for hi < len(rec.Moves) && rec.Moves[hi].From == rec.Moves[lo].From {
+				if parityOf(rec.Moves[hi].Packet) != p0 {
+					isMixed = true
+				}
+				hi++
+			}
+			if isMixed {
+				mixed++
+			}
+			lo = hi
+		}
+	}))
+	res, err := e.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	return mixed, res.Steps, nil
+}

@@ -1,0 +1,98 @@
+package analysis
+
+// E13: the hypercube, the network of the earliest greedy hot-potato
+// results the paper builds on (Borodin-Hopcroft [BH], Prager [Pr], Hajek
+// [Haj]). The d-dimensional mesh with side 2 *is* the d-cube, so the whole
+// stack runs on it unchanged. Hajek proved a simple greedy algorithm
+// delivers k packets in 2k + d steps on the 2^d-node cube; we run our
+// greedy policies against that reference line.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Hypercube (side-2 mesh): greedy routing vs the Hajek 2k+d reference",
+		Claim: "The d-cube is the d-dimensional side-2 mesh; greedy hot-potato algorithms route far below the Hajek bound 2k+d on random instances, and the Borodin-Hopcroft observation ('experimentally the algorithm appears promising') reproduces.",
+		Run:   runE13,
+	})
+}
+
+// HajekBound is the [Haj] bound for k packets on the 2^d-node hypercube:
+// 2k + d steps (for his algorithm; shown as a reference line here).
+func HajekBound(k, d int) int { return 2*k + d }
+
+func runE13(cfg Config) ([]*stats.Table, error) {
+	dims := []int{4, 6, 8}
+	if cfg.Quick {
+		dims = []int{4, 6}
+	}
+	trials := cfg.trials(5, 2)
+
+	tb := stats.NewTable(
+		"E13 (hypercube = side-2 mesh): greedy hot-potato routing on the d-cube",
+		"d", "nodes", "workload", "k", "policy", "steps_mean", "steps_max", "hajek_2k+d", "lb_dmax")
+	for _, d := range dims {
+		m, err := mesh.New(d, 2)
+		if err != nil {
+			return nil, err
+		}
+		type wl struct {
+			name string
+			mk   func(rng *rand.Rand) ([]*sim.Packet, error)
+		}
+		wls := []wl{
+			{"sparse", func(rng *rand.Rand) ([]*sim.Packet, error) {
+				return workload.UniformRandom(m, m.Size()/4, rng)
+			}},
+			{"permutation", func(rng *rand.Rand) ([]*sim.Packet, error) {
+				return workload.Permutation(m, rng), nil
+			}},
+		}
+		pols := []struct {
+			name string
+			mk   func() sim.Policy
+		}{
+			{"fewest-good-first", core.NewFewestGoodFirst},
+			{"greedy-random", routing.NewRandomGreedy},
+		}
+		for _, w := range wls {
+			for _, pol := range pols {
+				results, err := RunTrials(TrialSpec{
+					Mesh:        m,
+					NewPolicy:   pol.mk,
+					NewWorkload: w.mk,
+					Validation:  sim.ValidateGreedy,
+				}, trials, cfg.SeedBase)
+				if err != nil {
+					return nil, err
+				}
+				if !AllDelivered(results) {
+					return nil, fmt.Errorf("E13: %s/%s left packets undelivered at d=%d", w.name, pol.name, d)
+				}
+				sm := stats.SummarizeInts(Steps(results))
+				k := results[0].Result.Total
+				dmax := 0
+				for _, r := range results {
+					if r.DMax > dmax {
+						dmax = r.DMax
+					}
+				}
+				tb.AddRow(d, m.Size(), w.name, k, pol.name, sm.Mean, int(sm.Max), HajekBound(k, d), dmax)
+			}
+		}
+	}
+	tb.AddNote("%d trials per row; hajek_2k+d is the [Haj] bound for his algorithm, shown as a reference", trials)
+	tb.AddNote("on the cube every packet is restricted iff it differs from its destination in exactly one bit")
+	return []*stats.Table{tb}, nil
+}

@@ -1,0 +1,196 @@
+package analysis
+
+// E5 and E6: the potential-function experiments, validating Property 8 /
+// Lemma 19 and the Phi-decay chain (Corollary 10, Lemmas 12, 14, 15) on
+// live traffic.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Title: "Property 8 / Lemma 19: per-node potential loss",
+		Claim: "For any algorithm preferring restricted packets on the 2-D mesh, every node holding l packets loses >= l potential units (l <= 2) or >= 4 - l units (l > 2) in every step; phi stays in [0, 4n] and is 0 only on arrival.",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "Corollary 10 and Lemma 12: global potential decay",
+		Claim: "Phi(t+1) <= Phi(t) - G(t) and Phi(t+2) <= Phi(t) - F(t) at every step; F(t) >= (2d)^{1/d} B(t)^{(d-1)/d} (Lemma 14).",
+		Run:   runE6,
+	})
+}
+
+type e5Workload struct {
+	name string
+	mk   func(m *mesh.Mesh, rng *rand.Rand) ([]*sim.Packet, error)
+}
+
+func e5Workloads(k int) []e5Workload {
+	return []e5Workload{
+		{"uniform", func(m *mesh.Mesh, rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.UniformRandom(m, k, rng)
+		}},
+		{"permutation", func(m *mesh.Mesh, rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.Permutation(m, rng), nil
+		}},
+		{"hotspot", func(m *mesh.Mesh, rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.HotSpot(m, k, 0.5, rng)
+		}},
+		{"transpose", func(m *mesh.Mesh, rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.Transpose(m)
+		}},
+		{"corner-rush", func(m *mesh.Mesh, rng *rand.Rand) ([]*sim.Packet, error) {
+			return workload.CornerRush(m, k/2, rng)
+		}},
+	}
+}
+
+func runE5(cfg Config) ([]*stats.Table, error) {
+	n := 16
+	if cfg.Quick {
+		n = 10
+	}
+	m, err := mesh.New(2, n)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.trials(4, 2)
+	k := n * n / 2
+
+	policies := []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"A-first", core.NewRestrictedPriority},
+		{"A-first-det", core.NewRestrictedPriorityDeterministic},
+		{"B-first", core.NewRestrictedPriorityTypeBFirst},
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("E5 (Property 8 / Lemma 19): %dx%d mesh, section-4 policy variants", n, n),
+		"policy", "workload", "steps_mean", "prop8", "phi_range", "phi_zero_live",
+		"min_phi", "min_spare", "typeA_deflections")
+	for _, pol := range policies {
+		for _, wl := range e5Workloads(k) {
+			results, err := RunTrials(TrialSpec{
+				Mesh:      m,
+				NewPolicy: pol.mk,
+				NewWorkload: func(rng *rand.Rand) ([]*sim.Packet, error) {
+					return wl.mk(m, rng)
+				},
+				Track:      true,
+				Validation: sim.ValidateRestricted,
+			}, trials, cfg.SeedBase)
+			if err != nil {
+				return nil, err
+			}
+			sm := stats.SummarizeInts(Steps(results))
+			v := TotalViolations(results)
+			minPhi, minSpare := math.MaxInt, math.MaxInt
+			for _, r := range results {
+				if r.MinPhi < minPhi {
+					minPhi = r.MinPhi
+				}
+				if r.MinSpare < minSpare {
+					minSpare = r.MinSpare
+				}
+			}
+			// Lemma 19 is proved for the whole class: a Property-8 or
+			// Corollary-10 breach is a reproduction failure.
+			if v.Property8+v.Corollary10+v.Lemma12+v.Lemma14+v.Lemma15+v.Conservation > 0 {
+				return nil, fmt.Errorf("E5: %s on %s violated the potential analysis: %s",
+					pol.name, wl.name, v.String())
+			}
+			tb.AddRow(pol.name, wl.name, sm.Mean, v.Property8, v.PhiRange, v.PhiZeroLive,
+				minPhi, minSpare, v.TypeADeflector)
+		}
+	}
+	tb.AddNote("%d trials per cell; M = 4n = %d; expected: zero violations in every column", trials, 4*n)
+	tb.AddNote("B-first deliberately deflects type-A packets, exercising switch rule 3(b)")
+	return []*stats.Table{tb}, nil
+}
+
+func runE6(cfg Config) ([]*stats.Table, error) {
+	n := 16
+	if cfg.Quick {
+		n = 10
+	}
+	m, err := mesh.New(2, n)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.trials(4, 2)
+	k := n * n / 2
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E6 (Phi decay chain): restricted-priority on the %dx%d mesh", n, n),
+		"workload", "steps_mean", "cor10_viol", "lemma12_viol", "lemma14_viol", "lemma15_viol",
+		"phi0_mean", "bad_steps_frac", "surface_arcs_max")
+	for _, wl := range e5Workloads(k) {
+		var phi0Sum float64
+		var cor10, l12, l14, l15 int
+		var badSteps, totalSteps, surfaceMax int
+		var stepsSamples []int
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.SeedBase + int64(trial)
+			rng := rand.New(rand.NewSource(seed))
+			packets, err := wl.mk(m, rng)
+			if err != nil {
+				return nil, err
+			}
+			e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+				Seed:       seed + 1,
+				Validation: sim.ValidateRestricted,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tr := core.NewTracker(m, packets, core.TrackerOptions{RecordSeries: true, SelfCheckEvery: 64})
+			e.AddObserver(tr)
+			res, err := e.Run()
+			if err != nil {
+				return nil, err
+			}
+			v := tr.Violations()
+			cor10 += v.Corollary10
+			l12 += v.Lemma12
+			l14 += v.Lemma14
+			l15 += v.Lemma15
+			phi0Sum += float64(tr.Phi0())
+			stepsSamples = append(stepsSamples, res.Steps)
+			for _, s := range tr.Series() {
+				totalSteps++
+				if s.Bad > 0 {
+					badSteps++
+				}
+				if s.SurfaceArcs > surfaceMax {
+					surfaceMax = s.SurfaceArcs
+				}
+			}
+		}
+		sm := stats.SummarizeInts(stepsSamples)
+		badFrac := 0.0
+		if totalSteps > 0 {
+			badFrac = float64(badSteps) / float64(totalSteps)
+		}
+		if cor10+l12+l14+l15 > 0 {
+			return nil, fmt.Errorf("E6: decay-chain violation on %s: cor10=%d l12=%d l14=%d l15=%d",
+				wl.name, cor10, l12, l14, l15)
+		}
+		tb.AddRow(wl.name, sm.Mean, cor10, l12, l14, l15,
+			phi0Sum/float64(trials), badFrac, surfaceMax)
+	}
+	tb.AddNote("%d trials per row; all violation columns are expected to be zero", trials)
+	tb.AddNote("bad_steps_frac: fraction of steps with at least one bad node (> d packets)")
+	return []*stats.Table{tb}, nil
+}

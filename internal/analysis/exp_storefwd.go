@@ -1,0 +1,126 @@
+package analysis
+
+// E11: the motivating comparison of Section 1 — hot-potato (bufferless,
+// deflecting) routing against classical store-and-forward routing with
+// per-link FIFO buffers, in the style of [AS] and [Ma].
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/stats"
+	"hotpotato/internal/storefwd"
+	"hotpotato/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Hot-potato vs store-and-forward (the Section-1 motivation)",
+		Claim: "Deflection routing needs zero packet buffers; store-and-forward needs per-node storage that grows with congestion. The batch routing times stay comparable (the premise of [AS]/[Ma] and of building bufferless machines like Mosaic C), so deflection trades a little time for all of the memory.",
+		Run:   runE11,
+	})
+}
+
+func runE11(cfg Config) ([]*stats.Table, error) {
+	n := 16
+	if cfg.Quick {
+		n = 10
+	}
+	m, err := mesh.New(2, n)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.trials(5, 2)
+	k := n * n / 2
+
+	wls := []struct {
+		name string
+		mk   func(rng *rand.Rand) ([]*sim.Packet, error)
+	}{
+		{"uniform", func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.UniformRandom(m, k, rng) }},
+		{"permutation", func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.Permutation(m, rng), nil }},
+		{"hotspot", func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.HotSpot(m, k, 0.5, rng) }},
+		{"transpose", func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.Transpose(m) }},
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E11 (hot-potato vs store-and-forward): %dx%d mesh", n, n),
+		"workload", "router", "steps_mean", "hops_mean", "buffered_max/node", "waits_or_defl_mean")
+	for _, wl := range wls {
+		// Hot-potato: the paper's restricted-priority policy. Zero buffers
+		// by construction; deflections are the price.
+		var hpSteps, hpDefl, hpHops []float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.SeedBase + int64(trial)
+			rng := rand.New(rand.NewSource(seed))
+			packets, err := wl.mk(rng)
+			if err != nil {
+				return nil, err
+			}
+			e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+				Seed:       seed + 1,
+				Validation: sim.ValidateRestricted,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := e.Run()
+			if err != nil {
+				return nil, err
+			}
+			if res.Delivered != res.Total {
+				return nil, fmt.Errorf("E11: hot-potato left packets undelivered on %s", wl.name)
+			}
+			hpSteps = append(hpSteps, float64(res.Steps))
+			hpDefl = append(hpDefl, float64(res.TotalDeflections))
+			hpHops = append(hpHops, float64(res.TotalHops))
+		}
+		tb.AddRow(wl.name, "hot-potato", stats.Summarize(hpSteps).Mean,
+			stats.Summarize(hpHops).Mean, 0, stats.Summarize(hpDefl).Mean)
+
+		// Store-and-forward at several buffer capacities.
+		for _, bufCap := range []int{0, 2, 1} {
+			var steps, hops, waits []float64
+			maxBuffered := 0
+			for trial := 0; trial < trials; trial++ {
+				seed := cfg.SeedBase + int64(trial)
+				rng := rand.New(rand.NewSource(seed))
+				packets, err := wl.mk(rng)
+				if err != nil {
+					return nil, err
+				}
+				e, err := storefwd.New(m, packets, storefwd.Options{BufferCap: bufCap})
+				if err != nil {
+					return nil, err
+				}
+				res, err := e.Run()
+				if err != nil {
+					return nil, err
+				}
+				if res.Delivered != res.Total {
+					return nil, fmt.Errorf("E11: store-and-forward cap=%d left packets undelivered on %s", bufCap, wl.name)
+				}
+				steps = append(steps, float64(res.Steps))
+				hops = append(hops, float64(res.TotalHops))
+				waits = append(waits, float64(res.TotalWaits))
+				if res.MaxNodeBuffered > maxBuffered {
+					maxBuffered = res.MaxNodeBuffered
+				}
+			}
+			name := fmt.Sprintf("store-fwd cap=%d", bufCap)
+			if bufCap == 0 {
+				name = "store-fwd inf"
+			}
+			tb.AddRow(wl.name, name, stats.Summarize(steps).Mean,
+				stats.Summarize(hops).Mean, maxBuffered, stats.Summarize(waits).Mean)
+		}
+	}
+	tb.AddNote("%d trials per row, identical instances per workload across routers", trials)
+	tb.AddNote("hot-potato: buffered_max/node = 0 by construction, extra column = total deflections")
+	tb.AddNote("store-and-forward: extra column = total packet-steps spent waiting in queues")
+	return []*stats.Table{tb}, nil
+}

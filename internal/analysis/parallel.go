@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunTrialsParallel executes the spec for seeds seedBase..seedBase+trials-1
+// across up to `workers` goroutines (0 = GOMAXPROCS) and returns the
+// results in seed order. Each trial builds its own policy, engine and
+// tracker, so trials share nothing; results are bit-identical to
+// RunTrials with the same seeds regardless of the worker count.
+func RunTrialsParallel(spec TrialSpec, trials int, seedBase int64, workers int) ([]*TrialResult, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	results := make([]*TrialResult, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	next := make(chan int)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := spec
+				s.Seed = seedBase + int64(i)
+				res, err := RunTrial(s)
+				results[i] = res
+				errs[i] = err
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("analysis: trial %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// TestSoakLargeMesh is the scale test: a 48x48 mesh under a full random
+// permutation (k = 2304) with strict validation and the complete potential
+// tracker. Every invariant must hold across a couple of hundred steps and
+// millions of potential updates. Skipped in -short mode.
+func TestSoakLargeMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	m := mesh.MustNew(2, 48)
+	rng := rand.New(rand.NewSource(42))
+	packets := workload.Permutation(m, rng)
+	e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+		Seed:       42,
+		Validation: sim.ValidateRestricted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewTracker(m, packets, core.TrackerOptions{SelfCheckEvery: 32})
+	e.AddObserver(tr)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Total {
+		t.Fatalf("%d/%d delivered", res.Delivered, res.Total)
+	}
+	if v := tr.Violations(); v.Any() {
+		t.Errorf("violations at scale: %s", v.String())
+	}
+	if b := FullPermutationBound(48); float64(res.Steps) > b {
+		t.Errorf("steps %d exceed 8n^2 = %.0f", res.Steps, b)
+	}
+	if tr.Phi() != 0 {
+		t.Errorf("final Phi = %d", tr.Phi())
+	}
+}
+
+// TestSoakDDim runs a 4-dimensional instance at scale under greedy
+// validation. Skipped in -short mode.
+func TestSoakDDim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	m := mesh.MustNew(4, 5) // 625 nodes
+	rng := rand.New(rand.NewSource(7))
+	packets, err := workload.UniformRandom(m, 1200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTrial(TrialSpec{
+		Mesh:        m,
+		NewPolicy:   core.NewFewestGoodFirst,
+		NewWorkload: func(*rand.Rand) ([]*sim.Packet, error) { return packets, nil },
+		Seed:        7,
+		Validation:  sim.ValidateGreedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Delivered != res.Result.Total {
+		t.Fatalf("%d/%d delivered", res.Result.Delivered, res.Result.Total)
+	}
+	if b := Section5Bound(4, 5, res.Result.Total); float64(res.Result.Steps) > b {
+		t.Errorf("steps %d exceed Section-5 bound %.0f", res.Result.Steps, b)
+	}
+}
+
+// TestSoakDynamicLongRun pushes the injection path: 5000 steps of
+// sustained moderate traffic. Skipped in -short mode.
+func TestSoakDynamicLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	m := mesh.MustNew(2, 24)
+	e, err := sim.New(m, core.NewRestrictedPriority(), nil, sim.Options{
+		Seed:       9,
+		Validation: sim.ValidateRestricted,
+		MaxSteps:   20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &soakInjector{until: 5000, rate: 0.05}
+	e.SetInjector(inj)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Total {
+		t.Fatalf("%d/%d delivered after drain", res.Delivered, res.Total)
+	}
+	if res.Total < 10000 {
+		t.Fatalf("only %d packets generated", res.Total)
+	}
+}
+
+type soakInjector struct {
+	until int
+	rate  float64
+}
+
+func (si *soakInjector) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+	if t >= si.until {
+		return nil
+	}
+	var out []*sim.Packet
+	m := e.Mesh()
+	for node := mesh.NodeID(0); int(node) < m.Size(); node++ {
+		if rng.Float64() < si.rate && e.InjectionCapacity(node) > 0 {
+			out = append(out, sim.NewPacket(e.NextPacketID(), node, mesh.NodeID(rng.Intn(m.Size()))))
+		}
+	}
+	return out
+}
+
+func (si *soakInjector) Exhausted(t int) bool { return t >= si.until }

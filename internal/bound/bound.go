@@ -1,0 +1,141 @@
+// Package bound computes per-instance lower bounds on routing time, valid
+// for EVERY routing algorithm on the synchronous mesh model (one packet
+// per directed arc per step). They contextualize measured times: a greedy
+// run that matches the instance lower bound is optimal on that instance,
+// whatever the worst-case theorems say.
+//
+// Three classical arguments are implemented:
+//
+//   - Distance: no packet arrives before its source-destination distance.
+//   - Destination congestion: a node with in-degree g receiving c packets
+//     cannot absorb them faster than ceil(c/g) steps, and the last of them
+//     must also cover its distance: max over nodes of that combination.
+//   - Bisection: packets that must cross an axis cut compete for the cut's
+//     directed bandwidth (n^{d-1} arcs per direction per step on the mesh).
+package bound
+
+import (
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// Distance returns the max source-destination distance of the instance.
+func Distance(m *mesh.Mesh, packets []*sim.Packet) int {
+	lb := 0
+	for _, p := range packets {
+		if d := m.Dist(p.Src, p.Dst); d > lb {
+			lb = d
+		}
+	}
+	return lb
+}
+
+// DestinationCongestion returns the strongest absorption lower bound: for
+// each destination v receiving c packets through in-degree g, the last
+// arrival happens no earlier than ceil(c/g), and no earlier than the
+// c-th-smallest... we use the simple, always-valid form
+// max_v ( ceil(c_v / g_v) ) combined with the per-destination minimum
+// distance: a packet for v cannot arrive before step minDist_v, and only
+// g_v packets arrive per step after that, so the bound is
+// minDist_v + ceil(c_v/g_v) - 1.
+func DestinationCongestion(m *mesh.Mesh, packets []*sim.Packet) int {
+	type destInfo struct {
+		count   int
+		minDist int
+	}
+	infos := make(map[mesh.NodeID]*destInfo)
+	for _, p := range packets {
+		d := m.Dist(p.Src, p.Dst)
+		if d == 0 {
+			continue // born at destination, absorbs at t = 0
+		}
+		di := infos[p.Dst]
+		if di == nil {
+			di = &destInfo{minDist: d}
+			infos[p.Dst] = di
+		}
+		di.count++
+		if d < di.minDist {
+			di.minDist = d
+		}
+	}
+	lb := 0
+	for v, di := range infos {
+		g := m.Degree(v)
+		b := di.minDist + (di.count+g-1)/g - 1
+		if b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// Bisection returns the strongest axis-cut bound.
+//
+// Mesh: for every axis a and cut position c (between coordinate c and
+// c+1), a packet whose source and destination lie on opposite sides must
+// traverse one of the n^{d-1} directed arcs crossing the cut in its
+// direction — whatever route it takes — so the cut needs at least
+// ceil(crossings / n^{d-1}) steps per direction.
+//
+// Torus: a separated packet may instead go around through the wraparound
+// cut, and in either rotational direction, so each separated packet is
+// only guaranteed to cross the *pair* {cut c, wrap cut} once, through one
+// of its 4*n^{d-1} directed arcs: the bound divides by that.
+func Bisection(m *mesh.Mesh, packets []*sim.Packet) int {
+	bandwidth := m.Size() / m.Side() // n^{d-1} arcs per direction per cut
+	lb := 0
+	for a := 0; a < m.Dim(); a++ {
+		crossLR := make([]int, m.Side()-1)
+		crossRL := make([]int, m.Side()-1)
+		for _, p := range packets {
+			cs := m.CoordAxis(p.Src, a)
+			cd := m.CoordAxis(p.Dst, a)
+			if cs == cd {
+				continue
+			}
+			lo, hi := cs, cd
+			dirLR := true
+			if lo > hi {
+				lo, hi = hi, lo
+				dirLR = false
+			}
+			for c := lo; c < hi; c++ {
+				if dirLR {
+					crossLR[c]++
+				} else {
+					crossRL[c]++
+				}
+			}
+		}
+		for c := range crossLR {
+			if m.Wrap() {
+				// Pair {cut c, wrap}: total separated packets over the
+				// pair's full directed bandwidth.
+				cross := crossLR[c] + crossRL[c]
+				if b := (cross + 4*bandwidth - 1) / (4 * bandwidth); b > lb {
+					lb = b
+				}
+				continue
+			}
+			for _, cross := range []int{crossLR[c], crossRL[c]} {
+				if b := (cross + bandwidth - 1) / bandwidth; b > lb {
+					lb = b
+				}
+			}
+		}
+	}
+	return lb
+}
+
+// Instance returns the strongest of the implemented lower bounds.
+func Instance(m *mesh.Mesh, packets []*sim.Packet) int {
+	lb := Distance(m, packets)
+	if b := DestinationCongestion(m, packets); b > lb {
+		lb = b
+	}
+	if b := Bisection(m, packets); b > lb {
+		lb = b
+	}
+	return lb
+}

@@ -1,0 +1,150 @@
+package bound
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func TestDistance(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	packets := []*sim.Packet{
+		sim.NewPacket(0, m.ID([]int{0, 0}), m.ID([]int{3, 2})),
+		sim.NewPacket(1, m.ID([]int{7, 7}), m.ID([]int{0, 0})),
+	}
+	if got := Distance(m, packets); got != 14 {
+		t.Errorf("Distance = %d, want 14", got)
+	}
+	if got := Distance(m, nil); got != 0 {
+		t.Errorf("Distance(nil) = %d", got)
+	}
+}
+
+func TestDestinationCongestion(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	target := m.ID([]int{4, 4}) // interior, in-degree 4
+	var packets []*sim.Packet
+	// 8 packets to one node, all from distance >= 2: absorption needs
+	// ceil(8/4) = 2 steps starting no earlier than minDist: LB = 2 + 2 - 1.
+	srcs := [][]int{{2, 4}, {6, 4}, {4, 2}, {4, 6}, {3, 3}, {5, 5}, {3, 5}, {5, 3}}
+	for i, s := range srcs {
+		packets = append(packets, sim.NewPacket(i, m.ID(s), target))
+	}
+	if got := DestinationCongestion(m, packets); got != 3 {
+		t.Errorf("DestinationCongestion = %d, want 3", got)
+	}
+	// Corner destination: in-degree 2.
+	corner := m.ID([]int{0, 0})
+	packets = nil
+	for i, s := range [][]int{{1, 0}, {0, 1}, {1, 1}, {2, 0}} {
+		packets = append(packets, sim.NewPacket(i, m.ID(s), corner))
+	}
+	// minDist 1, ceil(4/2) = 2 -> 1 + 2 - 1 = 2.
+	if got := DestinationCongestion(m, packets); got != 2 {
+		t.Errorf("corner congestion = %d, want 2", got)
+	}
+	// Born-at-destination packets are ignored.
+	if got := DestinationCongestion(m, []*sim.Packet{sim.NewPacket(0, corner, corner)}); got != 0 {
+		t.Errorf("self packet congestion = %d", got)
+	}
+}
+
+func TestBisectionMesh(t *testing.T) {
+	m := mesh.MustNew(2, 4) // bandwidth per direction per cut: 4
+	var packets []*sim.Packet
+	// 9 packets from column 0 to column 3: every cut on axis 0 sees 9
+	// left-to-right crossings -> ceil(9/4) = 3.
+	id := 0
+	for i := 0; i < 9; i++ {
+		src := m.ID([]int{0, i % 4})
+		dst := m.ID([]int{3, (i + 1) % 4})
+		packets = append(packets, sim.NewPacket(id, src, dst))
+		id++
+	}
+	if got := Bisection(m, packets); got != 3 {
+		t.Errorf("Bisection = %d, want 3", got)
+	}
+	// Opposite-direction traffic does not share the budget.
+	for i := 0; i < 4; i++ {
+		packets = append(packets, sim.NewPacket(id, m.ID([]int{3, i}), m.ID([]int{0, i})))
+		id++
+	}
+	if got := Bisection(m, packets); got != 3 {
+		t.Errorf("Bisection with reverse traffic = %d, want 3", got)
+	}
+}
+
+func TestBisectionTorus(t *testing.T) {
+	m := mesh.MustNewTorus(2, 4)
+	var packets []*sim.Packet
+	// 17 packets from column 0 to column 2: separated at cuts 0 and 1;
+	// pair bandwidth 4*4 = 16 -> ceil(17/16) = 2.
+	for i := 0; i < 17; i++ {
+		packets = append(packets, sim.NewPacket(i, m.ID([]int{0, i % 4}), m.ID([]int{2, (i + 1) % 4})))
+	}
+	if got := Bisection(m, packets); got != 2 {
+		t.Errorf("torus Bisection = %d, want 2", got)
+	}
+}
+
+func TestInstancePicksStrongest(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	// Single faraway packet: distance dominates.
+	p := []*sim.Packet{sim.NewPacket(0, m.ID([]int{0, 0}), m.ID([]int{7, 7}))}
+	if got := Instance(m, p); got != 14 {
+		t.Errorf("Instance = %d, want 14", got)
+	}
+	// Single-target pile-up: congestion dominates.
+	rng := rand.New(rand.NewSource(1))
+	st, err := workload.SingleTarget(m, 40, m.ID([]int{4, 4}), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, dist := Instance(m, st), Distance(m, st); got <= dist {
+		t.Errorf("Instance = %d should exceed pure distance %d on single-target", got, dist)
+	}
+}
+
+// TestLowerBoundNeverExceedsMeasured: the whole point of a lower bound —
+// check against real runs across assorted instances and both networks.
+func TestLowerBoundNeverExceedsMeasured(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		var m *mesh.Mesh
+		if wrap {
+			m = mesh.MustNewTorus(2, 8)
+		} else {
+			m = mesh.MustNew(2, 8)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			instances := [][]*sim.Packet{}
+			if ps, err := workload.UniformRandom(m, 60, rng); err == nil {
+				instances = append(instances, ps)
+			}
+			instances = append(instances, workload.Permutation(m, rng))
+			if ps, err := workload.SingleTarget(m, 30, 27, rng); err == nil {
+				instances = append(instances, ps)
+			}
+			for _, packets := range instances {
+				lb := Instance(m, packets)
+				e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+					Seed: seed, Validation: sim.ValidateGreedy,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Delivered == res.Total && res.Steps < lb {
+					t.Fatalf("wrap=%v seed=%d: measured %d < lower bound %d", wrap, seed, res.Steps, lb)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// TestBurn4PotentialExhaustive3D settles the E18 question at the node
+// level, and the answer is NEGATIVE: on the 3-dimensional mesh, the
+// restricted-based Figure-6 rules with burn = 2(d-1) = 4 — which produced
+// zero violations on E18's traffic — do NOT satisfy Property 8 for the
+// whole class. The exhaustive sweep finds counterexamples, the smallest
+// being three packets sharing the good set {+x0, +x1}: a class-legal
+// assignment advances two of them and deflects the third (Definition 6
+// holds — both good arcs carry advancing packets), so the node loses only
+// 2 < l = 3, and no restricted packet is present to burn spare potential.
+//
+// The test therefore asserts three facts:
+//  1. counterexamples exist (E18's clean burn-4 column was traffic luck,
+//     not node-level validity);
+//  2. the canonical counterexample above violates;
+//  3. every violating configuration contains a non-restricted packet —
+//     the restricted-only subspace is clean, so what d >= 3 genuinely
+//     needs is spare-burning for NON-restricted classes too, which is
+//     exactly the "compensate for all the packets it may deflect"
+//     complexity the paper defers to the thesis.
+//
+// Enumeration: all multisets of up to 3 packets over the full 32-kind
+// space (restricted x type A/B, 2-good, 3-good), plus all multisets of 4
+// restricted packets (the contention-heavy l > d shape). Entry arcs and
+// histories are realized as in TestLemma19Exhaustive.
+func TestBurn4PotentialExhaustive3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 3-D sweep skipped in -short mode")
+	}
+	m := mesh.MustNew(3, 9)
+	center := m.ID([]int{4, 4, 4})
+	d := 3
+	dirCount := 2 * d
+
+	type kind struct {
+		name  string
+		good  []mesh.Dir
+		typeA bool
+	}
+	var kinds []kind
+	// Restricted kinds: 6 directions x {A, B}.
+	for dir := mesh.Dir(0); int(dir) < dirCount; dir++ {
+		kinds = append(kinds,
+			kind{fmt.Sprintf("A%v", dir), []mesh.Dir{dir}, true},
+			kind{fmt.Sprintf("B%v", dir), []mesh.Dir{dir}, false},
+		)
+	}
+	// 2-good kinds: one direction on each of two distinct axes.
+	for a0 := 0; a0 < d; a0++ {
+		for a1 := a0 + 1; a1 < d; a1++ {
+			for _, d0 := range []mesh.Dir{mesh.DirPlus(a0), mesh.DirMinus(a0)} {
+				for _, d1 := range []mesh.Dir{mesh.DirPlus(a1), mesh.DirMinus(a1)} {
+					kinds = append(kinds, kind{fmt.Sprintf("G%v%v", d0, d1), []mesh.Dir{d0, d1}, false})
+				}
+			}
+		}
+	}
+	restrictedKinds := 2 * dirCount
+	// 3-good kinds: one direction per axis.
+	for _, d0 := range []mesh.Dir{mesh.DirPlus(0), mesh.DirMinus(0)} {
+		for _, d1 := range []mesh.Dir{mesh.DirPlus(1), mesh.DirMinus(1)} {
+			for _, d2 := range []mesh.Dir{mesh.DirPlus(2), mesh.DirMinus(2)} {
+				kinds = append(kinds, kind{fmt.Sprintf("T%v%v%v", d0, d1, d2), []mesh.Dir{d0, d1, d2}, false})
+			}
+		}
+	}
+
+	dstFor := func(k kind) mesh.NodeID {
+		id := center
+		for _, g := range k.good {
+			n1, _ := m.Neighbor(id, g)
+			n2, _ := m.Neighbor(n1, g)
+			id = n2
+		}
+		return id
+	}
+	entryOptions := func(k kind) []mesh.Dir {
+		if k.typeA {
+			return []mesh.Dir{k.good[0]}
+		}
+		if len(k.good) == 1 {
+			var opts []mesh.Dir
+			for dir := mesh.Dir(0); int(dir) < dirCount; dir++ {
+				if dir != k.good[0] {
+					opts = append(opts, dir)
+				}
+			}
+			return opts
+		}
+		opts := make([]mesh.Dir, dirCount)
+		for i := range opts {
+			opts[i] = mesh.Dir(i)
+		}
+		return opts
+	}
+
+	trOpts := TrackerOptions{Burn: 4, Spare0: 4 * m.Side()}
+
+	var cfgCount, assignCount, violations, violationsWithOnlyRestricted int
+	var canonicalHit bool
+	isCanonical := func(cfg []kind) bool {
+		if len(cfg) != 3 {
+			return false
+		}
+		for _, k := range cfg {
+			if len(k.good) != 2 || k.good[0] != mesh.DirPlus(0) || k.good[1] != mesh.DirPlus(1) {
+				return false
+			}
+		}
+		return true
+	}
+	checkConfig := func(cfg []kind) {
+		entries := make([]mesh.Dir, len(cfg))
+		var usedIn [2 * mesh.MaxDim]bool
+		var match func(i int) bool
+		match = func(i int) bool {
+			if i == len(cfg) {
+				return true
+			}
+			for _, e := range entryOptions(cfg[i]) {
+				if usedIn[e] {
+					continue
+				}
+				usedIn[e] = true
+				entries[i] = e
+				if match(i + 1) {
+					return true
+				}
+				usedIn[e] = false
+			}
+			return false
+		}
+		if !match(0) {
+			return
+		}
+		cfgCount++
+
+		mkSetup := func() ([]*sim.Packet, []sim.Move) {
+			var packets []*sim.Packet
+			var moves []sim.Move
+			for i, k := range cfg {
+				src, _ := m.Neighbor(center, entries[i].Opposite())
+				p := sim.NewPacket(i, src, dstFor(k))
+				packets = append(packets, p)
+				moves = append(moves, synthMove(m, p, src, entries[i], false, false))
+			}
+			return packets, moves
+		}
+
+		// Enumerate injective out-assignments and test the class-legal
+		// ones.
+		var usedOut [2 * mesh.MaxDim]bool
+		assign := make([]mesh.Dir, len(cfg))
+		var rec func(i int)
+		rec = func(i int) {
+			if i < len(cfg) {
+				for dir := mesh.Dir(0); int(dir) < dirCount; dir++ {
+					if usedOut[dir] {
+						continue
+					}
+					usedOut[dir] = true
+					assign[i] = dir
+					rec(i + 1)
+					usedOut[dir] = false
+				}
+				return
+			}
+			advViaDir := map[mesh.Dir]int{}
+			for j, k := range cfg {
+				if isGoodOf(k.good, assign[j]) {
+					advViaDir[assign[j]] = j + 1
+				}
+			}
+			for j, k := range cfg {
+				if isGoodOf(k.good, assign[j]) {
+					continue
+				}
+				for _, g := range k.good {
+					u := advViaDir[g]
+					if u == 0 {
+						return // Definition 6 violated
+					}
+					if len(k.good) == 1 && len(cfg[u-1].good) != 1 {
+						return // Definition 18 violated
+					}
+				}
+			}
+			assignCount++
+
+			packets, step0 := mkSetup()
+			tr := NewTracker(m, packets, trOpts)
+			rec0 := sim.StepRecord{Time: 0, Moves: step0}
+			tr.OnStep(&rec0)
+			before := tr.Violations().Property8
+			var step1 []sim.Move
+			for j, p := range packets {
+				wasRestricted := len(cfg[j].good) == 1
+				step1 = append(step1, synthMove(m, p, center, assign[j], wasRestricted, cfg[j].typeA))
+			}
+			rec1 := sim.StepRecord{Time: 1, Moves: step1}
+			tr.OnStep(&rec1)
+			if v := tr.Violations(); v.Property8 > before {
+				violations++
+				if isCanonical(cfg) {
+					canonicalHit = true
+				}
+				onlyRestricted := true
+				for _, k := range cfg {
+					if len(k.good) != 1 {
+						onlyRestricted = false
+					}
+				}
+				if onlyRestricted {
+					violationsWithOnlyRestricted++
+				}
+			}
+		}
+		rec(0)
+	}
+
+	var buf [4]kind
+	var enumerate func(start, depth, size, limit int)
+	enumerate = func(start, depth, size, limit int) {
+		if depth == size {
+			checkConfig(buf[:size])
+			return
+		}
+		for ki := start; ki < limit; ki++ {
+			buf[depth] = kinds[ki]
+			enumerate(ki, depth+1, size, limit)
+		}
+	}
+	// All kinds for multisets of size 1..3.
+	for size := 1; size <= 3; size++ {
+		enumerate(0, 0, size, len(kinds))
+	}
+	// Restricted-only multisets of size 4 (l > d: the 2d - l regime with
+	// maximal contention).
+	enumerate(0, 0, 4, restrictedKinds)
+
+	if cfgCount < 5000 {
+		t.Fatalf("exhaustiveness check: only %d configs enumerated", cfgCount)
+	}
+	if violations == 0 {
+		t.Fatal("expected counterexamples to the burn-4 conjecture; found none")
+	}
+	if !canonicalHit {
+		t.Error("the canonical 3x{+x0,+x1} counterexample did not violate")
+	}
+	if violationsWithOnlyRestricted > 0 {
+		t.Errorf("%d violations in the restricted-only subspace (expected clean)", violationsWithOnlyRestricted)
+	}
+	t.Logf("3-D sweep: %d configs, %d legal assignments, %d Property-8 violations (all involving non-restricted packets)",
+		cfgCount, assignCount, violations)
+}

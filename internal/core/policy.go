@@ -1,0 +1,94 @@
+// Package core implements the paper's primary contribution: the class of
+// greedy hot-potato routing algorithms that prefer restricted packets
+// (Section 4), its d-dimensional generalization (Section 5), and the
+// potential-function machinery of Sections 3-4 — the exact per-packet
+// potential of Figure 6 and per-step checkers for Property 8,
+// Corollary 10, Lemma 12, Lemma 14 and Lemma 15.
+package core
+
+import (
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+)
+
+// restrictedRank orders packets for the Section-4 class: restricted packets
+// before non-restricted ones (Definition 18), and, within restricted,
+// type A before type B by default, so that a type-A packet is never
+// deflected and its spare-potential countdown is never interrupted.
+func restrictedRank(ns *sim.NodeState, i int, typeAFirst bool) int {
+	pi := ns.Info(i)
+	switch {
+	case pi.Restricted && pi.TypeA == typeAFirst:
+		return 0
+	case pi.Restricted:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// NewRestrictedPriority returns the paper's Section-4 policy for the
+// two-dimensional mesh (it is well defined and greedy in any dimension): a
+// greedy policy that prefers restricted packets, with type-A restricted
+// packets served first, random tie-breaking and random deflections.
+// Theorem 20 bounds its routing time on the n x n mesh by 8*sqrt(2)*n*sqrt(k).
+func NewRestrictedPriority() sim.Policy {
+	return routing.NewCustom("restricted-priority",
+		func(ns *sim.NodeState, i, j int) bool {
+			return restrictedRank(ns, i, true) < restrictedRank(ns, j, true)
+		},
+		true, routing.DeflectRandom)
+}
+
+// NewRestrictedPriorityDeterministic returns a fully deterministic member
+// of the Section-4 class: ties are broken by packet ID and deflections are
+// first-fit. Theorem 20 applies to the entire class, so even this
+// determinized variant must terminate within the bound — no livelock is
+// possible, which makes it a sharp end-to-end test of both the theorem and
+// this implementation.
+func NewRestrictedPriorityDeterministic() sim.Policy {
+	return routing.NewCustom("restricted-priority-det",
+		func(ns *sim.NodeState, i, j int) bool {
+			ri, rj := restrictedRank(ns, i, true), restrictedRank(ns, j, true)
+			if ri != rj {
+				return ri < rj
+			}
+			return ns.Packets[i].ID < ns.Packets[j].ID
+		},
+		false, routing.DeflectFirstFit)
+}
+
+// NewRestrictedPriorityTypeBFirst returns the Section-4 class member that
+// serves type-B restricted packets before type-A ones. It still prefers
+// restricted packets (Definition 18 holds), but unlike the default variant
+// it routinely deflects type-A packets, exercising the spare-potential
+// switch rule (case 3(b) of the potential definition, Figure 6).
+func NewRestrictedPriorityTypeBFirst() sim.Policy {
+	return routing.NewCustom("restricted-priority-bfirst",
+		func(ns *sim.NodeState, i, j int) bool {
+			return restrictedRank(ns, i, false) < restrictedRank(ns, j, false)
+		},
+		true, routing.DeflectRandom)
+}
+
+// NewFewestGoodFirst returns the Section-5 d-dimensional policy class
+// member: packets with fewer good directions get priority (generalizing
+// restricted-first), packets that advanced in the previous step ("type A"
+// of their class) are preferred within a class, and the number of advancing
+// packets is maximized at every node (the extra requirement Section 5 adds
+// to make the d-dimensional analysis go through; the priority-ordered
+// augmenting matching in package routing guarantees it).
+func NewFewestGoodFirst() sim.Policy {
+	return routing.NewCustom("fewest-good-first",
+		func(ns *sim.NodeState, i, j int) bool {
+			gi, gj := ns.Info(i).GoodCount, ns.Info(j).GoodCount
+			if gi != gj {
+				return gi < gj
+			}
+			// Within a class, prefer packets that advanced in the previous
+			// step (the d-dimensional "type A").
+			ai, aj := ns.Packets[i].AdvancedPrev, ns.Packets[j].AdvancedPrev
+			return ai && !aj
+		},
+		true, routing.DeflectRandom)
+}

@@ -1,0 +1,33 @@
+package geometry_test
+
+import (
+	"fmt"
+
+	"hotpotato/internal/geometry"
+)
+
+// A 3x3 square is the equality case of Claim 13: its perimeter 12 equals
+// 2d * |V|^{(d-1)/d} = 4 * 3.
+func ExampleVolume_CheckClaim13() {
+	v, err := geometry.Box(3, 3)
+	if err != nil {
+		panic(err)
+	}
+	surface, bound, ok := v.CheckClaim13()
+	fmt.Printf("surface=%d bound=%.0f holds=%v\n", surface, bound, ok)
+	// Output:
+	// surface=12 bound=12 holds=true
+}
+
+func ExampleVolume_ShearerEntropy() {
+	// For a box the coordinates are independent, so Shearer's inequality
+	// is tight: (d-1)H(X) = sum of the projected entropies.
+	v, err := geometry.Box(2, 4)
+	if err != nil {
+		panic(err)
+	}
+	lhs, rhs := v.ShearerEntropy()
+	fmt.Printf("lhs=%.0f rhs=%.0f\n", lhs, rhs)
+	// Output:
+	// lhs=3 rhs=3
+}

@@ -1,0 +1,343 @@
+// Package geometry implements the lattice-volume machinery behind the
+// paper's isoperimetric inequality (Claim 13): volumes composed of
+// d-dimensional unit cubes, their surface area, their (d-1)-dimensional
+// projections, and the Shearer entropy inequality [CGFS] the claim's proof
+// rests on. The checkers here let the experiments validate the chain
+//
+//	surface(V) >= 2 * sum |pi_I(V)|              (inequality (1))
+//	|V|^{d-1}  <= prod |pi_I(V)|                 (inequality (5), via Shearer)
+//	surface(V) >= 2d * |V|^{(d-1)/d}             (Claim 13)
+//
+// on arbitrary and random volumes.
+package geometry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MaxDim is the largest supported dimension.
+const MaxDim = 8
+
+// Cell is a lattice point (the corner of a unit cube); coordinates beyond
+// the volume's dimension must be zero.
+type Cell [MaxDim]int16
+
+// CellOf builds a Cell from coordinates.
+func CellOf(coords ...int) Cell {
+	var c Cell
+	for i, x := range coords {
+		c[i] = int16(x)
+	}
+	return c
+}
+
+// Volume is a finite set of d-dimensional unit cubes, identified by their
+// lattice positions.
+type Volume struct {
+	dim   int
+	cells map[Cell]struct{}
+}
+
+// NewVolume returns an empty volume of the given dimension.
+func NewVolume(dim int) (*Volume, error) {
+	if dim < 1 || dim > MaxDim {
+		return nil, fmt.Errorf("geometry: dimension %d out of range [1, %d]", dim, MaxDim)
+	}
+	return &Volume{dim: dim, cells: make(map[Cell]struct{})}, nil
+}
+
+// MustNewVolume is NewVolume for static dimensions; it panics on error.
+func MustNewVolume(dim int) *Volume {
+	v, err := NewVolume(dim)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Dim returns the dimension.
+func (v *Volume) Dim() int { return v.dim }
+
+// Size returns |V|, the number of unit cubes.
+func (v *Volume) Size() int { return len(v.cells) }
+
+// Add inserts a cell (idempotent).
+func (v *Volume) Add(c Cell) { v.cells[c] = struct{}{} }
+
+// AddCoords inserts the cell at the given coordinates.
+func (v *Volume) AddCoords(coords ...int) { v.Add(CellOf(coords...)) }
+
+// Has reports whether the cell is in the volume.
+func (v *Volume) Has(c Cell) bool {
+	_, ok := v.cells[c]
+	return ok
+}
+
+// Cells returns all cells (iteration order unspecified).
+func (v *Volume) Cells() []Cell {
+	out := make([]Cell, 0, len(v.cells))
+	for c := range v.cells {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Surface returns the surface area: the number of (d-1)-dimensional faces
+// between a cube of the volume and the outside.
+func (v *Volume) Surface() int {
+	s := 0
+	for c := range v.cells {
+		for a := 0; a < v.dim; a++ {
+			for _, delta := range [2]int16{1, -1} {
+				nb := c
+				nb[a] += delta
+				if !v.Has(nb) {
+					s++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// ProjectionSize returns |pi_I(V)| for I = all axes except `drop`: the
+// number of distinct images of the cells when the `drop` coordinate is
+// erased.
+func (v *Volume) ProjectionSize(drop int) int {
+	seen := make(map[Cell]struct{}, len(v.cells))
+	for c := range v.cells {
+		c[drop] = 0
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ProjectionSizes returns |pi_I(V)| for every (d-1)-subset I, indexed by
+// the dropped axis.
+func (v *Volume) ProjectionSizes() []int {
+	out := make([]int, v.dim)
+	for a := 0; a < v.dim; a++ {
+		out[a] = v.ProjectionSize(a)
+	}
+	return out
+}
+
+// IsoperimetricBound returns the Claim-13 lower bound 2d * size^{(d-1)/d}.
+func IsoperimetricBound(dim, size int) float64 {
+	if size == 0 {
+		return 0
+	}
+	d := float64(dim)
+	return 2 * d * math.Pow(float64(size), (d-1)/d)
+}
+
+// CheckClaim13 reports whether surface(V) >= 2d |V|^{(d-1)/d} (always true;
+// exposed as a checkable predicate for the experiments), along with the two
+// sides of the inequality.
+func (v *Volume) CheckClaim13() (surface int, bound float64, ok bool) {
+	surface = v.Surface()
+	bound = IsoperimetricBound(v.dim, v.Size())
+	return surface, bound, float64(surface)+1e-9 >= bound
+}
+
+// CheckProjectionSurface reports whether inequality (1) of the paper holds:
+// surface(V) >= 2 * sum over (d-1)-subsets I of |pi_I(V)|.
+func (v *Volume) CheckProjectionSurface() (surface, projSum int, ok bool) {
+	surface = v.Surface()
+	for a := 0; a < v.dim; a++ {
+		projSum += v.ProjectionSize(a)
+	}
+	return surface, projSum, surface >= 2*projSum
+}
+
+// CheckLoomisWhitney reports whether inequality (5) holds:
+// |V|^{d-1} <= prod over (d-1)-subsets I of |pi_I(V)| (the Loomis-Whitney
+// inequality, derived in the paper from Shearer's entropy lemma).
+func (v *Volume) CheckLoomisWhitney() (lhs, rhs float64, ok bool) {
+	d := float64(v.dim)
+	lhs = math.Pow(float64(v.Size()), d-1)
+	rhs = 1
+	for a := 0; a < v.dim; a++ {
+		rhs *= float64(v.ProjectionSize(a))
+	}
+	return lhs, rhs, lhs <= rhs*(1+1e-9)
+}
+
+// ShearerEntropy returns both sides of the entropy inequality (4) used in
+// the proof of Claim 13, for the uniform distribution over the volume:
+// (d-1) * H(X) and sum over (d-1)-subsets I of H(X_I), in bits. The
+// inequality lhs <= rhs always holds [CGFS].
+func (v *Volume) ShearerEntropy() (lhs, rhs float64) {
+	if v.Size() == 0 {
+		return 0, 0
+	}
+	n := float64(v.Size())
+	lhs = float64(v.dim-1) * math.Log2(n)
+	for a := 0; a < v.dim; a++ {
+		counts := make(map[Cell]int)
+		for c := range v.cells {
+			c[a] = 0
+			counts[c]++
+		}
+		h := 0.0
+		for _, cnt := range counts {
+			p := float64(cnt) / n
+			h -= p * math.Log2(p)
+		}
+		rhs += h
+	}
+	return lhs, rhs
+}
+
+// Box returns the axis-aligned box volume with the given side lengths.
+func Box(sides ...int) (*Volume, error) {
+	v, err := NewVolume(len(sides))
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sides {
+		if s < 1 {
+			return nil, fmt.Errorf("geometry: box side %d must be positive", s)
+		}
+	}
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		if len(prefix) == len(sides) {
+			v.AddCoords(prefix...)
+			return
+		}
+		for x := 0; x < sides[len(prefix)]; x++ {
+			rec(append(prefix, x))
+		}
+	}
+	rec(make([]int, 0, len(sides)))
+	return v, nil
+}
+
+// RandomBlob grows a connected random volume of the given size by repeated
+// boundary accretion, producing irregular shapes for property tests.
+func RandomBlob(dim, size int, rng *rand.Rand) (*Volume, error) {
+	v, err := NewVolume(dim)
+	if err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return v, nil
+	}
+	var origin Cell
+	v.Add(origin)
+	frontier := []Cell{origin}
+	for v.Size() < size && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		c := frontier[i]
+		a := rng.Intn(dim)
+		delta := int16(1)
+		if rng.Intn(2) == 0 {
+			delta = -1
+		}
+		nb := c
+		nb[a] += delta
+		if !v.Has(nb) {
+			v.Add(nb)
+			frontier = append(frontier, nb)
+		} else if rng.Intn(4) == 0 {
+			// Occasionally retire a frontier cell to keep the list short.
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+	}
+	return v, nil
+}
+
+// CompactVolume returns a near-cubic connected volume of exactly `size`
+// cells: a full cube plus one partially filled layer, the greedy
+// low-surface shape. It approaches the Claim-13 equality case and is used
+// to probe how tight the bound is between perfect cubes.
+func CompactVolume(dim, size int) (*Volume, error) {
+	v, err := NewVolume(dim)
+	if err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return v, nil
+	}
+	side := 1
+	for pow(side+1, dim) <= size {
+		side++
+	}
+	// Enumerate the (side+1)^dim box in shell order (by max coordinate):
+	// the inner side^dim cube comes first, then its surface accretes.
+	type cell struct {
+		coords []int
+		shell  int
+	}
+	var cells []cell
+	coords := make([]int, dim)
+	var collect func(a int)
+	collect = func(a int) {
+		if a < 0 {
+			c := append([]int(nil), coords...)
+			maxc := 0
+			for _, x := range c {
+				if x > maxc {
+					maxc = x
+				}
+			}
+			cells = append(cells, cell{coords: c, shell: maxc})
+			return
+		}
+		for x := 0; x <= side; x++ {
+			coords[a] = x
+			collect(a - 1)
+		}
+	}
+	collect(dim - 1)
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].shell < cells[j].shell })
+	for i := 0; i < size && i < len(cells); i++ {
+		v.AddCoords(cells[i].coords...)
+	}
+	return v, nil
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// RandomBoxes returns the union of nboxes random axis-aligned boxes with
+// sides in [1, maxSide] placed in [0, 4*maxSide)^dim, producing volumes
+// with holes, concavities and disconnected components.
+func RandomBoxes(dim, nboxes, maxSide int, rng *rand.Rand) (*Volume, error) {
+	v, err := NewVolume(dim)
+	if err != nil {
+		return nil, err
+	}
+	span := 4 * maxSide
+	coords := make([]int, dim)
+	for b := 0; b < nboxes; b++ {
+		var lo, hi [MaxDim]int
+		for a := 0; a < dim; a++ {
+			lo[a] = rng.Intn(span)
+			hi[a] = lo[a] + 1 + rng.Intn(maxSide)
+		}
+		var rec func(a int)
+		rec = func(a int) {
+			if a == dim {
+				v.AddCoords(coords[:dim]...)
+				return
+			}
+			for x := lo[a]; x < hi[a]; x++ {
+				coords[a] = x
+				rec(a + 1)
+			}
+		}
+		rec(0)
+	}
+	return v, nil
+}

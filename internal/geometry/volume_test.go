@@ -1,0 +1,303 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVolumeValidation(t *testing.T) {
+	for _, d := range []int{0, -1, MaxDim + 1} {
+		if _, err := NewVolume(d); err == nil {
+			t.Errorf("NewVolume(%d) accepted", d)
+		}
+	}
+	v, err := NewVolume(3)
+	if err != nil || v.Dim() != 3 || v.Size() != 0 {
+		t.Fatalf("NewVolume(3) = %v, %v", v, err)
+	}
+}
+
+func TestMustNewVolumePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewVolume(0) did not panic")
+		}
+	}()
+	MustNewVolume(0)
+}
+
+func TestAddHasIdempotent(t *testing.T) {
+	v := MustNewVolume(2)
+	c := CellOf(3, 4)
+	if v.Has(c) {
+		t.Fatal("empty volume contains a cell")
+	}
+	v.Add(c)
+	v.Add(c)
+	v.AddCoords(3, 4)
+	if v.Size() != 1 || !v.Has(c) {
+		t.Fatalf("Size = %d after triple insert", v.Size())
+	}
+	if got := v.Cells(); len(got) != 1 || got[0] != c {
+		t.Fatalf("Cells() = %v", got)
+	}
+}
+
+func TestSingleCube(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		v := MustNewVolume(d)
+		v.Add(Cell{})
+		if got, want := v.Surface(), 2*d; got != want {
+			t.Errorf("d=%d: Surface = %d, want %d", d, got, want)
+		}
+		surface, bound, ok := v.CheckClaim13()
+		if !ok || surface != 2*d || math.Abs(bound-float64(2*d)) > 1e-9 {
+			t.Errorf("d=%d: claim13 check (%d, %v, %v)", d, surface, bound, ok)
+		}
+	}
+}
+
+// TestBoxSurfaces: boxes have the classical surface formula and cubes are
+// the equality case of Claim 13.
+func TestBoxSurfaces(t *testing.T) {
+	tests := []struct {
+		sides []int
+		want  int
+	}{
+		{[]int{5}, 2},
+		{[]int{3, 4}, 14},    // perimeter 2*(3+4)
+		{[]int{2, 3, 4}, 52}, // 2*(2*3+3*4+2*4)
+		{[]int{4, 4}, 16},    // square: equality case
+		{[]int{3, 3, 3}, 54}, // cube: equality case
+	}
+	for _, tt := range tests {
+		v, err := Box(tt.sides...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Surface(); got != tt.want {
+			t.Errorf("Box(%v).Surface = %d, want %d", tt.sides, got, tt.want)
+		}
+		if _, _, ok := v.CheckClaim13(); !ok {
+			t.Errorf("Box(%v) violates Claim 13", tt.sides)
+		}
+	}
+	// Equality cases: cube of side s in d dims has surface exactly
+	// 2d * s^{d-1} = 2d * |V|^{(d-1)/d}.
+	for _, cfg := range []struct{ d, s int }{{2, 4}, {3, 3}, {4, 2}} {
+		sides := make([]int, cfg.d)
+		for i := range sides {
+			sides[i] = cfg.s
+		}
+		v, err := Box(sides...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		surface, bound, ok := v.CheckClaim13()
+		if !ok || math.Abs(float64(surface)-bound) > 1e-6 {
+			t.Errorf("cube d=%d s=%d: surface %d vs bound %v (should be tight)", cfg.d, cfg.s, surface, bound)
+		}
+	}
+	if _, err := Box(0, 3); err == nil {
+		t.Error("Box with zero side accepted")
+	}
+}
+
+func TestProjections(t *testing.T) {
+	// L-shaped 2-D volume: (0,0),(1,0),(0,1).
+	v := MustNewVolume(2)
+	v.AddCoords(0, 0)
+	v.AddCoords(1, 0)
+	v.AddCoords(0, 1)
+	ps := v.ProjectionSizes()
+	if ps[0] != 2 || ps[1] != 2 {
+		t.Errorf("ProjectionSizes = %v, want [2 2]", ps)
+	}
+	if got := v.Surface(); got != 8 {
+		t.Errorf("L surface = %d, want 8", got)
+	}
+	surface, projSum, ok := v.CheckProjectionSurface()
+	if !ok || surface != 8 || projSum != 4 {
+		t.Errorf("projection-surface check = (%d, %d, %v)", surface, projSum, ok)
+	}
+	lhs, rhs, ok := v.CheckLoomisWhitney()
+	if !ok || lhs != 3 || rhs != 4 {
+		t.Errorf("Loomis-Whitney = (%v, %v, %v)", lhs, rhs, ok)
+	}
+}
+
+func TestShearerEntropyUniformBox(t *testing.T) {
+	// For a box, X's coordinates are independent, so Shearer holds with
+	// equality: (d-1) H(X) = sum_I H(X_I).
+	v, err := Box(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, rhs := v.ShearerEntropy()
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("box Shearer not tight: lhs=%v rhs=%v", lhs, rhs)
+	}
+	if math.Abs(lhs-math.Log2(32)) > 1e-9 {
+		t.Errorf("lhs = %v, want log2(32)", lhs)
+	}
+}
+
+func TestEmptyVolume(t *testing.T) {
+	v := MustNewVolume(3)
+	if v.Surface() != 0 {
+		t.Error("empty volume has surface")
+	}
+	if IsoperimetricBound(3, 0) != 0 {
+		t.Error("bound for empty volume not 0")
+	}
+	lhs, rhs := v.ShearerEntropy()
+	if lhs != 0 || rhs != 0 {
+		t.Errorf("empty Shearer = (%v, %v)", lhs, rhs)
+	}
+}
+
+// TestClaim13RandomBlobs: Claim 13, inequality (1), Loomis-Whitney and
+// Shearer hold on random connected volumes in dimensions 1-5.
+func TestClaim13RandomBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for d := 1; d <= 5; d++ {
+		for trial := 0; trial < 20; trial++ {
+			size := 1 + rng.Intn(200)
+			v, err := RandomBlob(d, size, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Size() == 0 {
+				t.Fatalf("d=%d: empty blob", d)
+			}
+			if _, _, ok := v.CheckClaim13(); !ok {
+				t.Errorf("d=%d size=%d: Claim 13 violated", d, v.Size())
+			}
+			if _, _, ok := v.CheckProjectionSurface(); !ok {
+				t.Errorf("d=%d size=%d: inequality (1) violated", d, v.Size())
+			}
+			if _, _, ok := v.CheckLoomisWhitney(); !ok {
+				t.Errorf("d=%d size=%d: Loomis-Whitney violated", d, v.Size())
+			}
+			lhs, rhs := v.ShearerEntropy()
+			if lhs > rhs+1e-9 {
+				t.Errorf("d=%d size=%d: Shearer violated (%v > %v)", d, v.Size(), lhs, rhs)
+			}
+		}
+	}
+}
+
+// TestClaim13RandomBoxes: the same inequalities on disconnected, holey
+// unions of boxes.
+func TestClaim13RandomBoxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for d := 1; d <= 4; d++ {
+		for trial := 0; trial < 15; trial++ {
+			v, err := RandomBoxes(d, 1+rng.Intn(5), 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok := v.CheckClaim13(); !ok {
+				t.Errorf("d=%d size=%d: Claim 13 violated", d, v.Size())
+			}
+			lhs, rhs := v.ShearerEntropy()
+			if lhs > rhs+1e-9 {
+				t.Errorf("d=%d: Shearer violated (%v > %v)", d, lhs, rhs)
+			}
+		}
+	}
+}
+
+// TestQuickClaim13 drives random 3-D volumes through testing/quick.
+func TestQuickClaim13(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v, err := RandomBlob(3, int(sz%100)+1, rng)
+		if err != nil {
+			return false
+		}
+		_, _, ok := v.CheckClaim13()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSurfaceSubadditivity: merging volumes never increases total surface.
+func TestSurfaceSubadditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		a, err := RandomBlob(3, 40, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomBoxes(3, 2, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := MustNewVolume(3)
+		for _, c := range a.Cells() {
+			merged.Add(c)
+		}
+		for _, c := range b.Cells() {
+			merged.Add(c)
+		}
+		if merged.Surface() > a.Surface()+b.Surface() {
+			t.Errorf("surface superadditive: %d > %d + %d", merged.Surface(), a.Surface(), b.Surface())
+		}
+	}
+}
+
+func BenchmarkSurface(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	v, err := RandomBlob(3, 2000, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Surface()
+	}
+}
+
+// TestCompactVolume: the greedy compact shape has size exactly as asked,
+// satisfies Claim 13, and stays within a constant factor of the bound
+// (surface/bound <= 2 for all tested sizes) — quantifying the bound's
+// slack between perfect cubes.
+func TestCompactVolume(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		for size := 1; size <= 200; size += 7 {
+			v, err := CompactVolume(d, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Size() != size {
+				t.Fatalf("d=%d: size %d, want %d", d, v.Size(), size)
+			}
+			surface, bound, ok := v.CheckClaim13()
+			if !ok {
+				t.Fatalf("d=%d size=%d: Claim 13 violated", d, size)
+			}
+			if bound > 0 && float64(surface) > 2*bound {
+				t.Errorf("d=%d size=%d: compact surface %d more than 2x bound %.1f", d, size, surface, bound)
+			}
+		}
+	}
+	if v, err := CompactVolume(3, 0); err != nil || v.Size() != 0 {
+		t.Errorf("empty compact volume: %v, %v", v, err)
+	}
+	if _, err := CompactVolume(0, 5); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	// Perfect cubes are exact.
+	v, err := CompactVolume(3, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Surface(); got != 54 {
+		t.Errorf("27-cell compact surface = %d, want 54 (the cube)", got)
+	}
+}

@@ -1,0 +1,50 @@
+package mesh
+
+import "fmt"
+
+// Dir identifies one of the 2d arc directions of a d-dimensional mesh
+// (Definition 3 in the paper). Direction 2a is "+" in coordinate a
+// (increasing the a-th coordinate) and direction 2a+1 is "-" in
+// coordinate a. Directions partition the arcs of the mesh: every arc
+// belongs to exactly one direction.
+type Dir int8
+
+// NoDir is the sentinel for "no direction", used e.g. for the entry arc of a
+// freshly injected packet.
+const NoDir Dir = -1
+
+// Delta is the coordinate change along the direction's axis: +1 for a "+"
+// direction, -1 for a "-" direction.
+func (d Dir) Delta() int {
+	if d&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Axis is the coordinate index (0-based) that the direction changes.
+func (d Dir) Axis() int { return int(d) >> 1 }
+
+// Positive reports whether the direction increases its coordinate.
+func (d Dir) Positive() bool { return d&1 == 0 }
+
+// Opposite is the antiparallel direction along the same axis.
+func (d Dir) Opposite() Dir { return d ^ 1 }
+
+// String renders the direction as e.g. "+x0" or "-x2".
+func (d Dir) String() string {
+	if d == NoDir {
+		return "none"
+	}
+	sign := "+"
+	if !d.Positive() {
+		sign = "-"
+	}
+	return fmt.Sprintf("%sx%d", sign, d.Axis())
+}
+
+// DirPlus returns the "+" direction of the given axis.
+func DirPlus(axis int) Dir { return Dir(2 * axis) }
+
+// DirMinus returns the "-" direction of the given axis.
+func DirMinus(axis int) Dir { return Dir(2*axis + 1) }

@@ -1,0 +1,39 @@
+package mesh_test
+
+import (
+	"fmt"
+
+	"hotpotato/internal/mesh"
+)
+
+// The paper's example below Definition 5: a packet in the five-dimensional
+// mesh at (1,3,2,6,1) destined to (4,3,8,2,1) has good directions "+" in
+// the first coordinate, "+" in the third and "-" in the fourth.
+func ExampleMesh_GoodDirs() {
+	m := mesh.MustNew(5, 9)
+	from := m.ID([]int{1, 3, 2, 6, 1})
+	dst := m.ID([]int{4, 3, 8, 2, 1})
+	fmt.Println(m.GoodDirs(from, dst, nil))
+	fmt.Println(m.Dist(from, dst))
+	// Output:
+	// [+x0 +x2 -x3]
+	// 13
+}
+
+func ExampleMesh_TwoNeighbor() {
+	m := mesh.MustNew(2, 5)
+	a := m.ID([]int{2, 1})
+	nb, ok := m.TwoNeighbor(a, mesh.DirMinus(0))
+	fmt.Println(m.Coord(nb, nil), ok)
+	// Output:
+	// [0 1] true
+}
+
+func ExampleNewTorus() {
+	m := mesh.MustNewTorus(2, 6)
+	fmt.Println(m)
+	fmt.Println(m.Dist(m.ID([]int{0, 0}), m.ID([]int{5, 0})))
+	// Output:
+	// torus(d=2, n=6)
+	// 1
+}

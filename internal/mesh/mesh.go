@@ -1,0 +1,409 @@
+// Package mesh implements the d-dimensional mesh-connected network of the
+// paper (Definition 1): n^d nodes identified with the d-dimensional vectors
+// over {0, ..., n-1}, with a bidirectional link between nodes at L1 distance
+// one. It provides the topological primitives the rest of the system is
+// built on: coordinate/id conversion, directions, neighbors, the L1 distance
+// metric, good directions for a packet (Definition 5), 2-neighbors
+// (Definition 4) and the parity equivalence classes induced by the
+// transitive closure of the 2-neighbor relation.
+//
+// Coordinates in the paper run over {1, ..., n}; we use {0, ..., n-1}
+// throughout, which changes nothing topologically.
+package mesh
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID is the linear index of a node: for coordinates (c_0, ..., c_{d-1}),
+// the id is sum_a c_a * n^a.
+type NodeID int32
+
+// MaxDim is the largest supported mesh dimension. Five dimensions at any
+// useful side length already exceed laptop-scale simulation sizes, and a
+// fixed small bound lets hot paths use stack arrays.
+const MaxDim = 8
+
+// Mesh is an immutable description of a d-dimensional n^d mesh. The zero
+// value is not usable; construct with New.
+type Mesh struct {
+	dim     int
+	side    int
+	size    int
+	wrap    bool
+	strides [MaxDim]int
+}
+
+// New returns the d-dimensional mesh with side length n.
+func New(dim, side int) (*Mesh, error) {
+	return build(dim, side, false)
+}
+
+// NewTorus returns the d-dimensional torus with side length n: the mesh
+// plus wraparound arcs on every axis. The torus is the network of several
+// related results the paper discusses ([FR], [BRST], [KKR]); the package's
+// distance, good-direction, 2-neighbor and degree primitives all account
+// for the wraparound. The side must be at least 3 (side 2 would create
+// parallel double arcs between the same node pair).
+func NewTorus(dim, side int) (*Mesh, error) {
+	if side < 3 {
+		return nil, fmt.Errorf("mesh: torus side %d out of range (need >= 3)", side)
+	}
+	return build(dim, side, true)
+}
+
+func build(dim, side int, wrap bool) (*Mesh, error) {
+	if dim < 1 || dim > MaxDim {
+		return nil, fmt.Errorf("mesh: dimension %d out of range [1, %d]", dim, MaxDim)
+	}
+	if side < 2 {
+		return nil, fmt.Errorf("mesh: side %d out of range (need >= 2)", side)
+	}
+	size := 1
+	m := &Mesh{dim: dim, side: side, wrap: wrap}
+	for a := 0; a < dim; a++ {
+		m.strides[a] = size
+		if size > (1<<31-1)/side {
+			return nil, fmt.Errorf("mesh: %d^%d nodes overflow node id space", side, dim)
+		}
+		size *= side
+	}
+	m.size = size
+	return m, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics on
+// error and is intended for tests and examples.
+func MustNew(dim, side int) *Mesh {
+	m, err := New(dim, side)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MustNewTorus is NewTorus for static configurations known to be valid.
+func MustNewTorus(dim, side int) *Mesh {
+	m, err := NewTorus(dim, side)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Wrap reports whether the network is a torus.
+func (m *Mesh) Wrap() bool { return m.wrap }
+
+// Dim returns the dimension d of the mesh.
+func (m *Mesh) Dim() int { return m.dim }
+
+// Side returns the side length n of the mesh.
+func (m *Mesh) Side() int { return m.side }
+
+// Size returns the number of nodes, n^d.
+func (m *Mesh) Size() int { return m.size }
+
+// DirCount returns the number of directions, 2d.
+func (m *Mesh) DirCount() int { return 2 * m.dim }
+
+// Diameter returns the diameter of the network: d*(n-1) for the mesh,
+// d*floor(n/2) for the torus.
+func (m *Mesh) Diameter() int {
+	if m.wrap {
+		return m.dim * (m.side / 2)
+	}
+	return m.dim * (m.side - 1)
+}
+
+// ArcCount returns the total number of directed arcs:
+// 2*d*n^{d-1}*(n-1) for the mesh, 2*d*n^d for the torus.
+func (m *Mesh) ArcCount() int {
+	if m.wrap {
+		return 2 * m.dim * m.size
+	}
+	return 2 * m.dim * (m.size / m.side) * (m.side - 1)
+}
+
+// Contains reports whether id is a valid node of the mesh.
+func (m *Mesh) Contains(id NodeID) bool {
+	return id >= 0 && int(id) < m.size
+}
+
+// Coord writes the coordinates of id into buf (which must have length >=
+// dim) and returns buf[:dim]. A nil buf allocates.
+func (m *Mesh) Coord(id NodeID, buf []int) []int {
+	if buf == nil {
+		buf = make([]int, m.dim)
+	}
+	v := int(id)
+	for a := 0; a < m.dim; a++ {
+		buf[a] = v % m.side
+		v /= m.side
+	}
+	return buf[:m.dim]
+}
+
+// CoordAxis returns the single coordinate of id along the given axis.
+func (m *Mesh) CoordAxis(id NodeID, axis int) int {
+	return (int(id) / m.strides[axis]) % m.side
+}
+
+// ID returns the NodeID of the node with the given coordinates. It panics if
+// the coordinate count or any coordinate is out of range.
+func (m *Mesh) ID(coord []int) NodeID {
+	if len(coord) != m.dim {
+		panic(fmt.Sprintf("mesh: ID called with %d coordinates on a %d-dimensional mesh", len(coord), m.dim))
+	}
+	v := 0
+	for a, c := range coord {
+		if c < 0 || c >= m.side {
+			panic(fmt.Sprintf("mesh: coordinate %d out of range [0, %d)", c, m.side))
+		}
+		v += c * m.strides[a]
+	}
+	return NodeID(v)
+}
+
+// HasArc reports whether the arc leaving `from` in direction dir exists,
+// i.e. does not lead off the mesh. On a torus every arc exists.
+func (m *Mesh) HasArc(from NodeID, dir Dir) bool {
+	if m.wrap {
+		return true
+	}
+	c := m.CoordAxis(from, dir.Axis())
+	if dir.Positive() {
+		return c < m.side-1
+	}
+	return c > 0
+}
+
+// step returns the node reached from `from` by k unit moves in direction
+// dir, assuming the moves stay on the network (wrapping on a torus).
+func (m *Mesh) step(from NodeID, dir Dir, k int) NodeID {
+	axis := dir.Axis()
+	c := m.CoordAxis(from, axis) + k*dir.Delta()
+	if m.wrap {
+		c = ((c % m.side) + m.side) % m.side
+	}
+	return from + NodeID((c-m.CoordAxis(from, axis))*m.strides[axis])
+}
+
+// Neighbor returns the node reached from `from` along direction dir. The
+// second result is false if the arc would leave the mesh (never on a
+// torus).
+func (m *Mesh) Neighbor(from NodeID, dir Dir) (NodeID, bool) {
+	if !m.HasArc(from, dir) {
+		return from, false
+	}
+	return m.step(from, dir, 1), true
+}
+
+// TwoNeighbor returns the 2-neighbor of `from` in direction dir
+// (Definition 4): the node reached by a path of two arcs both in direction
+// dir. The second result is false if no such node exists.
+func (m *Mesh) TwoNeighbor(from NodeID, dir Dir) (NodeID, bool) {
+	if m.wrap {
+		return m.step(from, dir, 2), true
+	}
+	c := m.CoordAxis(from, dir.Axis())
+	if dir.Positive() {
+		if c >= m.side-2 {
+			return from, false
+		}
+	} else if c < 2 {
+		return from, false
+	}
+	return from + NodeID(2*dir.Delta()*m.strides[dir.Axis()]), true
+}
+
+// Degree returns the out-degree (= in-degree) of the node: 2d on a torus;
+// on a mesh, 2d minus the number of axes on which the node sits on an edge.
+func (m *Mesh) Degree(id NodeID) int {
+	if m.wrap {
+		return 2 * m.dim
+	}
+	deg := 0
+	v := int(id)
+	for a := 0; a < m.dim; a++ {
+		c := v % m.side
+		v /= m.side
+		if c > 0 {
+			deg++
+		}
+		if c < m.side-1 {
+			deg++
+		}
+	}
+	return deg
+}
+
+// Dist returns the distance between two nodes: the L1 distance on the
+// mesh, and the per-axis wraparound minimum on the torus.
+func (m *Mesh) Dist(a, b NodeID) int {
+	va, vb := int(a), int(b)
+	sum := 0
+	for ax := 0; ax < m.dim; ax++ {
+		ca := va % m.side
+		cb := vb % m.side
+		va /= m.side
+		vb /= m.side
+		diff := ca - cb
+		if diff < 0 {
+			diff = -diff
+		}
+		if m.wrap && m.side-diff < diff {
+			diff = m.side - diff
+		}
+		sum += diff
+	}
+	return sum
+}
+
+// GoodDirs appends to buf the good directions (Definition 5) for a packet
+// currently at `from` with destination dst: the directions whose arc out of
+// `from` enters a node closer to dst. On the mesh there is at most one good
+// direction per axis (result length <= d); on the torus an axis whose
+// offset is exactly n/2 contributes both of its directions (result length
+// <= 2d). The length is zero iff from == dst. A good direction never leads
+// off the network.
+func (m *Mesh) GoodDirs(from, dst NodeID, buf []Dir) []Dir {
+	vf, vd := int(from), int(dst)
+	for a := 0; a < m.dim; a++ {
+		cf := vf % m.side
+		cd := vd % m.side
+		vf /= m.side
+		vd /= m.side
+		if cf == cd {
+			continue
+		}
+		if !m.wrap {
+			if cf < cd {
+				buf = append(buf, DirPlus(a))
+			} else {
+				buf = append(buf, DirMinus(a))
+			}
+			continue
+		}
+		fwd := ((cd-cf)%m.side + m.side) % m.side // steps in "+"
+		switch {
+		case 2*fwd < m.side:
+			buf = append(buf, DirPlus(a))
+		case 2*fwd > m.side:
+			buf = append(buf, DirMinus(a))
+		default: // exactly opposite on the ring: both ways are shortest
+			buf = append(buf, DirPlus(a), DirMinus(a))
+		}
+	}
+	return buf
+}
+
+// GoodDirCount returns the number of good directions for a packet at `from`
+// destined to dst.
+func (m *Mesh) GoodDirCount(from, dst NodeID) int {
+	if !m.wrap {
+		vf, vd := int(from), int(dst)
+		cnt := 0
+		for a := 0; a < m.dim; a++ {
+			if vf%m.side != vd%m.side {
+				cnt++
+			}
+			vf /= m.side
+			vd /= m.side
+		}
+		return cnt
+	}
+	var buf [2 * MaxDim]Dir
+	return len(m.GoodDirs(from, dst, buf[:0]))
+}
+
+// IsGoodDir reports whether dir is a good direction for a packet at `from`
+// destined to dst.
+func (m *Mesh) IsGoodDir(from, dst NodeID, dir Dir) bool {
+	cf := m.CoordAxis(from, dir.Axis())
+	cd := m.CoordAxis(dst, dir.Axis())
+	if cf == cd {
+		return false
+	}
+	if !m.wrap {
+		if dir.Positive() {
+			return cf < cd
+		}
+		return cf > cd
+	}
+	fwd := ((cd-cf)%m.side + m.side) % m.side
+	if dir.Positive() {
+		return 2*fwd <= m.side
+	}
+	return 2*fwd >= m.side
+}
+
+// ParityClass returns the equivalence class of the node under the transitive
+// closure of the 2-neighbor relation: bit a of the result is the parity of
+// coordinate a. There are 2^d classes, each isomorphic (for even n) to a
+// d-dimensional mesh with (n/2)^d nodes. On a torus this matches the
+// 2-neighbor closure only for even n (an odd ring is closed under step-2
+// moves, merging the two parities).
+func (m *Mesh) ParityClass(id NodeID) int {
+	v := int(id)
+	class := 0
+	for a := 0; a < m.dim; a++ {
+		class |= (v % m.side & 1) << a
+		v /= m.side
+	}
+	return class
+}
+
+// SnakeRank returns the rank of the node in a "snake" (boustrophedon) order
+// that visits all nodes along a Hamiltonian path of the mesh: consecutive
+// ranks are adjacent nodes. Destination-order priority policies
+// (Brassil-Cruz style) use this as the prespecified order on destinations.
+func (m *Mesh) SnakeRank(id NodeID) int {
+	// Process axes from the most significant down: the rank within each
+	// hyperplane is reversed when the more significant coordinate is odd.
+	// Within the hyperplane of each coordinate value, the order of the whole
+	// sub-mesh is reversed when that coordinate is odd. Reversing a
+	// mixed-radix rank complements all lower digits, so we track a
+	// complement flag; the flag toggles on the *raw* coordinate parity
+	// (complements compose through the recursion that way).
+	rank := 0
+	rem := int(id)
+	var coords [MaxDim]int
+	for a := 0; a < m.dim; a++ {
+		coords[a] = rem % m.side
+		rem /= m.side
+	}
+	comp := false
+	for a := m.dim - 1; a >= 0; a-- {
+		disp := coords[a]
+		if comp {
+			disp = m.side - 1 - disp
+		}
+		rank = rank*m.side + disp
+		if coords[a]&1 == 1 {
+			comp = !comp
+		}
+	}
+	return rank
+}
+
+// ErrCoordRange is returned by validation helpers when a coordinate falls
+// outside the mesh.
+var ErrCoordRange = errors.New("mesh: coordinate out of range")
+
+// CheckID returns an error if id is not a node of the mesh.
+func (m *Mesh) CheckID(id NodeID) error {
+	if !m.Contains(id) {
+		return fmt.Errorf("%w: node %d not in [0, %d)", ErrCoordRange, id, m.size)
+	}
+	return nil
+}
+
+// String renders the network as e.g. "mesh(d=2, n=8)" or "torus(d=2, n=8)".
+func (m *Mesh) String() string {
+	kind := "mesh"
+	if m.wrap {
+		kind = "torus"
+	}
+	return fmt.Sprintf("%s(d=%d, n=%d)", kind, m.dim, m.side)
+}

@@ -1,0 +1,545 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		dim     int
+		side    int
+		wantErr bool
+	}{
+		{name: "minimal", dim: 1, side: 2},
+		{name: "square", dim: 2, side: 8},
+		{name: "cube", dim: 3, side: 5},
+		{name: "max dim", dim: MaxDim, side: 2},
+		{name: "zero dim", dim: 0, side: 4, wantErr: true},
+		{name: "negative dim", dim: -1, side: 4, wantErr: true},
+		{name: "too many dims", dim: MaxDim + 1, side: 2, wantErr: true},
+		{name: "side one", dim: 2, side: 1, wantErr: true},
+		{name: "side zero", dim: 2, side: 0, wantErr: true},
+		{name: "overflow", dim: 8, side: 100000, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := New(tt.dim, tt.side)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%d, %d) error = %v, wantErr %v", tt.dim, tt.side, err, tt.wantErr)
+			}
+			if err == nil && m.Size() != pow(tt.side, tt.dim) {
+				t.Errorf("Size() = %d, want %d", m.Size(), pow(tt.side, tt.dim))
+			}
+		})
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0, 0) did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestBasicProperties(t *testing.T) {
+	m := MustNew(3, 4)
+	if got, want := m.Dim(), 3; got != want {
+		t.Errorf("Dim() = %d, want %d", got, want)
+	}
+	if got, want := m.Side(), 4; got != want {
+		t.Errorf("Side() = %d, want %d", got, want)
+	}
+	if got, want := m.Size(), 64; got != want {
+		t.Errorf("Size() = %d, want %d", got, want)
+	}
+	if got, want := m.DirCount(), 6; got != want {
+		t.Errorf("DirCount() = %d, want %d", got, want)
+	}
+	if got, want := m.Diameter(), 9; got != want {
+		t.Errorf("Diameter() = %d, want %d", got, want)
+	}
+	// 2*d*n^{d-1}*(n-1) = 2*3*16*3 = 288.
+	if got, want := m.ArcCount(), 288; got != want {
+		t.Errorf("ArcCount() = %d, want %d", got, want)
+	}
+}
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ d, n int }{{1, 5}, {2, 4}, {3, 3}, {4, 3}} {
+		m := MustNew(cfg.d, cfg.n)
+		buf := make([]int, cfg.d)
+		for id := NodeID(0); int(id) < m.Size(); id++ {
+			c := m.Coord(id, buf)
+			if got := m.ID(c); got != id {
+				t.Fatalf("d=%d n=%d: ID(Coord(%d)) = %d", cfg.d, cfg.n, id, got)
+			}
+			for a := 0; a < cfg.d; a++ {
+				if m.CoordAxis(id, a) != c[a] {
+					t.Fatalf("CoordAxis(%d, %d) = %d, want %d", id, a, m.CoordAxis(id, a), c[a])
+				}
+			}
+		}
+	}
+}
+
+func TestCoordNilBufAllocates(t *testing.T) {
+	m := MustNew(2, 3)
+	c := m.Coord(7, nil)
+	if len(c) != 2 || c[0] != 1 || c[1] != 2 {
+		t.Errorf("Coord(7, nil) = %v, want [1 2]", c)
+	}
+}
+
+func TestIDPanicsOnBadInput(t *testing.T) {
+	m := MustNew(2, 3)
+	for _, coord := range [][]int{{1}, {1, 2, 3}, {-1, 0}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ID(%v) did not panic", coord)
+				}
+			}()
+			m.ID(coord)
+		}()
+	}
+}
+
+func TestDirAccessors(t *testing.T) {
+	tests := []struct {
+		dir      Dir
+		axis     int
+		positive bool
+		str      string
+	}{
+		{DirPlus(0), 0, true, "+x0"},
+		{DirMinus(0), 0, false, "-x0"},
+		{DirPlus(2), 2, true, "+x2"},
+		{DirMinus(3), 3, false, "-x3"},
+	}
+	for _, tt := range tests {
+		if tt.dir.Axis() != tt.axis {
+			t.Errorf("%v.Axis() = %d, want %d", tt.dir, tt.dir.Axis(), tt.axis)
+		}
+		if tt.dir.Positive() != tt.positive {
+			t.Errorf("%v.Positive() = %v, want %v", tt.dir, tt.dir.Positive(), tt.positive)
+		}
+		if tt.dir.String() != tt.str {
+			t.Errorf("String() = %q, want %q", tt.dir.String(), tt.str)
+		}
+		if tt.dir.Opposite().Axis() != tt.axis || tt.dir.Opposite().Positive() == tt.positive {
+			t.Errorf("%v.Opposite() = %v: wrong axis or sign", tt.dir, tt.dir.Opposite())
+		}
+		if tt.dir.Opposite().Opposite() != tt.dir {
+			t.Errorf("double Opposite of %v = %v", tt.dir, tt.dir.Opposite().Opposite())
+		}
+		want := 1
+		if !tt.positive {
+			want = -1
+		}
+		if tt.dir.Delta() != want {
+			t.Errorf("%v.Delta() = %d, want %d", tt.dir, tt.dir.Delta(), want)
+		}
+	}
+	if NoDir.String() != "none" {
+		t.Errorf("NoDir.String() = %q", NoDir.String())
+	}
+}
+
+func TestNeighborAndHasArc(t *testing.T) {
+	m := MustNew(2, 3)
+	corner := m.ID([]int{0, 0})
+	center := m.ID([]int{1, 1})
+
+	if _, ok := m.Neighbor(corner, DirMinus(0)); ok {
+		t.Error("corner has a -x0 neighbor")
+	}
+	if _, ok := m.Neighbor(corner, DirMinus(1)); ok {
+		t.Error("corner has a -x1 neighbor")
+	}
+	if nb, ok := m.Neighbor(corner, DirPlus(0)); !ok || nb != m.ID([]int{1, 0}) {
+		t.Errorf("Neighbor(corner, +x0) = %d, %v", nb, ok)
+	}
+	for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+		nb, ok := m.Neighbor(center, dir)
+		if !ok {
+			t.Errorf("center missing neighbor in %v", dir)
+			continue
+		}
+		if m.Dist(center, nb) != 1 {
+			t.Errorf("neighbor %d of center not at distance 1", nb)
+		}
+		if !m.HasArc(center, dir) {
+			t.Errorf("HasArc(center, %v) = false with neighbor present", dir)
+		}
+	}
+}
+
+func TestNeighborReciprocity(t *testing.T) {
+	m := MustNew(3, 4)
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			nb, ok := m.Neighbor(id, dir)
+			if !ok {
+				continue
+			}
+			back, ok := m.Neighbor(nb, dir.Opposite())
+			if !ok || back != id {
+				t.Fatalf("Neighbor(%d, %v) = %d but reverse = %d, %v", id, dir, nb, back, ok)
+			}
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	m := MustNew(2, 4)
+	tests := []struct {
+		coord []int
+		want  int
+	}{
+		{[]int{0, 0}, 2}, // corner
+		{[]int{1, 0}, 3}, // edge
+		{[]int{1, 2}, 4}, // interior
+		{[]int{3, 3}, 2}, // corner
+	}
+	for _, tt := range tests {
+		if got := m.Degree(m.ID(tt.coord)); got != tt.want {
+			t.Errorf("Degree(%v) = %d, want %d", tt.coord, got, tt.want)
+		}
+	}
+	// Degree must equal the number of existing outgoing arcs.
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		arcs := 0
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			if m.HasArc(id, dir) {
+				arcs++
+			}
+		}
+		if arcs != m.Degree(id) {
+			t.Fatalf("node %d: Degree=%d but %d arcs", id, m.Degree(id), arcs)
+		}
+	}
+}
+
+func TestDistMetricAxioms(t *testing.T) {
+	m := MustNew(3, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := NodeID(rng.Intn(m.Size()))
+		b := NodeID(rng.Intn(m.Size()))
+		c := NodeID(rng.Intn(m.Size()))
+		if m.Dist(a, a) != 0 {
+			t.Fatalf("Dist(%d,%d) != 0", a, a)
+		}
+		if m.Dist(a, b) != m.Dist(b, a) {
+			t.Fatalf("Dist not symmetric for %d,%d", a, b)
+		}
+		if a != b && m.Dist(a, b) <= 0 {
+			t.Fatalf("Dist(%d,%d) = %d, want positive", a, b, m.Dist(a, b))
+		}
+		if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c) {
+			t.Fatalf("triangle inequality violated for %d,%d,%d", a, b, c)
+		}
+		if m.Dist(a, b) > m.Diameter() {
+			t.Fatalf("Dist(%d,%d) exceeds diameter", a, b)
+		}
+	}
+}
+
+func TestGoodDirs(t *testing.T) {
+	m := MustNew(2, 8)
+	from := m.ID([]int{3, 5})
+	tests := []struct {
+		dst  []int
+		want []Dir
+	}{
+		{[]int{3, 5}, nil},
+		{[]int{6, 5}, []Dir{DirPlus(0)}},
+		{[]int{0, 5}, []Dir{DirMinus(0)}},
+		{[]int{3, 7}, []Dir{DirPlus(1)}},
+		{[]int{0, 0}, []Dir{DirMinus(0), DirMinus(1)}},
+		{[]int{7, 7}, []Dir{DirPlus(0), DirPlus(1)}},
+	}
+	for _, tt := range tests {
+		got := m.GoodDirs(from, m.ID(tt.dst), nil)
+		if len(got) != len(tt.want) {
+			t.Errorf("GoodDirs(->%v) = %v, want %v", tt.dst, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("GoodDirs(->%v) = %v, want %v", tt.dst, got, tt.want)
+				break
+			}
+		}
+		if len(got) != m.GoodDirCount(from, m.ID(tt.dst)) {
+			t.Errorf("GoodDirCount disagrees with len(GoodDirs) for dst %v", tt.dst)
+		}
+	}
+}
+
+// TestGoodDirsPaperExample checks the example below Definition 5: a packet at
+// (1,3,2,6,1) destined to (4,3,8,2,1) in the 5-dimensional mesh has good
+// directions +x0, +x2, -x3. (The paper uses 1-based coordinates; the offsets
+// cancel.)
+func TestGoodDirsPaperExample(t *testing.T) {
+	m := MustNew(5, 9)
+	from := m.ID([]int{1, 3, 2, 6, 1})
+	dst := m.ID([]int{4, 3, 8, 2, 1})
+	got := m.GoodDirs(from, dst, nil)
+	want := []Dir{DirPlus(0), DirPlus(2), DirMinus(3)}
+	if len(got) != len(want) {
+		t.Fatalf("GoodDirs = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("GoodDirs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGoodDirConsistency(t *testing.T) {
+	m := MustNew(3, 5)
+	rng := rand.New(rand.NewSource(2))
+	var buf []Dir
+	for i := 0; i < 3000; i++ {
+		from := NodeID(rng.Intn(m.Size()))
+		dst := NodeID(rng.Intn(m.Size()))
+		buf = m.GoodDirs(from, dst, buf[:0])
+		seen := make(map[Dir]bool, len(buf))
+		for _, dir := range buf {
+			seen[dir] = true
+		}
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			if seen[dir] != m.IsGoodDir(from, dst, dir) {
+				t.Fatalf("IsGoodDir(%d->%d, %v) = %v, inconsistent with GoodDirs %v",
+					from, dst, dir, m.IsGoodDir(from, dst, dir), buf)
+			}
+			nb, ok := m.Neighbor(from, dir)
+			wantGood := ok && m.Dist(nb, dst) == m.Dist(from, dst)-1
+			if seen[dir] != wantGood {
+				t.Fatalf("good dir %v of %d->%d disagrees with distance semantics", dir, from, dst)
+			}
+		}
+		// A good direction never leads off the mesh.
+		for _, dir := range buf {
+			if !m.HasArc(from, dir) {
+				t.Fatalf("good dir %v of %d leads off the mesh", dir, from)
+			}
+		}
+	}
+}
+
+func TestTwoNeighbor(t *testing.T) {
+	m := MustNew(2, 5)
+	// Paper example (shifted to 0-based): (0,1) is a 2-neighbor of (2,1) in
+	// -x0; (1,2) is not a 2-neighbor of (2,1).
+	a := m.ID([]int{2, 1})
+	if nb, ok := m.TwoNeighbor(a, DirMinus(0)); !ok || nb != m.ID([]int{0, 1}) {
+		t.Errorf("TwoNeighbor((2,1), -x0) = %d, %v", nb, ok)
+	}
+	got := make(map[NodeID]bool)
+	for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+		if nb, ok := m.TwoNeighbor(a, dir); ok {
+			got[nb] = true
+		}
+	}
+	if got[m.ID([]int{1, 2})] {
+		t.Error("(1,2) reported as a 2-neighbor of (2,1)")
+	}
+	want := []NodeID{m.ID([]int{0, 1}), m.ID([]int{4, 1}), m.ID([]int{2, 3})}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("node %d missing from 2-neighbors of (2,1); got %v", w, got)
+		}
+	}
+}
+
+// TestTwoNeighborSymmetric: the 2-neighbor relation is symmetric (claimed
+// after Definition 4).
+func TestTwoNeighborSymmetric(t *testing.T) {
+	m := MustNew(3, 5)
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			nb, ok := m.TwoNeighbor(id, dir)
+			if !ok {
+				continue
+			}
+			back, ok := m.TwoNeighbor(nb, dir.Opposite())
+			if !ok || back != id {
+				t.Fatalf("TwoNeighbor(%d, %v) = %d not symmetric", id, dir, nb)
+			}
+		}
+	}
+}
+
+// TestParityClasses: 2-neighbors share a class; there are 2^d classes, each
+// of size (n/2)^d for even n.
+func TestParityClasses(t *testing.T) {
+	m := MustNew(3, 4)
+	counts := make(map[int]int)
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		class := m.ParityClass(id)
+		counts[class]++
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			if nb, ok := m.TwoNeighbor(id, dir); ok && m.ParityClass(nb) != class {
+				t.Fatalf("2-neighbors %d, %d in different parity classes", id, nb)
+			}
+			// 1-neighbors are always in a different class.
+			if nb, ok := m.Neighbor(id, dir); ok && m.ParityClass(nb) == class {
+				t.Fatalf("adjacent nodes %d, %d share a parity class", id, nb)
+			}
+		}
+	}
+	if len(counts) != 8 {
+		t.Fatalf("expected 8 parity classes, got %d", len(counts))
+	}
+	for class, cnt := range counts {
+		if cnt != 8 { // (4/2)^3
+			t.Errorf("class %d has %d nodes, want 8", class, cnt)
+		}
+	}
+}
+
+// TestSnakeRank: the snake order is a bijection onto [0, n^d) and
+// consecutive ranks are adjacent nodes (it is a Hamiltonian path).
+func TestSnakeRank(t *testing.T) {
+	for _, cfg := range []struct{ d, n int }{{1, 7}, {2, 5}, {2, 6}, {3, 4}} {
+		m := MustNew(cfg.d, cfg.n)
+		byRank := make([]NodeID, m.Size())
+		seen := make([]bool, m.Size())
+		for id := NodeID(0); int(id) < m.Size(); id++ {
+			r := m.SnakeRank(id)
+			if r < 0 || r >= m.Size() {
+				t.Fatalf("d=%d n=%d: SnakeRank(%d) = %d out of range", cfg.d, cfg.n, id, r)
+			}
+			if seen[r] {
+				t.Fatalf("d=%d n=%d: duplicate rank %d", cfg.d, cfg.n, r)
+			}
+			seen[r] = true
+			byRank[r] = id
+		}
+		for r := 1; r < m.Size(); r++ {
+			if m.Dist(byRank[r-1], byRank[r]) != 1 {
+				t.Fatalf("d=%d n=%d: ranks %d,%d are nodes %d,%d at distance %d",
+					cfg.d, cfg.n, r-1, r, byRank[r-1], byRank[r], m.Dist(byRank[r-1], byRank[r]))
+			}
+		}
+	}
+}
+
+func TestCheckID(t *testing.T) {
+	m := MustNew(2, 3)
+	if err := m.CheckID(0); err != nil {
+		t.Errorf("CheckID(0) = %v", err)
+	}
+	if err := m.CheckID(8); err != nil {
+		t.Errorf("CheckID(8) = %v", err)
+	}
+	if err := m.CheckID(-1); err == nil {
+		t.Error("CheckID(-1) = nil, want error")
+	}
+	if err := m.CheckID(9); err == nil {
+		t.Error("CheckID(9) = nil, want error")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got, want := MustNew(2, 8).String(), "mesh(d=2, n=8)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property-based tests via testing/quick.
+
+func TestQuickCoordRoundTrip(t *testing.T) {
+	m := MustNew(4, 5)
+	f := func(raw uint32) bool {
+		id := NodeID(int(raw) % m.Size())
+		return m.ID(m.Coord(id, nil)) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistEqualsGoodSteps(t *testing.T) {
+	// Walking greedily along good directions reaches the destination in
+	// exactly Dist steps.
+	m := MustNew(3, 6)
+	f := func(ra, rb uint32) bool {
+		a := NodeID(int(ra) % m.Size())
+		b := NodeID(int(rb) % m.Size())
+		cur, steps := a, 0
+		for cur != b {
+			dirs := m.GoodDirs(cur, b, nil)
+			if len(dirs) == 0 {
+				return false
+			}
+			next, ok := m.Neighbor(cur, dirs[0])
+			if !ok {
+				return false
+			}
+			cur = next
+			steps++
+			if steps > m.Diameter() {
+				return false
+			}
+		}
+		return steps == m.Dist(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNeighborChangesDistByOne(t *testing.T) {
+	m := MustNew(2, 9)
+	f := func(ra, rb uint32, rd uint8) bool {
+		a := NodeID(int(ra) % m.Size())
+		b := NodeID(int(rb) % m.Size())
+		dir := Dir(int(rd) % m.DirCount())
+		nb, ok := m.Neighbor(a, dir)
+		if !ok {
+			return true
+		}
+		diff := m.Dist(nb, b) - m.Dist(a, b)
+		if diff != 1 && diff != -1 {
+			return false
+		}
+		// The arc is good iff it decreases the distance.
+		return m.IsGoodDir(a, b, dir) == (diff == -1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	m := MustNew(3, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Dist(NodeID(i%m.Size()), NodeID((i*7)%m.Size()))
+	}
+}
+
+func BenchmarkGoodDirs(b *testing.B) {
+	m := MustNew(3, 16)
+	buf := make([]Dir, 0, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.GoodDirs(NodeID(i%m.Size()), NodeID((i*13)%m.Size()), buf[:0])
+	}
+}

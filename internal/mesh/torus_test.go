@@ -1,0 +1,194 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewTorusValidation(t *testing.T) {
+	if _, err := NewTorus(2, 2); err == nil {
+		t.Error("torus side 2 accepted")
+	}
+	if _, err := NewTorus(0, 4); err == nil {
+		t.Error("torus dim 0 accepted")
+	}
+	m, err := NewTorus(2, 6)
+	if err != nil || !m.Wrap() {
+		t.Fatalf("NewTorus = %v, %v", m, err)
+	}
+	if MustNew(2, 6).Wrap() {
+		t.Error("mesh reports Wrap")
+	}
+	if m.String() != "torus(d=2, n=6)" {
+		t.Errorf("String() = %q", m.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewTorus(0,0) did not panic")
+		}
+	}()
+	MustNewTorus(0, 0)
+}
+
+func TestTorusBasicProperties(t *testing.T) {
+	m := MustNewTorus(2, 6)
+	if got, want := m.Diameter(), 6; got != want {
+		t.Errorf("Diameter = %d, want %d", got, want)
+	}
+	if got, want := m.ArcCount(), 2*2*36; got != want {
+		t.Errorf("ArcCount = %d, want %d", got, want)
+	}
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		if m.Degree(id) != 4 {
+			t.Fatalf("torus node %d degree %d", id, m.Degree(id))
+		}
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			if !m.HasArc(id, dir) {
+				t.Fatalf("torus node %d missing arc %v", id, dir)
+			}
+		}
+	}
+}
+
+func TestTorusNeighborWraps(t *testing.T) {
+	m := MustNewTorus(2, 5)
+	corner := m.ID([]int{0, 0})
+	if nb, ok := m.Neighbor(corner, DirMinus(0)); !ok || nb != m.ID([]int{4, 0}) {
+		t.Errorf("Neighbor((0,0), -x0) = %d, %v", nb, ok)
+	}
+	if nb, ok := m.Neighbor(m.ID([]int{4, 2}), DirPlus(0)); !ok || nb != m.ID([]int{0, 2}) {
+		t.Errorf("wrap +x0 = %d, %v", nb, ok)
+	}
+	// Reciprocity holds through the wrap.
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			nb, _ := m.Neighbor(id, dir)
+			back, _ := m.Neighbor(nb, dir.Opposite())
+			if back != id {
+				t.Fatalf("reciprocity broken at %d %v", id, dir)
+			}
+		}
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	m := MustNewTorus(2, 6)
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{0, 0}, []int{5, 0}, 1}, // wrap beats the long way
+		{[]int{0, 0}, []int{3, 0}, 3}, // exactly opposite
+		{[]int{0, 0}, []int{2, 0}, 2}, // forward shorter
+		{[]int{1, 1}, []int{4, 5}, 5}, // 3 + 2 via wrap
+		{[]int{0, 0}, []int{3, 3}, 6}, // both axes opposite
+	}
+	for _, tt := range tests {
+		if got := m.Dist(m.ID(tt.a), m.ID(tt.b)); got != tt.want {
+			t.Errorf("Dist(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTorusDistMatchesBFS(t *testing.T) {
+	m := MustNewTorus(2, 5)
+	src := m.ID([]int{2, 3})
+	distBFS := make([]int, m.Size())
+	for i := range distBFS {
+		distBFS[i] = -1
+	}
+	distBFS[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			nb, _ := m.Neighbor(cur, dir)
+			if distBFS[nb] < 0 {
+				distBFS[nb] = distBFS[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		if m.Dist(src, id) != distBFS[id] {
+			t.Fatalf("Dist(%d, %d) = %d, BFS %d", src, id, m.Dist(src, id), distBFS[id])
+		}
+	}
+}
+
+func TestTorusGoodDirs(t *testing.T) {
+	m := MustNewTorus(2, 6)
+	from := m.ID([]int{0, 0})
+
+	// Wrap direction is good when shorter.
+	got := m.GoodDirs(from, m.ID([]int{5, 0}), nil)
+	if len(got) != 1 || got[0] != DirMinus(0) {
+		t.Errorf("GoodDirs to (5,0) = %v, want [-x0]", got)
+	}
+	// Exactly opposite: both directions good on that axis.
+	got = m.GoodDirs(from, m.ID([]int{3, 0}), nil)
+	if len(got) != 2 || got[0] != DirPlus(0) || got[1] != DirMinus(0) {
+		t.Errorf("GoodDirs to (3,0) = %v, want [+x0 -x0]", got)
+	}
+	if m.GoodDirCount(from, m.ID([]int{3, 3})) != 4 {
+		t.Errorf("GoodDirCount to (3,3) = %d, want 4", m.GoodDirCount(from, m.ID([]int{3, 3})))
+	}
+	// IsGoodDir consistency with distance.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := NodeID(rng.Intn(m.Size()))
+		b := NodeID(rng.Intn(m.Size()))
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			nb, _ := m.Neighbor(a, dir)
+			want := a != b && m.Dist(nb, b) == m.Dist(a, b)-1
+			if m.IsGoodDir(a, b, dir) != want {
+				t.Fatalf("IsGoodDir(%d->%d, %v) = %v, distance says %v", a, b, dir, m.IsGoodDir(a, b, dir), want)
+			}
+		}
+	}
+}
+
+func TestTorusTwoNeighbor(t *testing.T) {
+	m := MustNewTorus(2, 6)
+	// 2-neighbors always exist and wrap.
+	if nb, ok := m.TwoNeighbor(m.ID([]int{5, 0}), DirPlus(0)); !ok || nb != m.ID([]int{1, 0}) {
+		t.Errorf("TwoNeighbor((5,0), +x0) = %d, %v", nb, ok)
+	}
+	// Symmetry on the even torus.
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		for dir := Dir(0); dir < Dir(m.DirCount()); dir++ {
+			nb, ok := m.TwoNeighbor(id, dir)
+			if !ok {
+				t.Fatalf("torus missing 2-neighbor at %d %v", id, dir)
+			}
+			back, _ := m.TwoNeighbor(nb, dir.Opposite())
+			if back != id {
+				t.Fatalf("2-neighbor symmetry broken at %d %v", id, dir)
+			}
+			if m.ParityClass(nb) != m.ParityClass(id) {
+				t.Fatalf("even-torus 2-neighbors cross parity classes at %d", id)
+			}
+		}
+	}
+}
+
+// TestTorusShrinksDistances: the mean pairwise distance on the torus is
+// strictly below the mesh's.
+func TestTorusShrinksDistances(t *testing.T) {
+	mm := MustNew(2, 8)
+	mt := MustNewTorus(2, 8)
+	var sumM, sumT int64
+	for a := NodeID(0); int(a) < mm.Size(); a++ {
+		for b := NodeID(0); int(b) < mm.Size(); b++ {
+			sumM += int64(mm.Dist(a, b))
+			sumT += int64(mt.Dist(a, b))
+			if mt.Dist(a, b) > mm.Dist(a, b) {
+				t.Fatalf("torus distance exceeds mesh distance for %d,%d", a, b)
+			}
+		}
+	}
+	if sumT >= sumM {
+		t.Errorf("torus mean distance %d not below mesh %d", sumT, sumM)
+	}
+}

@@ -1,0 +1,204 @@
+// Package message layers multi-flit messages on top of the single-packet
+// hot-potato engine: a message of length L is segmented into L flits
+// (ordinary hot-potato packets) injected back to back at its source and
+// reassembled at the destination. Message latency is the arrival of the
+// LAST flit; skew is the spread between first and last arrival — the
+// price of flits routing independently.
+//
+// This is the segmentation-and-reassembly counterpoint to the contiguous
+// "worms" of [BRST] ("Fast deflection routing for packets and worms",
+// cited in Section 1.1): worms keep flits contiguous in the network at the
+// cost of reserving paths; independent flits keep the pure hot-potato
+// model (every flit moves every step, zero buffers) at the cost of
+// reassembly skew. Experiment E19 quantifies that trade as a function of
+// message length and load.
+package message
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// Message is one multi-flit transfer.
+type Message struct {
+	// ID identifies the message.
+	ID int
+	// Src and Dst are the endpoints.
+	Src, Dst mesh.NodeID
+	// Length is the number of flits.
+	Length int
+
+	flits []*sim.Packet
+}
+
+// Injected reports how many flits have entered the network.
+func (ms *Message) Injected() int { return len(ms.flits) }
+
+// Complete reports whether every flit has arrived.
+func (ms *Message) Complete() bool {
+	if len(ms.flits) < ms.Length {
+		return false
+	}
+	for _, f := range ms.flits {
+		if !f.Arrived() {
+			return false
+		}
+	}
+	return true
+}
+
+// Latency returns the arrival step of the last flit (message completion),
+// or -1 if incomplete.
+func (ms *Message) Latency() int {
+	if !ms.Complete() {
+		return -1
+	}
+	last := 0
+	for _, f := range ms.flits {
+		if f.ArrivedAt > last {
+			last = f.ArrivedAt
+		}
+	}
+	return last
+}
+
+// Skew returns the spread between the first and last flit arrival, or -1
+// if incomplete. Zero skew means the flits arrived as contiguously as a
+// worm would deliver them.
+func (ms *Message) Skew() int {
+	if !ms.Complete() {
+		return -1
+	}
+	first, last := int(^uint(0)>>1), 0
+	for _, f := range ms.flits {
+		if f.ArrivedAt < first {
+			first = f.ArrivedAt
+		}
+		if f.ArrivedAt > last {
+			last = f.ArrivedAt
+		}
+	}
+	return last - first
+}
+
+// Source injects a batch of messages flit by flit: each message emits one
+// flit per step (as source capacity allows) until all its flits are in
+// flight. It implements sim.Injector.
+type Source struct {
+	messages []*Message
+	pending  []int // indices of messages with flits left to inject
+}
+
+var _ sim.Injector = (*Source)(nil)
+
+// NewSource builds an injector for the given messages. Lengths must be
+// positive and endpoints valid for the mesh the engine runs on.
+func NewSource(m *mesh.Mesh, messages []*Message) (*Source, error) {
+	ids := map[int]bool{}
+	s := &Source{messages: messages}
+	for i, ms := range messages {
+		if ms == nil {
+			return nil, fmt.Errorf("message: nil message")
+		}
+		if ms.Length < 1 {
+			return nil, fmt.Errorf("message %d: length %d", ms.ID, ms.Length)
+		}
+		if err := m.CheckID(ms.Src); err != nil {
+			return nil, fmt.Errorf("message %d source: %w", ms.ID, err)
+		}
+		if err := m.CheckID(ms.Dst); err != nil {
+			return nil, fmt.Errorf("message %d destination: %w", ms.ID, err)
+		}
+		if ids[ms.ID] {
+			return nil, fmt.Errorf("message: duplicate id %d", ms.ID)
+		}
+		ids[ms.ID] = true
+		s.pending = append(s.pending, i)
+	}
+	return s, nil
+}
+
+// Inject implements sim.Injector: one flit per pending message per step,
+// respecting the per-node injection capacity.
+func (s *Source) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+	var out []*sim.Packet
+	used := map[mesh.NodeID]int{}
+	remaining := s.pending[:0]
+	for _, mi := range s.pending {
+		ms := s.messages[mi]
+		if e.InjectionCapacity(ms.Src)-used[ms.Src] <= 0 {
+			remaining = append(remaining, mi)
+			continue // source saturated this step; retry next step
+		}
+		used[ms.Src]++
+		flit := sim.NewPacket(e.NextPacketID(), ms.Src, ms.Dst)
+		ms.flits = append(ms.flits, flit)
+		out = append(out, flit)
+		if len(ms.flits) < ms.Length {
+			remaining = append(remaining, mi)
+		}
+	}
+	s.pending = remaining
+	return out
+}
+
+// Exhausted implements sim.Injector.
+func (s *Source) Exhausted(t int) bool { return len(s.pending) == 0 }
+
+// Stats summarizes a completed batch of messages.
+type Stats struct {
+	// Complete counts fully delivered messages.
+	Complete int
+	// MeanLatency and MaxLatency are over complete messages.
+	MeanLatency float64
+	MaxLatency  int
+	// MeanSkew and MaxSkew measure reassembly spread.
+	MeanSkew float64
+	MaxSkew  int
+}
+
+// Summarize computes batch statistics.
+func Summarize(messages []*Message) Stats {
+	var st Stats
+	for _, ms := range messages {
+		if !ms.Complete() {
+			continue
+		}
+		st.Complete++
+		l, k := ms.Latency(), ms.Skew()
+		st.MeanLatency += float64(l)
+		st.MeanSkew += float64(k)
+		if l > st.MaxLatency {
+			st.MaxLatency = l
+		}
+		if k > st.MaxSkew {
+			st.MaxSkew = k
+		}
+	}
+	if st.Complete > 0 {
+		st.MeanLatency /= float64(st.Complete)
+		st.MeanSkew /= float64(st.Complete)
+	}
+	return st
+}
+
+// RandomBatch builds count messages with distinct random sources, uniform
+// random destinations and the given flit length.
+func RandomBatch(m *mesh.Mesh, count, length int, rng *rand.Rand) ([]*Message, error) {
+	if count < 0 || count > m.Size() {
+		return nil, fmt.Errorf("message: count %d outside [0, %d]", count, m.Size())
+	}
+	srcs := rng.Perm(m.Size())[:count]
+	out := make([]*Message, count)
+	for i, s := range srcs {
+		dst := mesh.NodeID(rng.Intn(m.Size()))
+		for dst == mesh.NodeID(s) {
+			dst = mesh.NodeID(rng.Intn(m.Size()))
+		}
+		out[i] = &Message{ID: i, Src: mesh.NodeID(s), Dst: dst, Length: length}
+	}
+	return out, nil
+}

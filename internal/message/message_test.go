@@ -1,0 +1,140 @@
+package message
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+func runBatch(t *testing.T, m *mesh.Mesh, messages []*Message, seed int64) *sim.Result {
+	t.Helper()
+	src, err := NewSource(m, messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), nil, sim.Options{
+		Seed:       seed,
+		Validation: sim.ValidateRestricted,
+		MaxSteps:   100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInjector(src)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	cases := [][]*Message{
+		{nil},
+		{{ID: 0, Src: 0, Dst: 1, Length: 0}},
+		{{ID: 0, Src: -1, Dst: 1, Length: 1}},
+		{{ID: 0, Src: 0, Dst: 99, Length: 1}},
+		{{ID: 0, Src: 0, Dst: 1, Length: 1}, {ID: 0, Src: 2, Dst: 3, Length: 1}},
+	}
+	for i, msgs := range cases {
+		if _, err := NewSource(m, msgs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSingleMessageDelivery(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	ms := &Message{ID: 0, Src: m.ID([]int{0, 0}), Dst: m.ID([]int{5, 0}), Length: 4}
+	runBatch(t, m, []*Message{ms}, 1)
+	if !ms.Complete() {
+		t.Fatalf("message incomplete: %d/%d flits", ms.Injected(), ms.Length)
+	}
+	// Flits leave one per step starting at t=0, last at t=3, each needs 5
+	// hops with no contention: latency = 3 + 5 = 8, skew = 3.
+	if ms.Latency() != 8 {
+		t.Errorf("Latency = %d, want 8", ms.Latency())
+	}
+	if ms.Skew() != 3 {
+		t.Errorf("Skew = %d, want 3", ms.Skew())
+	}
+}
+
+func TestIncompleteAccessors(t *testing.T) {
+	ms := &Message{ID: 0, Src: 0, Dst: 1, Length: 3}
+	if ms.Complete() || ms.Latency() != -1 || ms.Skew() != -1 {
+		t.Error("incomplete message reported complete state")
+	}
+}
+
+func TestBatchDelivery(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(2))
+	messages, err := RandomBatch(m, 20, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runBatch(t, m, messages, 2)
+	if res.Total != 20*6 {
+		t.Fatalf("injected %d flits, want 120", res.Total)
+	}
+	st := Summarize(messages)
+	if st.Complete != 20 {
+		t.Fatalf("%d/20 complete", st.Complete)
+	}
+	if st.MeanLatency <= 0 || st.MaxLatency < int(st.MeanLatency) {
+		t.Errorf("latency stats inconsistent: %+v", st)
+	}
+	// Skew cannot be negative and for L flits injected over L steps it is
+	// at least L-1 minus overtaking... at least 0.
+	if st.MeanSkew < 0 {
+		t.Errorf("negative skew: %+v", st)
+	}
+}
+
+func TestRandomBatchValidation(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := RandomBatch(m, m.Size()+1, 2, rng); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	msgs, err := RandomBatch(m, 5, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[mesh.NodeID]bool{}
+	for _, ms := range msgs {
+		if seen[ms.Src] {
+			t.Error("duplicate source")
+		}
+		seen[ms.Src] = true
+		if ms.Src == ms.Dst {
+			t.Error("self-addressed message")
+		}
+	}
+}
+
+// TestSourceRespectsCapacity: many messages sharing one source node inject
+// without ever exceeding the node's out-degree.
+func TestSourceRespectsCapacity(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	src := m.ID([]int{4, 4})
+	var messages []*Message
+	for i := 0; i < 6; i++ {
+		messages = append(messages, &Message{
+			ID: i, Src: src, Dst: m.ID([]int{(i * 2) % 8, 7}), Length: 3,
+		})
+	}
+	res := runBatch(t, m, messages, 4)
+	if res.Total != 18 || res.Delivered != 18 {
+		t.Fatalf("flits %d delivered %d, want 18/18", res.Total, res.Delivered)
+	}
+	st := Summarize(messages)
+	if st.Complete != 6 {
+		t.Fatalf("%d/6 complete", st.Complete)
+	}
+}

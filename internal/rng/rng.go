@@ -1,0 +1,44 @@
+// Package rng provides a tiny, cheaply reseedable PRNG (SplitMix64) used
+// by the engine's parallel routing path: each (step, node) pair derives an
+// independent stream from the engine seed, so tie-breaking is deterministic
+// for a given seed AND independent of how nodes are partitioned among
+// worker goroutines.
+package rng
+
+// SplitMix64 implements math/rand.Source64. The zero value is usable (it
+// behaves as if seeded with 0); Seed is a single assignment, so reseeding
+// per node-step costs nothing, unlike the stdlib's default source.
+type SplitMix64 struct {
+	state uint64
+}
+
+// Seed implements rand.Source.
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64 (Sebastiano Vigna's splitmix64).
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix64) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Mix folds several values into one well-spread 64-bit seed (splitmix64
+// finalizer over a running combination).
+func Mix(values ...int64) int64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range values {
+		h ^= uint64(v)
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return int64(h)
+}

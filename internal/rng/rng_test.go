@@ -1,0 +1,76 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	var a, b SplitMix64
+	a.Seed(42)
+	b.Seed(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed, different streams")
+		}
+	}
+	a.Seed(42)
+	first := a.Uint64()
+	a.Seed(42)
+	if a.Uint64() != first {
+		t.Fatal("reseed does not reset the stream")
+	}
+}
+
+func TestSplitMix64DistinctSeeds(t *testing.T) {
+	var a, b SplitMix64
+	a.Seed(1)
+	b.Seed(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestWorksAsRandSource(t *testing.T) {
+	src := &SplitMix64{}
+	src.Seed(7)
+	r := rand.New(src)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[r.Intn(4)]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("value %d drawn %d/4000 times: badly skewed", v, c)
+		}
+	}
+	if src.Int63() < 0 {
+		t.Error("Int63 returned negative")
+	}
+}
+
+func TestMix(t *testing.T) {
+	if Mix(1, 2, 3) == Mix(1, 2, 4) {
+		t.Error("Mix collision on small change")
+	}
+	if Mix(1, 2, 3) == Mix(3, 2, 1) {
+		t.Error("Mix is order-insensitive")
+	}
+	if Mix(5) != Mix(5) {
+		t.Error("Mix not deterministic")
+	}
+	// Consecutive inputs spread across the space: low bits should differ.
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		seen[Mix(i)&0xff] = true
+	}
+	if len(seen) < 200 {
+		t.Errorf("low bits poorly spread: %d distinct of 256", len(seen))
+	}
+}

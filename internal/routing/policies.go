@@ -1,0 +1,217 @@
+package routing
+
+import (
+	"math/rand"
+	"slices"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// lessFunc orders packet indices within a node state; i before j means i has
+// higher priority for advancing. A nil lessFunc keeps the incoming order.
+type lessFunc func(ns *sim.NodeState, i, j int) bool
+
+// matchingPolicy is the common shape of all priority-matching policies.
+type matchingPolicy struct {
+	name          string
+	deterministic bool
+	shuffle       bool // randomize order before sorting (random tie-break)
+	singlePass    bool // skip augmentation (ablation variant)
+	less          lessFunc
+	deflect       DeflectRule
+
+	assigner Assigner
+	buf      OrderBuf
+}
+
+var _ sim.Policy = (*matchingPolicy)(nil)
+var _ sim.ClonablePolicy = (*matchingPolicy)(nil)
+
+// Name implements sim.Policy.
+func (p *matchingPolicy) Name() string { return p.name }
+
+// Clone implements sim.ClonablePolicy: identical configuration, fresh
+// scratch, so clones can route concurrently (the less functions used by
+// the shipped policies are stateless).
+func (p *matchingPolicy) Clone() sim.Policy {
+	return &matchingPolicy{
+		name:          p.name,
+		deterministic: p.deterministic,
+		shuffle:       p.shuffle,
+		singlePass:    p.singlePass,
+		less:          p.less,
+		deflect:       p.deflect,
+	}
+}
+
+// Deterministic implements sim.Policy.
+func (p *matchingPolicy) Deterministic() bool { return p.deterministic }
+
+// Route implements sim.Policy.
+func (p *matchingPolicy) Route(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+	order := p.buf.Reset(len(ns.Packets))
+	if p.shuffle && len(order) > 1 {
+		rng.Shuffle(len(order), func(x, y int) {
+			order[x], order[y] = order[y], order[x]
+		})
+	}
+	if p.less != nil {
+		// slices.SortStableFunc avoids the reflection-based swapper that
+		// sort.SliceStable allocates on every node of every step.
+		slices.SortStableFunc(order, func(x, y int) int {
+			switch {
+			case p.less(ns, x, y):
+				return -1
+			case p.less(ns, y, x):
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	if p.singlePass {
+		p.assigner.AssignSinglePass(ns, out, order, p.deflect, rng)
+		return
+	}
+	p.assigner.Assign(ns, out, order, p.deflect, rng)
+}
+
+// NewRandomGreedy returns the unstructured greedy baseline: every step each
+// node advances a maximum number of packets with uniformly random priority
+// among them, and deflects the rest onto uniformly random leftover arcs.
+// This is the "pure greed" policy the paper warns may livelock when
+// tie-breaking is deterministic; randomization makes livelock vanish in
+// practice but admits no known time bound.
+func NewRandomGreedy() sim.Policy {
+	return &matchingPolicy{
+		name:    "greedy-random",
+		shuffle: true,
+		deflect: DeflectRandom,
+	}
+}
+
+// NewFixedPriority returns a fully deterministic greedy policy: packets are
+// prioritized by ascending ID and deflected packets take leftover arcs in
+// ascending direction order. With every tie broken the same way every step,
+// symmetric configurations can repeat forever: this is the package's
+// livelock demonstration policy (see Section 1.2 of the paper, citing
+// [NS1] and [Haj], on how easily pure greed livelocks).
+func NewFixedPriority() sim.Policy {
+	return &matchingPolicy{
+		name:          "greedy-fixed",
+		deterministic: true,
+		less:          func(ns *sim.NodeState, i, j int) bool { return ns.Packets[i].ID < ns.Packets[j].ID },
+		deflect:       DeflectFirstFit,
+	}
+}
+
+// NewDestOrderGreedy returns a Brassil-Cruz-style greedy policy [BC]: a
+// prespecified order on destinations (the snake rank of the destination
+// node) determines priority, lower rank first, ties broken randomly.
+func NewDestOrderGreedy() sim.Policy {
+	return &matchingPolicy{
+		name:    "greedy-dest-order",
+		shuffle: true,
+		less: func(ns *sim.NodeState, i, j int) bool {
+			return ns.Mesh.SnakeRank(ns.Packets[i].Dst) < ns.Mesh.SnakeRank(ns.Packets[j].Dst)
+		},
+		deflect: DeflectRandom,
+	}
+}
+
+// NewOldestFirst returns an age-priority greedy policy: packets injected
+// earlier advance first (ties random). Age priority is the classic
+// starvation-avoidance rule for continuous deflection traffic (the
+// "distance/age priorities" of [ZA]); on batch instances, where every
+// packet is injected at time 0, it degenerates to random priority.
+func NewOldestFirst() sim.Policy {
+	return &matchingPolicy{
+		name:    "greedy-oldest-first",
+		shuffle: true,
+		less: func(ns *sim.NodeState, i, j int) bool {
+			return ns.Packets[i].InjectedAt < ns.Packets[j].InjectedAt
+		},
+		deflect: DeflectRandom,
+	}
+}
+
+// NewClassPriority returns a strict-priority greedy policy for traffic
+// classes: higher Class advances first, ties broken by age then randomly
+// (the "distance age priorities" direction of [ZA] applied to QoS
+// classes). Still a legal greedy policy: priorities only pick who wins a
+// contended arc.
+func NewClassPriority() sim.Policy {
+	return &matchingPolicy{
+		name:    "greedy-class-priority",
+		shuffle: true,
+		less: func(ns *sim.NodeState, i, j int) bool {
+			pi, pj := ns.Packets[i], ns.Packets[j]
+			if pi.Class != pj.Class {
+				return pi.Class > pj.Class
+			}
+			return pi.InjectedAt < pj.InjectedAt
+		},
+		deflect: DeflectRandom,
+	}
+}
+
+// NewFarthestFirst returns a greedy policy that advances the packets
+// farthest from their destinations first (ties random). A natural
+// longest-job-first heuristic for makespan.
+func NewFarthestFirst() sim.Policy {
+	return &matchingPolicy{
+		name:    "greedy-farthest-first",
+		shuffle: true,
+		less: func(ns *sim.NodeState, i, j int) bool {
+			di := ns.Mesh.Dist(ns.Packets[i].Node, ns.Packets[i].Dst)
+			dj := ns.Mesh.Dist(ns.Packets[j].Node, ns.Packets[j].Dst)
+			return di > dj
+		},
+		deflect: DeflectRandom,
+	}
+}
+
+// NewNearestFirst returns a greedy policy that advances the packets closest
+// to their destinations first (ties random), evacuating almost-home packets
+// quickly at the cost of letting distant packets starve.
+func NewNearestFirst() sim.Policy {
+	return &matchingPolicy{
+		name:    "greedy-nearest-first",
+		shuffle: true,
+		less: func(ns *sim.NodeState, i, j int) bool {
+			di := ns.Mesh.Dist(ns.Packets[i].Node, ns.Packets[i].Dst)
+			dj := ns.Mesh.Dist(ns.Packets[j].Node, ns.Packets[j].Dst)
+			return di < dj
+		},
+		deflect: DeflectRandom,
+	}
+}
+
+// NewCustom builds a priority-matching greedy policy from a custom order.
+// less may be nil (incoming order); shuffle adds a random tie-break pass.
+// The result is a valid greedy policy for any choice of parameters.
+func NewCustom(name string, less func(ns *sim.NodeState, i, j int) bool, shuffle bool, deflect DeflectRule) sim.Policy {
+	return &matchingPolicy{
+		name:          name,
+		deterministic: !shuffle && deflect != DeflectRandom,
+		shuffle:       shuffle,
+		less:          less,
+		deflect:       deflect,
+	}
+}
+
+// NewCustomSinglePass is NewCustom without augmenting-path matching: each
+// packet takes the first free good arc in priority order. Still greedy
+// (Definition 6) but it does not maximize the number of advancing packets;
+// exists as the ablation baseline for the matching machinery.
+func NewCustomSinglePass(name string, less func(ns *sim.NodeState, i, j int) bool, shuffle bool, deflect DeflectRule) sim.Policy {
+	return &matchingPolicy{
+		name:          name,
+		deterministic: !shuffle && deflect != DeflectRandom,
+		shuffle:       shuffle,
+		singlePass:    true,
+		less:          less,
+		deflect:       deflect,
+	}
+}

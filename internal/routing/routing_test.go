@@ -1,0 +1,257 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// runUnder runs packets under pol with the given validation level and
+// returns the result, failing the test on any error.
+func runUnder(t *testing.T, m *mesh.Mesh, pol sim.Policy, packets []*sim.Packet, lvl sim.ValidationLevel, seed int64) *sim.Result {
+	t.Helper()
+	e, err := sim.New(m, pol, packets, sim.Options{
+		Seed:       seed,
+		Validation: lvl,
+		MaxSteps:   200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("policy %s: %v", pol.Name(), err)
+	}
+	return res
+}
+
+// TestPoliciesAreGreedy runs every baseline policy on assorted workloads
+// under ValidateGreedy: a single Definition-6 violation aborts the run.
+func TestPoliciesAreGreedy(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	policies := []func() sim.Policy{
+		NewRandomGreedy,
+		NewFixedPriority,
+		NewDestOrderGreedy,
+		NewFarthestFirst,
+		NewNearestFirst,
+	}
+	for _, mk := range policies {
+		pol := mk()
+		t.Run(pol.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				packets, err := workload.UniformRandom(m, 60, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := runUnder(t, m, mk(), packets, sim.ValidateGreedy, seed)
+				if res.Livelocked {
+					continue // deterministic policies may livelock; that is legal
+				}
+				if res.Delivered != res.Total && !res.HitMaxSteps {
+					t.Errorf("seed %d: %d/%d delivered", seed, res.Delivered, res.Total)
+				}
+			}
+		})
+	}
+}
+
+// TestPoliciesDeliverPermutation: randomized greedy policies must complete
+// a full permutation on a small mesh.
+func TestPoliciesDeliverPermutation(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	for _, mk := range []func() sim.Policy{NewRandomGreedy, NewDestOrderGreedy, NewFarthestFirst, NewNearestFirst} {
+		pol := mk()
+		t.Run(pol.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			packets := workload.Permutation(m, rng)
+			res := runUnder(t, m, pol, packets, sim.ValidateGreedy, 11)
+			if res.Delivered != res.Total {
+				t.Fatalf("%d/%d delivered: %+v", res.Delivered, res.Total, res)
+			}
+		})
+	}
+}
+
+// TestPoliciesDDim: the baselines remain legal greedy policies on 3- and
+// 4-dimensional meshes.
+func TestPoliciesDDim(t *testing.T) {
+	for _, cfg := range []struct{ d, n, k int }{{3, 4, 50}, {4, 3, 60}} {
+		m := mesh.MustNew(cfg.d, cfg.n)
+		rng := rand.New(rand.NewSource(5))
+		packets, err := workload.UniformRandom(m, cfg.k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runUnder(t, m, NewRandomGreedy(), packets, sim.ValidateGreedy, 5)
+		if res.Delivered != res.Total {
+			t.Fatalf("d=%d: %d/%d delivered", cfg.d, res.Delivered, res.Total)
+		}
+	}
+}
+
+func TestDeterministicFlag(t *testing.T) {
+	if NewRandomGreedy().Deterministic() {
+		t.Error("random greedy claims determinism")
+	}
+	if !NewFixedPriority().Deterministic() {
+		t.Error("fixed priority not deterministic")
+	}
+	if NewCustom("x", nil, true, DeflectFirstFit).Deterministic() {
+		t.Error("shuffled custom policy claims determinism")
+	}
+	if NewCustom("x", nil, false, DeflectRandom).Deterministic() {
+		t.Error("random-deflect custom policy claims determinism")
+	}
+	if !NewCustom("x", nil, false, DeflectFirstFit).Deterministic() {
+		t.Error("deterministic custom policy not flagged")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	tests := []struct {
+		pol  sim.Policy
+		want string
+	}{
+		{NewRandomGreedy(), "greedy-random"},
+		{NewFixedPriority(), "greedy-fixed"},
+		{NewDestOrderGreedy(), "greedy-dest-order"},
+		{NewFarthestFirst(), "greedy-farthest-first"},
+		{NewNearestFirst(), "greedy-nearest-first"},
+	}
+	for _, tt := range tests {
+		if tt.pol.Name() != tt.want {
+			t.Errorf("Name() = %q, want %q", tt.pol.Name(), tt.want)
+		}
+	}
+}
+
+// buildNodeState constructs a NodeState for direct Assigner tests by
+// running a one-node engine step under a capture policy.
+func captureNodeState(t *testing.T, m *mesh.Mesh, packets []*sim.Packet, f func(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand)) {
+	t.Helper()
+	cap := &capturePolicy{f: f}
+	e, err := sim.New(m, cap, packets, sim.Options{Validation: sim.ValidateBasic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type capturePolicy struct {
+	f func(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand)
+}
+
+func (c *capturePolicy) Name() string        { return "capture" }
+func (c *capturePolicy) Deterministic() bool { return true }
+func (c *capturePolicy) Route(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+	c.f(ns, out, rng)
+}
+
+// TestAssignMaximumMatching: in a node where a clever matching advances all
+// packets but a naive first-come assignment would not, the assigner must
+// advance everyone.
+func TestAssignMaximumMatching(t *testing.T) {
+	m := mesh.MustNew(2, 5)
+	center := m.ID([]int{2, 2})
+	// p0 can advance via +x0 or +x1; p1 only via +x0. Priority order p0
+	// first: p0 takes +x0 first, then augmentation must reroute p0 to +x1
+	// so p1 advances too.
+	p0 := sim.NewPacket(0, center, m.ID([]int{4, 4}))
+	p1 := sim.NewPacket(1, center, m.ID([]int{4, 2}))
+	captureNodeState(t, m, []*sim.Packet{p0, p1}, func(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+		var a Assigner
+		var b OrderBuf
+		a.Assign(ns, out, b.Reset(len(ns.Packets)), DeflectFirstFit, rng)
+		advanced := 0
+		for i := range out {
+			if ns.Mesh.IsGoodDir(ns.Node, ns.Packets[i].Dst, out[i]) {
+				advanced++
+			}
+		}
+		if advanced != 2 {
+			t.Errorf("maximum matching advanced %d of 2 packets (out=%v)", advanced, out)
+		}
+	})
+}
+
+// TestAssignFullNode: a node holding packets equal to its degree must
+// assign all of them distinct arcs.
+func TestAssignFullNode(t *testing.T) {
+	m := mesh.MustNew(2, 5)
+	center := m.ID([]int{2, 2})
+	dst := m.ID([]int{4, 2})
+	var packets []*sim.Packet
+	for i := 0; i < 4; i++ {
+		packets = append(packets, sim.NewPacket(i, center, dst))
+	}
+	captureNodeState(t, m, packets, func(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+		var a Assigner
+		var b OrderBuf
+		a.Assign(ns, out, b.Reset(len(ns.Packets)), DeflectFirstFit, rng)
+		seen := map[mesh.Dir]bool{}
+		advanced := 0
+		for i := range out {
+			if out[i] == mesh.NoDir || seen[out[i]] {
+				t.Fatalf("bad assignment %v", out)
+			}
+			seen[out[i]] = true
+			if ns.Mesh.IsGoodDir(ns.Node, ns.Packets[i].Dst, out[i]) {
+				advanced++
+			}
+		}
+		if advanced != 1 {
+			t.Errorf("advanced = %d, want 1 (single shared good arc)", advanced)
+		}
+	})
+}
+
+// TestAssignPriorityRespected: with two packets contending for one arc, the
+// higher-priority one advances.
+func TestAssignPriorityRespected(t *testing.T) {
+	m := mesh.MustNew(2, 5)
+	center := m.ID([]int{2, 2})
+	dst := m.ID([]int{4, 2})
+	p0 := sim.NewPacket(0, center, dst)
+	p1 := sim.NewPacket(1, center, dst)
+	for _, first := range []int{0, 1} {
+		first := first
+		captureNodeState(t, m, []*sim.Packet{
+			sim.NewPacket(p0.ID, p0.Src, p0.Dst),
+			sim.NewPacket(p1.ID, p1.Src, p1.Dst),
+		}, func(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+			var a Assigner
+			order := []int{first, 1 - first}
+			a.Assign(ns, out, order, DeflectFirstFit, rng)
+			if !ns.Mesh.IsGoodDir(ns.Node, ns.Packets[first].Dst, out[first]) {
+				t.Errorf("priority packet %d deflected (out=%v)", first, out)
+			}
+			if ns.Mesh.IsGoodDir(ns.Node, ns.Packets[1-first].Dst, out[1-first]) {
+				t.Errorf("low-priority packet advanced on a contended arc")
+			}
+		})
+	}
+}
+
+func TestOrderBufReuse(t *testing.T) {
+	var b OrderBuf
+	o1 := b.Reset(3)
+	if len(o1) != 3 || o1[0] != 0 || o1[2] != 2 {
+		t.Fatalf("Reset(3) = %v", o1)
+	}
+	o1[0] = 99
+	o2 := b.Reset(5)
+	if len(o2) != 5 || o2[0] != 0 || o2[4] != 4 {
+		t.Fatalf("Reset(5) = %v", o2)
+	}
+	o3 := b.Reset(2)
+	if len(o3) != 2 || o3[0] != 0 || o3[1] != 1 {
+		t.Fatalf("Reset(2) = %v", o3)
+	}
+}

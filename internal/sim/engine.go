@@ -1,0 +1,676 @@
+// Package sim implements the synchronous hot-potato routing model of the
+// paper (Section 2): packets originate at time 0, every node forwards every
+// packet it holds on a distinct outgoing arc in every step (no buffering),
+// and at most one packet traverses each directed arc per step.
+//
+// The engine is policy-agnostic: a Policy supplies the uniform local
+// decision rule, and the engine enforces (optionally, per validation level)
+// the model constraints, the greediness condition of Definition 6 and the
+// restricted-preference condition of Definition 18. It also detects
+// livelock for deterministic policies by configuration hashing.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/rng"
+)
+
+// ValidationLevel selects how strictly the engine checks policy output.
+type ValidationLevel int
+
+const (
+	// ValidateOff performs no per-step checking (fastest).
+	ValidateOff ValidationLevel = iota
+	// ValidateBasic checks model legality every step: every packet assigned a
+	// distinct, existing outgoing arc.
+	ValidateBasic
+	// ValidateGreedy additionally checks Definition 6: a deflected packet
+	// must have every good arc used by an advancing packet.
+	ValidateGreedy
+	// ValidateRestricted additionally checks Definition 18: a restricted
+	// packet is never deflected by a non-restricted packet.
+	ValidateRestricted
+)
+
+// Sentinel errors for validation failures. Step/Run wrap them with context.
+var (
+	// ErrUnassigned is returned when a policy leaves a packet without an
+	// outgoing arc (violating the hot-potato constraint).
+	ErrUnassigned = errors.New("sim: packet not assigned an outgoing arc")
+	// ErrOffMesh is returned when a policy routes a packet off the mesh.
+	ErrOffMesh = errors.New("sim: packet routed off the mesh")
+	// ErrLinkConflict is returned when two packets are assigned the same
+	// outgoing arc.
+	ErrLinkConflict = errors.New("sim: two packets assigned the same arc")
+	// ErrNotGreedy is returned when a deflection violates Definition 6.
+	ErrNotGreedy = errors.New("sim: deflection violates greediness (Definition 6)")
+	// ErrNotRestrictedPreferring is returned when a non-restricted packet
+	// deflects a restricted one, violating Definition 18.
+	ErrNotRestrictedPreferring = errors.New("sim: non-restricted packet deflected a restricted one (Definition 18)")
+	// ErrBadInjection is returned by New for ill-formed initial
+	// configurations.
+	ErrBadInjection = errors.New("sim: invalid initial configuration")
+)
+
+// DefaultMaxSteps is the step budget used when Options.MaxSteps is zero.
+const DefaultMaxSteps = 1 << 20
+
+// Injector supplies packets to inject at the beginning of each step,
+// turning the batch engine into a continuous-traffic simulator (the
+// steady-state regime of the deflection-network studies the paper cites:
+// [GG], [Ma], [ZA]). Implementations must respect the model's injection
+// constraint: after injection, no node may hold more packets than its
+// out-degree — use Engine.InjectionCapacity to learn the per-node room.
+// Returned packets must sit at their sources with fresh unique IDs.
+type Injector interface {
+	// Inject returns the packets entering the network at step t. The rng
+	// is the engine's deterministic source.
+	Inject(t int, e *Engine, rng *rand.Rand) []*Packet
+	// Exhausted reports that the source will never inject again (e.g. its
+	// generation window closed and its backlog drained); Run then stops as
+	// soon as the network empties. A source that never exhausts runs to
+	// the step budget.
+	Exhausted(t int) bool
+}
+
+// Options configures an Engine.
+type Options struct {
+	// MaxSteps bounds the simulation length; 0 means DefaultMaxSteps.
+	MaxSteps int
+	// Seed seeds the engine's deterministic RNG (used by randomized
+	// policies for tie-breaking).
+	Seed int64
+	// Validation selects per-step checking of policy output.
+	Validation ValidationLevel
+	// DetectLivelock enables configuration hashing to detect repeated
+	// states. It only takes effect for deterministic policies (a repeated
+	// state under a randomized policy does not imply a loop).
+	DetectLivelock bool
+	// Workers > 1 routes the nodes of each step concurrently on that many
+	// goroutines. The policy must implement ClonablePolicy (each worker
+	// gets its own scratch). Tie-break randomness is then derived per
+	// (seed, step, node), so results are deterministic for a given seed
+	// and independent of the worker count — but they differ from the
+	// serial path's shared-stream sampling (both are equally valid members
+	// of the same policy; deterministic policies produce identical results
+	// on every path).
+	Workers int
+}
+
+// ClonablePolicy is implemented by policies whose per-engine scratch state
+// can be duplicated for concurrent use by Options.Workers.
+type ClonablePolicy interface {
+	Policy
+	// Clone returns a policy with identical behavior and fresh scratch.
+	Clone() Policy
+}
+
+// Result summarizes a completed Run.
+type Result struct {
+	// Steps is the routing time: the step at which the last packet reached
+	// its destination (0 if every packet originated at its destination).
+	Steps int
+	// Delivered is the number of packets that reached their destinations.
+	Delivered int
+	// Total is the number of packets in the problem.
+	Total int
+	// Livelocked reports that a configuration repeated under a
+	// deterministic policy, so the run would loop forever.
+	Livelocked bool
+	// HitMaxSteps reports that the step budget was exhausted first.
+	HitMaxSteps bool
+	// TotalDeflections counts packet-steps moving away from destinations.
+	TotalDeflections int64
+	// TotalHops counts all packet movements.
+	TotalHops int64
+	// MaxNodeLoad is the largest number of packets observed in one node at
+	// the beginning of a step.
+	MaxNodeLoad int
+}
+
+// Engine runs one routing problem under one policy.
+type Engine struct {
+	mesh    *mesh.Mesh
+	policy  Policy
+	packets []*Packet
+	opts    Options
+	rng     *rand.Rand
+
+	time        int
+	live        int
+	lastArrival int
+	byNode      [][]*Packet
+	active      []mesh.NodeID
+	activeMark  []bool
+	observers   []Observer
+
+	livelock     bool
+	livelockable bool
+	seen         map[uint64]int
+	injector     Injector
+	nextID       int
+
+	totalDeflections int64
+	totalHops        int64
+	maxNodeLoad      int
+
+	// Reusable routing scratch: one for the serial path, one per goroutine
+	// when Options.Workers > 1.
+	scratch *routeScratch
+	workers []*routeScratch
+	moves   []Move
+}
+
+// New validates the initial configuration and returns an engine positioned
+// at time 0. Packets whose source equals their destination are absorbed
+// immediately (ArrivedAt = 0). The engine takes ownership of the packets.
+//
+// The initial configuration must satisfy the paper's many-to-many model: no
+// node is the origin of more packets than its out-degree.
+func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil mesh", ErrBadInjection)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrBadInjection)
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	e := &Engine{
+		mesh:         m,
+		policy:       policy,
+		packets:      packets,
+		opts:         opts,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		byNode:       make([][]*Packet, m.Size()),
+		activeMark:   make([]bool, m.Size()),
+		livelockable: opts.DetectLivelock && policy.Deterministic(),
+	}
+	if e.livelockable {
+		e.seen = make(map[uint64]int)
+	}
+	e.scratch = e.newScratch(policy)
+	if opts.Workers > 1 {
+		cp, ok := policy.(ClonablePolicy)
+		if !ok {
+			return nil, fmt.Errorf("%w: policy %s does not implement ClonablePolicy (required by Workers=%d)",
+				ErrBadInjection, policy.Name(), opts.Workers)
+		}
+		for w := 0; w < opts.Workers; w++ {
+			e.workers = append(e.workers, e.newScratch(cp.Clone()))
+		}
+	}
+
+	ids := make(map[int]bool, len(packets))
+	for _, p := range packets {
+		if p == nil {
+			return nil, fmt.Errorf("%w: nil packet", ErrBadInjection)
+		}
+		if err := m.CheckID(p.Src); err != nil {
+			return nil, fmt.Errorf("%w: packet %d source: %v", ErrBadInjection, p.ID, err)
+		}
+		if err := m.CheckID(p.Dst); err != nil {
+			return nil, fmt.Errorf("%w: packet %d destination: %v", ErrBadInjection, p.ID, err)
+		}
+		if p.Node != p.Src {
+			return nil, fmt.Errorf("%w: packet %d not at its source", ErrBadInjection, p.ID)
+		}
+		if ids[p.ID] {
+			return nil, fmt.Errorf("%w: duplicate packet id %d", ErrBadInjection, p.ID)
+		}
+		ids[p.ID] = true
+		if p.ID >= e.nextID {
+			e.nextID = p.ID + 1
+		}
+		if p.Src == p.Dst {
+			p.ArrivedAt = 0
+			continue
+		}
+		p.ArrivedAt = -1
+		e.enqueue(p)
+		e.live++
+	}
+	for _, node := range e.active {
+		if deg := m.Degree(node); len(e.byNode[node]) > deg {
+			return nil, fmt.Errorf("%w: node %d originates %d packets, out-degree %d",
+				ErrBadInjection, node, len(e.byNode[node]), deg)
+		}
+	}
+	sortNodes(e.active)
+	return e, nil
+}
+
+func (e *Engine) enqueue(p *Packet) {
+	if len(e.byNode[p.Node]) == 0 && !e.activeMark[p.Node] {
+		e.activeMark[p.Node] = true
+		e.active = append(e.active, p.Node)
+	}
+	e.byNode[p.Node] = append(e.byNode[p.Node], p)
+}
+
+func sortNodes(nodes []mesh.NodeID) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+}
+
+// AddObserver registers an observer to run after every step.
+func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// SetInjector installs a continuous traffic source. Injection happens at
+// the beginning of every step, before routing. Installing an injector
+// disables livelock detection (the configuration is no longer closed).
+func (e *Engine) SetInjector(inj Injector) {
+	e.injector = inj
+	e.livelockable = false
+}
+
+// InjectionCapacity returns how many packets can still be injected at the
+// node this step without exceeding its out-degree. The value reflects the
+// engine state when called: an Injector returning several packets for the
+// same node in one Inject call must count its own earlier picks against
+// the capacity itself.
+func (e *Engine) InjectionCapacity(node mesh.NodeID) int {
+	c := e.mesh.Degree(node) - len(e.byNode[node])
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// NextPacketID returns a fresh packet ID, unique within this engine, for
+// injectors to use.
+func (e *Engine) NextPacketID() int {
+	id := e.nextID
+	e.nextID++
+	return id
+}
+
+// inject runs the installed injector and validates its output.
+func (e *Engine) inject() error {
+	newPackets := e.injector.Inject(e.time, e, e.rng)
+	for _, p := range newPackets {
+		if p == nil {
+			return fmt.Errorf("%w: injector returned nil packet at step %d", ErrBadInjection, e.time)
+		}
+		if err := e.mesh.CheckID(p.Src); err != nil {
+			return fmt.Errorf("%w: injected packet %d source: %v", ErrBadInjection, p.ID, err)
+		}
+		if err := e.mesh.CheckID(p.Dst); err != nil {
+			return fmt.Errorf("%w: injected packet %d destination: %v", ErrBadInjection, p.ID, err)
+		}
+		if p.Node != p.Src {
+			return fmt.Errorf("%w: injected packet %d not at its source", ErrBadInjection, p.ID)
+		}
+		e.packets = append(e.packets, p)
+		p.InjectedAt = e.time
+		if p.Src == p.Dst {
+			p.ArrivedAt = e.time
+			continue
+		}
+		p.ArrivedAt = -1
+		if len(e.byNode[p.Src]) >= e.mesh.Degree(p.Src) {
+			return fmt.Errorf("%w: step %d node %d injection exceeds out-degree %d",
+				ErrBadInjection, e.time, p.Src, e.mesh.Degree(p.Src))
+		}
+		e.enqueue(p)
+		e.live++
+	}
+	if len(newPackets) > 0 {
+		sortNodes(e.active)
+	}
+	return nil
+}
+
+// Mesh returns the network topology.
+func (e *Engine) Mesh() *mesh.Mesh { return e.mesh }
+
+// Policy returns the routing policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Packets returns all packets of the problem (live and arrived). Callers
+// must not mutate them.
+func (e *Engine) Packets() []*Packet { return e.packets }
+
+// PacketsAt returns the packets currently at the given node. The slice is
+// engine-owned and valid until the next Step.
+func (e *Engine) PacketsAt(node mesh.NodeID) []*Packet { return e.byNode[node] }
+
+// Time returns the current step index.
+func (e *Engine) Time() int { return e.time }
+
+// Live returns the number of packets still in the network.
+func (e *Engine) Live() int { return e.live }
+
+// Done reports whether every packet has arrived.
+func (e *Engine) Done() bool { return e.live == 0 }
+
+// Livelocked reports whether a repeated configuration was detected.
+func (e *Engine) Livelocked() bool { return e.livelock }
+
+// routeScratch is the per-worker routing state: one exists for the serial
+// path, and one per goroutine in the parallel path.
+type routeScratch struct {
+	ns          NodeState
+	out         []mesh.Dir
+	dirOwner    []int
+	moves       []Move
+	policy      Policy
+	src         rng.SplitMix64
+	rnd         *rand.Rand
+	maxNodeLoad int
+}
+
+func (e *Engine) newScratch(policy Policy) *routeScratch {
+	sc := &routeScratch{
+		out:      make([]mesh.Dir, 0, e.mesh.DirCount()),
+		dirOwner: make([]int, e.mesh.DirCount()),
+		policy:   policy,
+	}
+	sc.ns.Mesh = e.mesh
+	sc.ns.infos = make([]PacketInfo, 0, e.mesh.DirCount())
+	sc.rnd = rand.New(&sc.src)
+	return sc
+}
+
+// fillInfo computes PacketInfo for every packet of the scratch node state.
+func (sc *routeScratch) fillInfo(m *mesh.Mesh) {
+	ns := &sc.ns
+	ns.infos = ns.infos[:0]
+	for _, p := range ns.Packets {
+		var pi PacketInfo
+		dirs := m.GoodDirs(p.Node, p.Dst, pi.goodBuf[:0])
+		pi.GoodCount = len(dirs)
+		pi.Restricted = pi.GoodCount == 1
+		pi.TypeA = pi.Restricted && p.RestrictedPrev && p.AdvancedPrev
+		ns.infos = append(ns.infos, pi)
+	}
+}
+
+// validate checks the assignment for the scratch node state according to
+// the configured validation level. dirOwner is rebuilt as a side effect.
+func (e *Engine) validate(sc *routeScratch) error {
+	ns := &sc.ns
+	out := sc.out
+	for i := range sc.dirOwner {
+		sc.dirOwner[i] = -1
+	}
+	for i, dir := range out {
+		p := ns.Packets[i]
+		if dir < 0 || int(dir) >= e.mesh.DirCount() {
+			return fmt.Errorf("%w: step %d node %d packet %d (dir %d)",
+				ErrUnassigned, ns.Time, ns.Node, p.ID, dir)
+		}
+		if !e.mesh.HasArc(ns.Node, dir) {
+			return fmt.Errorf("%w: step %d node %d packet %d via %v",
+				ErrOffMesh, ns.Time, ns.Node, p.ID, dir)
+		}
+		if prev := sc.dirOwner[dir]; prev >= 0 {
+			return fmt.Errorf("%w: step %d node %d packets %d and %d both via %v",
+				ErrLinkConflict, ns.Time, ns.Node, ns.Packets[prev].ID, p.ID, dir)
+		}
+		sc.dirOwner[dir] = i
+	}
+	if e.opts.Validation < ValidateGreedy {
+		return nil
+	}
+	for i, dir := range out {
+		pi := ns.Info(i)
+		if e.mesh.IsGoodDir(ns.Packets[i].Node, ns.Packets[i].Dst, dir) {
+			continue // advancing
+		}
+		// Packet i is deflected: every good arc must carry an advancing
+		// packet (Definition 6), and if packet i is restricted, that
+		// advancing packet must itself be restricted (Definition 18).
+		for _, g := range pi.Good() {
+			j := sc.dirOwner[g]
+			if j < 0 || !e.mesh.IsGoodDir(ns.Packets[j].Node, ns.Packets[j].Dst, g) {
+				return fmt.Errorf("%w: step %d node %d packet %d deflected with free good arc %v",
+					ErrNotGreedy, ns.Time, ns.Node, ns.Packets[i].ID, g)
+			}
+			if e.opts.Validation >= ValidateRestricted && pi.Restricted && !ns.Info(j).Restricted {
+				return fmt.Errorf("%w: step %d node %d packet %d deflected by non-restricted packet %d",
+					ErrNotRestrictedPreferring, ns.Time, ns.Node, ns.Packets[i].ID, ns.Packets[j].ID)
+			}
+		}
+	}
+	return nil
+}
+
+// routeNode routes one node's packets into sc.moves using the given RNG.
+func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.Rand) error {
+	pkts := e.byNode[node]
+	if len(pkts) > sc.maxNodeLoad {
+		sc.maxNodeLoad = len(pkts)
+	}
+	sc.ns.Node = node
+	sc.ns.Time = t
+	sc.ns.Packets = pkts
+	sc.fillInfo(e.mesh)
+
+	sc.out = sc.out[:len(pkts)]
+	for i := range sc.out {
+		sc.out[i] = mesh.NoDir
+	}
+	sc.policy.Route(&sc.ns, sc.out, rnd)
+
+	if e.opts.Validation > ValidateOff {
+		if err := e.validate(sc); err != nil {
+			return err
+		}
+	}
+	for i, p := range pkts {
+		dir := sc.out[i]
+		to, ok := e.mesh.Neighbor(node, dir)
+		if !ok {
+			// Unvalidated policies can still not corrupt the engine.
+			return fmt.Errorf("%w: step %d node %d packet %d via %v", ErrOffMesh, t, node, p.ID, dir)
+		}
+		pi := sc.ns.Info(i)
+		adv := e.mesh.IsGoodDir(node, p.Dst, dir)
+		sc.moves = append(sc.moves, Move{
+			Packet:        p,
+			From:          node,
+			To:            to,
+			Dir:           dir,
+			Advanced:      adv,
+			GoodCount:     pi.GoodCount,
+			WasRestricted: pi.Restricted,
+			WasTypeA:      pi.TypeA,
+			ArrivedNow:    to == p.Dst,
+		})
+	}
+	return nil
+}
+
+// routeParallel routes the active nodes across the worker scratches.
+// Chunks are contiguous ranges of the (sorted) active list, so the
+// concatenated moves keep the per-node grouping and global node order the
+// observers rely on. Each node's tie-break RNG is derived from
+// (seed, step, node), making the outcome independent of the partition.
+func (e *Engine) routeParallel(t int) error {
+	nw := len(e.workers)
+	chunk := (len(e.active) + nw - 1) / nw
+	var wg sync.WaitGroup
+	errs := make([]error, nw)
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		if lo >= len(e.active) {
+			e.workers[w].moves = e.workers[w].moves[:0]
+			continue
+		}
+		hi := lo + chunk
+		if hi > len(e.active) {
+			hi = len(e.active)
+		}
+		wg.Add(1)
+		go func(w int, nodes []mesh.NodeID) {
+			defer wg.Done()
+			sc := e.workers[w]
+			sc.moves = sc.moves[:0]
+			for _, node := range nodes {
+				sc.src.Seed(rng.Mix(e.opts.Seed, int64(t), int64(node)))
+				if err := e.routeNode(sc, node, t, sc.rnd); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, e.active[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	e.moves = e.moves[:0]
+	for _, sc := range e.workers {
+		e.moves = append(e.moves, sc.moves...)
+		if sc.maxNodeLoad > e.maxNodeLoad {
+			e.maxNodeLoad = sc.maxNodeLoad
+		}
+	}
+	return nil
+}
+
+// Step advances the simulation by one synchronous step. It returns an error
+// only on validation failure; termination conditions (done, livelock, step
+// budget) are reported by Run.
+func (e *Engine) Step() error {
+	t := e.time
+	if e.injector != nil {
+		if err := e.inject(); err != nil {
+			return err
+		}
+	}
+	// Route every active node. Active nodes are kept sorted so that runs
+	// are reproducible for a given seed.
+	if len(e.workers) > 0 && len(e.active) > 1 {
+		if err := e.routeParallel(t); err != nil {
+			return err
+		}
+	} else {
+		sc := e.scratch
+		sc.moves = sc.moves[:0]
+		for _, node := range e.active {
+			if err := e.routeNode(sc, node, t, e.rng); err != nil {
+				return err
+			}
+		}
+		e.moves = sc.moves
+		if sc.maxNodeLoad > e.maxNodeLoad {
+			e.maxNodeLoad = sc.maxNodeLoad
+		}
+	}
+
+	// Apply all moves simultaneously.
+	for _, node := range e.active {
+		e.byNode[node] = e.byNode[node][:0]
+		e.activeMark[node] = false
+	}
+	e.active = e.active[:0]
+	e.time = t + 1
+	for i := range e.moves {
+		mv := &e.moves[i]
+		p := mv.Packet
+		p.GoodPrev = mv.GoodCount
+		p.RestrictedPrev = mv.WasRestricted
+		p.AdvancedPrev = mv.Advanced
+		p.Node = mv.To
+		p.EnteredVia = mv.Dir
+		p.Hops++
+		e.totalHops++
+		if !mv.Advanced {
+			p.Deflections++
+			e.totalDeflections++
+		}
+		if mv.ArrivedNow {
+			p.ArrivedAt = e.time
+			e.lastArrival = e.time
+			e.live--
+		} else {
+			e.enqueue(p)
+		}
+	}
+	sortNodes(e.active)
+
+	rec := StepRecord{Time: t, Moves: e.moves}
+	for _, o := range e.observers {
+		o.OnStep(&rec)
+	}
+
+	if e.livelockable && e.live > 0 {
+		h := e.stateHash()
+		if _, dup := e.seen[h]; dup {
+			e.livelock = true
+		} else {
+			e.seen[h] = e.time
+		}
+	}
+	return nil
+}
+
+// stateHash digests the full routing-relevant configuration: for each live
+// packet its position, entry arc and history flags. Two equal configurations
+// under a deterministic policy evolve identically, so a repeated hash marks
+// a livelock (up to the negligible 64-bit collision probability, documented
+// in the Options).
+func (e *Engine) stateHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		_, _ = h.Write(buf[:4])
+	}
+	for _, p := range e.packets {
+		if p.Arrived() {
+			put(-1)
+			continue
+		}
+		put(int(p.Node))
+		flags := int(p.EnteredVia) + 1
+		if p.AdvancedPrev {
+			flags |= 1 << 8
+		}
+		if p.RestrictedPrev {
+			flags |= 1 << 9
+		}
+		flags |= p.GoodPrev << 10
+		put(flags)
+	}
+	return h.Sum64()
+}
+
+// Run steps the engine until every packet arrives, a livelock is detected,
+// or the step budget is exhausted, and returns the summary.
+func (e *Engine) Run() (*Result, error) {
+	for (e.live > 0 || (e.injector != nil && !e.injector.Exhausted(e.time))) &&
+		!e.livelock && e.time < e.opts.MaxSteps {
+		if err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return e.result(), nil
+}
+
+func (e *Engine) result() *Result {
+	return &Result{
+		Steps:            e.lastArrival,
+		Delivered:        len(e.packets) - e.live,
+		Total:            len(e.packets),
+		Livelocked:       e.livelock,
+		HitMaxSteps:      e.live > 0 && !e.livelock && e.time >= e.opts.MaxSteps,
+		TotalDeflections: e.totalDeflections,
+		TotalHops:        e.totalHops,
+		MaxNodeLoad:      e.maxNodeLoad,
+	}
+}

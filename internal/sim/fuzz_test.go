@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotpotato/internal/mesh"
+)
+
+// chaoticPolicy is a legal but completely arbitrary policy: it assigns
+// packets to free arcs in a random order with random choices, ignoring
+// destinations. It exercises every engine path that does not require
+// greediness.
+type chaoticPolicy struct{}
+
+func (chaoticPolicy) Name() string        { return "test-chaotic" }
+func (chaoticPolicy) Deterministic() bool { return false }
+func (chaoticPolicy) Route(ns *NodeState, out []mesh.Dir, rng *rand.Rand) {
+	var free []mesh.Dir
+	for dir := mesh.Dir(0); int(dir) < ns.Mesh.DirCount(); dir++ {
+		if ns.HasArc(dir) {
+			free = append(free, dir)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for i := range out {
+		out[i] = free[i]
+	}
+}
+
+// TestFuzzEngineInvariants drives random instances under the chaotic
+// policy and checks the model invariants the engine must maintain no
+// matter what a (legal) policy does.
+func TestFuzzEngineInvariants(t *testing.T) {
+	f := func(seed int64, rawDim, rawSide, rawK uint8) bool {
+		dim := int(rawDim)%3 + 1
+		side := int(rawSide)%5 + 2
+		m, err := mesh.New(dim, side)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		k := int(rawK) % (m.Size() + 1)
+		var packets []*Packet
+		used := map[mesh.NodeID]int{}
+		for i := 0; i < k; i++ {
+			src := mesh.NodeID(rng.Intn(m.Size()))
+			if used[src] >= m.Degree(src) {
+				continue
+			}
+			used[src]++
+			packets = append(packets, NewPacket(i, src, mesh.NodeID(rng.Intn(m.Size()))))
+		}
+		e, err := New(m, chaoticPolicy{}, packets, Options{
+			Seed:       seed,
+			Validation: ValidateBasic,
+			MaxSteps:   400,
+		})
+		if err != nil {
+			return false
+		}
+		// Per-step invariants via observer.
+		ok := true
+		e.AddObserver(ObserverFunc(func(rec *StepRecord) {
+			arcs := map[[2]int32]bool{}
+			for _, mv := range rec.Moves {
+				key := [2]int32{int32(mv.From), int32(mv.Dir)}
+				if arcs[key] {
+					ok = false
+				}
+				arcs[key] = true
+				if m.Dist(mv.From, mv.To) != 1 {
+					ok = false
+				}
+			}
+		}))
+		res, err := e.Run()
+		if err != nil || !ok {
+			return false
+		}
+		// Conservation: every packet is either arrived at its destination
+		// or still in the network at a valid node.
+		live := 0
+		for _, p := range e.Packets() {
+			if p.Arrived() {
+				if p.Node != p.Dst {
+					return false
+				}
+			} else {
+				live++
+				if !m.Contains(p.Node) {
+					return false
+				}
+			}
+		}
+		return res.Delivered+live == res.Total
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuzzInjectorInvariants mixes dynamic injection into the fuzz: the
+// engine must keep per-node occupancy within degree bounds at routing time.
+type fuzzInjector struct{ left int }
+
+func (fi *fuzzInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+	if fi.left <= 0 {
+		return nil
+	}
+	var out []*Packet
+	usedNow := map[mesh.NodeID]int{}
+	for i := 0; i < 2 && fi.left > 0; i++ {
+		src := mesh.NodeID(rng.Intn(e.Mesh().Size()))
+		// InjectionCapacity does not see this call's earlier picks, so
+		// count them ourselves (see the Injector contract).
+		if e.InjectionCapacity(src)-usedNow[src] <= 0 {
+			continue
+		}
+		usedNow[src]++
+		fi.left--
+		out = append(out, NewPacket(e.NextPacketID(), src, mesh.NodeID(rng.Intn(e.Mesh().Size()))))
+	}
+	return out
+}
+
+func (fi *fuzzInjector) Exhausted(t int) bool { return fi.left <= 0 }
+
+func TestFuzzInjectorInvariants(t *testing.T) {
+	f := func(seed int64, rawSide uint8) bool {
+		side := int(rawSide)%5 + 3
+		m, err := mesh.New(2, side)
+		if err != nil {
+			return false
+		}
+		e, err := New(m, chaoticPolicy{}, nil, Options{
+			Seed:       seed,
+			Validation: ValidateBasic,
+			MaxSteps:   500,
+		})
+		if err != nil {
+			return false
+		}
+		e.SetInjector(&fuzzInjector{left: 30})
+		occupancyOK := true
+		e.AddObserver(ObserverFunc(func(rec *StepRecord) {
+			perNode := map[mesh.NodeID]int{}
+			for _, mv := range rec.Moves {
+				perNode[mv.From]++
+			}
+			for node, cnt := range perNode {
+				if cnt > m.Degree(node) {
+					occupancyOK = false
+				}
+			}
+		}))
+		res, err := e.Run()
+		if err != nil {
+			return false
+		}
+		return occupancyOK && res.Total <= 30
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInjectionValidationErrors: misbehaving injectors are rejected.
+func TestInjectionValidationErrors(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+
+	mk := func(inj Injector) error {
+		e, err := New(m, firstGoodPolicy(), nil, Options{Validation: ValidateBasic, MaxSteps: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetInjector(inj)
+		_, err = e.Run()
+		return err
+	}
+
+	if err := mk(badInjector(func(e *Engine) []*Packet {
+		return []*Packet{nil}
+	})); err == nil {
+		t.Error("nil injected packet accepted")
+	}
+	if err := mk(badInjector(func(e *Engine) []*Packet {
+		return []*Packet{NewPacket(e.NextPacketID(), -1, 3)}
+	})); err == nil {
+		t.Error("bad source accepted")
+	}
+	if err := mk(badInjector(func(e *Engine) []*Packet {
+		p := NewPacket(e.NextPacketID(), 1, 3)
+		p.Node = 2
+		return []*Packet{p}
+	})); err == nil {
+		t.Error("displaced packet accepted")
+	}
+	if err := mk(badInjector(func(e *Engine) []*Packet {
+		// Overfill a corner (degree 2) with 3 packets.
+		corner := m.ID([]int{0, 0})
+		return []*Packet{
+			NewPacket(e.NextPacketID(), corner, 5),
+			NewPacket(e.NextPacketID(), corner, 6),
+			NewPacket(e.NextPacketID(), corner, 7),
+		}
+	})); err == nil {
+		t.Error("overfilled node accepted")
+	}
+}
+
+type badInjector func(e *Engine) []*Packet
+
+func (b badInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+	if t == 0 {
+		return b(e)
+	}
+	return nil
+}
+func (b badInjector) Exhausted(t int) bool { return t > 0 }

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+
+	"hotpotato/internal/mesh"
+)
+
+// Packet is one routed message. The engine owns all mutable fields after the
+// packet is handed to New; policies must treat packets as read-only.
+//
+// Per the paper's model (Section 2), routing decisions may depend on the
+// destination and the entry arc of a packet but never on its source; Src is
+// carried only for accounting.
+type Packet struct {
+	// ID is a caller-assigned unique identifier.
+	ID int
+	// Src is the origin node (where the packet is injected at time 0).
+	Src mesh.NodeID
+	// Dst is the destination node.
+	Dst mesh.NodeID
+
+	// Node is the node currently holding the packet.
+	Node mesh.NodeID
+	// EnteredVia is the direction of the arc through which the packet
+	// entered Node, or mesh.NoDir right after injection.
+	EnteredVia mesh.Dir
+	// InjectedAt is the step at which the packet entered the network:
+	// 0 for batch instances, the injection step for dynamic traffic.
+	// Age-based policies may use it (locally trackable information).
+	InjectedAt int
+	// Class is an application-assigned traffic class (larger = more
+	// important); it rides in the packet header, so policies may use it.
+	// Zero by default.
+	Class int
+	// ArrivedAt is the step at which the packet reached Dst, or -1.
+	ArrivedAt int
+	// Hops is the number of arcs traversed so far.
+	Hops int
+	// Deflections is the number of steps in which the packet moved away
+	// from its destination.
+	Deflections int
+
+	// AdvancedPrev reports whether the packet advanced (got closer to its
+	// destination) in the previous step. False right after injection.
+	AdvancedPrev bool
+	// RestrictedPrev reports whether the packet was restricted (had exactly
+	// one good direction) at the beginning of the previous step. False
+	// right after injection.
+	RestrictedPrev bool
+	// GoodPrev is the packet's good-direction count at the beginning of the
+	// previous step, or 0 right after injection.
+	GoodPrev int
+}
+
+// NewPacket returns a packet ready for injection at src.
+func NewPacket(id int, src, dst mesh.NodeID) *Packet {
+	return &Packet{ID: id, Src: src, Dst: dst, Node: src, EnteredVia: mesh.NoDir, ArrivedAt: -1}
+}
+
+// Arrived reports whether the packet has reached its destination and left
+// the network.
+func (p *Packet) Arrived() bool { return p.ArrivedAt >= 0 }
+
+// Delay returns the number of steps the packet spent in the network, or -1
+// if it has not arrived yet.
+func (p *Packet) Delay() int {
+	if !p.Arrived() {
+		return -1
+	}
+	return p.ArrivedAt - p.InjectedAt
+}
+
+// String renders a compact human-readable description.
+func (p *Packet) String() string {
+	status := fmt.Sprintf("at %d", p.Node)
+	if p.Arrived() {
+		status = fmt.Sprintf("arrived t=%d", p.ArrivedAt)
+	}
+	return fmt.Sprintf("packet %d (%d->%d, %s)", p.ID, p.Src, p.Dst, status)
+}

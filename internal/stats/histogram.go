@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram with an ASCII bar rendering, used
+// by the examples and the steady-state experiments for delay and
+// deflection distributions.
+type Histogram struct {
+	buckets []int
+	lo, hi  float64
+	width   float64
+	under   int
+	over    int
+	n       int
+}
+
+// NewHistogram builds a histogram with `buckets` equal-width buckets
+// covering [lo, hi). Values outside the range are counted separately.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket, got %d", buckets)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) empty", lo, hi)
+	}
+	return &Histogram{
+		buckets: make([]int, buckets),
+		lo:      lo,
+		hi:      hi,
+		width:   (hi - lo) / float64(buckets),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		idx := int((v - h.lo) / h.width)
+		if idx >= len(h.buckets) { // float edge
+			idx = len(h.buckets) - 1
+		}
+		h.buckets[idx]++
+	}
+}
+
+// AddInts records a batch of integer observations.
+func (h *Histogram) AddInts(vs []int) {
+	for _, v := range vs {
+		h.Add(float64(v))
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Quantile returns an approximate quantile (0..1) from the bucket
+// midpoints; out-of-range mass is clamped to the bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	target := int(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.under
+	if cum >= target {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return h.lo + (float64(i)+0.5)*h.width
+		}
+	}
+	return h.hi
+}
+
+// Write renders the histogram as ASCII bars, widest bar `barWidth` chars.
+func (h *Histogram) Write(w io.Writer, barWidth int) error {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	maxCount := h.under
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.over > maxCount {
+		maxCount = h.over
+	}
+	var b strings.Builder
+	bar := func(c int) string {
+		if maxCount == 0 {
+			return ""
+		}
+		return strings.Repeat("#", c*barWidth/maxCount)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%12s  %6d %s\n", fmt.Sprintf("< %g", h.lo), h.under, bar(h.under))
+	}
+	for i, c := range h.buckets {
+		lo := h.lo + float64(i)*h.width
+		fmt.Fprintf(&b, "%12s  %6d %s\n", fmt.Sprintf("[%g,%g)", lo, lo+h.width), c, bar(c))
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%12s  %6d %s\n", fmt.Sprintf(">= %g", h.hi), h.over, bar(h.over))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// IntHistogram tallies exact small integer observations (e.g. deflections
+// per packet) without bucketing.
+type IntHistogram struct {
+	counts map[int]int
+	n      int
+}
+
+// NewIntHistogram returns an empty exact-count histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *IntHistogram) N() int { return h.n }
+
+// Count returns the tally for an exact value.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Write renders sorted value/count lines with ASCII bars.
+func (h *IntHistogram) Write(w io.Writer, barWidth int) error {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	keys := make([]int, 0, len(h.counts))
+	maxCount := 0
+	for k, c := range h.counts {
+		keys = append(keys, k)
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.counts[k]
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*barWidth/maxCount)
+		}
+		fmt.Fprintf(&b, "%6d  %6d %s\n", k, c, bar)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

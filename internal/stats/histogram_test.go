@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(10, 5, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddInts([]int{-1, 0, 1, 2, 3, 9, 10, 50})
+	if h.N() != 8 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under=%d over=%d, want 1, 2", h.under, h.over)
+	}
+	// Buckets: [0,2):{0,1} [2,4):{2,3} [8,10):{9}.
+	if h.buckets[0] != 2 || h.buckets[1] != 2 || h.buckets[4] != 1 {
+		t.Errorf("buckets = %v", h.buckets)
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"< 0", "[0,2)", ">= 10", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-49.5) > 1 {
+		t.Errorf("median = %v", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-98.5) > 1.5 {
+		t.Errorf("p99 = %v", q)
+	}
+	empty, err := NewHistogram(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestHistogramEdgeValueGoesToLastBucket(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0.999999999999) // float edge case
+	sum := 0
+	for _, c := range h.buckets {
+		sum += c
+	}
+	if sum != 1 || h.over != 0 {
+		t.Errorf("edge value mishandled: buckets=%v over=%d", h.buckets, h.over)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{0, 0, 0, 1, 2, 2, 7} {
+		h.Add(v)
+	}
+	if h.N() != 7 || h.Count(0) != 3 || h.Count(2) != 2 || h.Count(5) != 0 {
+		t.Errorf("counts wrong: %+v", h)
+	}
+	var sb strings.Builder
+	if err := h.Write(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 value lines:\n%s", sb.String())
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "0") {
+		t.Errorf("values not sorted:\n%s", sb.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x|y", 2)
+	tb.AddNote("a note")
+	var sb strings.Builder
+	if err := tb.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**T**", "| a | b |", "| --- | --- |", `x\|y`, "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package stats provides the small statistics toolkit the benchmark
+// harness uses: summaries over repeated trials, percentiles, least-squares
+// fits (for scaling-exponent estimation on log-log data), and plain-text /
+// CSV table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P90, P99         float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	if len(sorted) > 1 {
+		var ss float64
+		for _, x := range sorted {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of an already sorted
+// sample using linear interpolation. It panics on an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeInts is Summarize over integer observations.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%g med=%g p90=%g max=%g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P90, s.Max)
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with its coefficient
+// of determination.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits a least-squares line through (xs[i], ys[i]). It requires
+// at least two points with distinct x values.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d, %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: all x values identical")
+	}
+	f := Fit{Slope: sxy / sxx}
+	f.Intercept = my - f.Slope*mx
+	if syy == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = sxy * sxy / (sxx * syy)
+	}
+	return f, nil
+}
+
+// PowerLawFit fits y = c * x^alpha by least squares on log-log axes and
+// returns (alpha, c, R2). All inputs must be positive.
+func PowerLawFit(xs, ys []float64) (alpha, c, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if i >= len(ys) {
+			break
+		}
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: power-law fit needs positive data, got (%g, %g)", xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	f, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return f.Slope, math.Exp(f.Intercept), f.R2, nil
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("basic fields wrong: %+v", s)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	if got := SummarizeInts([]int{1, 2, 3}); got.Mean != 2 {
+		t.Errorf("SummarizeInts mean = %v", got.Mean)
+	}
+	if !strings.Contains(s.String(), "mean=7.00") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {-5, 10}, {100, 50}, {200, 50},
+		{50, 30}, {25, 20}, {75, 40}, {90, 46},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile of empty sample did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestLinearFit(t *testing.T) {
+	f, err := LinearFit([]float64{0, 1, 2, 3}, []float64{1, 3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	f, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || f.Intercept != 5 || f.R2 != 1 {
+		t.Errorf("constant fit = %+v", f)
+	}
+}
+
+func TestPowerLawFit(t *testing.T) {
+	// y = 3 x^0.5 exactly.
+	xs := []float64{1, 4, 9, 16, 100}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Sqrt(x)
+	}
+	alpha, c, r2, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-0.5) > 1e-9 || math.Abs(c-3) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("power fit = (%v, %v, %v)", alpha, c, r2)
+	}
+	if _, _, _, err := PowerLawFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("nonpositive x accepted")
+	}
+}
+
+func TestQuickLinearFitRecoversLine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := rng.Float64()*10 - 5
+		icept := rng.Float64()*10 - 5
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = slope*xs[i] + icept
+		}
+		fit, err := LinearFit(xs, ys)
+		return err == nil && math.Abs(fit.Slope-slope) < 1e-9 && math.Abs(fit.Intercept-icept) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("T1: example", "n", "k", "ratio")
+	tb.AddRow(8, 64, 0.25)
+	tb.AddRow(16, "256", 0.125)
+	tb.AddNote("seeds: %d", 5)
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T1: example", "n", "ratio", "0.25", "256", "note: seeds: 5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 || tb.Title() != "T1: example" {
+		t.Errorf("accessors: rows=%d title=%q", tb.Rows(), tb.Title())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", `with "quote", comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,261 @@
+// Package storefwd implements the classical store-and-forward router the
+// paper contrasts hot-potato routing with (Section 1; [AS], [Ma] run the
+// same comparison for optical and Manhattan-street networks): packets wait
+// in per-link FIFO output queues instead of being deflected, and follow
+// fixed minimal dimension-order routes.
+//
+// The router is synchronous like the hot-potato engine: in each step, at
+// most one packet traverses each directed arc (the head of its output
+// queue, if the downstream queue has room). Dimension-order routing on a
+// mesh with this credit scheme is deadlock-free, so with unbounded buffers
+// the router is a congestion-optimal-ish baseline, and with small buffer
+// caps it quantifies exactly how much storage hot-potato routing saves.
+//
+// It reuses sim.Packet so the same workload generators drive both engines;
+// Deflections stays 0 here, and waiting time shows up as Delay - Hops.
+package storefwd
+
+import (
+	"fmt"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// Options configures the store-and-forward router.
+type Options struct {
+	// BufferCap is the capacity of each output queue in packets;
+	// 0 means unbounded.
+	BufferCap int
+	// MaxSteps bounds the simulation (0 = sim.DefaultMaxSteps).
+	MaxSteps int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Steps is the arrival time of the last packet.
+	Steps int
+	// Delivered and Total count packets.
+	Delivered, Total int
+	// HitMaxSteps reports the step budget ran out first.
+	HitMaxSteps bool
+	// MaxQueue is the largest single output-queue occupancy observed.
+	MaxQueue int
+	// MaxNodeBuffered is the largest total number of packets buffered in
+	// one node at once — the per-node memory a real switch would need.
+	MaxNodeBuffered int
+	// TotalWaits counts packet-steps spent waiting in queues (not moving).
+	TotalWaits int64
+	// TotalHops counts arc traversals (equals the sum of shortest-path
+	// distances: routes are minimal).
+	TotalHops int64
+}
+
+// queue is one output FIFO.
+type queue struct {
+	packets []*sim.Packet
+}
+
+func (q *queue) push(p *sim.Packet) { q.packets = append(q.packets, p) }
+func (q *queue) head() *sim.Packet {
+	if len(q.packets) == 0 {
+		return nil
+	}
+	return q.packets[0]
+}
+func (q *queue) pop() *sim.Packet {
+	p := q.packets[0]
+	copy(q.packets, q.packets[1:])
+	q.packets = q.packets[:len(q.packets)-1]
+	return p
+}
+
+// Engine is a synchronous store-and-forward mesh router with
+// dimension-order routing.
+type Engine struct {
+	mesh    *mesh.Mesh
+	opts    Options
+	packets []*sim.Packet
+	queues  []queue // node*2d + dir
+	time    int
+	live    int
+
+	lastArrival     int
+	maxQueue        int
+	maxNodeBuffered int
+	totalWaits      int64
+	totalHops       int64
+}
+
+// New builds the router and enqueues all packets at their sources.
+// The origin-capacity constraint of the hot-potato model does not apply
+// here (queues absorb any initial burst), so any instance is accepted.
+func New(m *mesh.Mesh, packets []*sim.Packet, opts Options) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("storefwd: nil mesh")
+	}
+	if opts.BufferCap < 0 {
+		return nil, fmt.Errorf("storefwd: negative buffer capacity %d", opts.BufferCap)
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = sim.DefaultMaxSteps
+	}
+	e := &Engine{
+		mesh:    m,
+		opts:    opts,
+		packets: packets,
+		queues:  make([]queue, m.Size()*m.DirCount()),
+	}
+	ids := make(map[int]bool, len(packets))
+	for _, p := range packets {
+		if p == nil {
+			return nil, fmt.Errorf("storefwd: nil packet")
+		}
+		if err := m.CheckID(p.Src); err != nil {
+			return nil, fmt.Errorf("storefwd: packet %d source: %w", p.ID, err)
+		}
+		if err := m.CheckID(p.Dst); err != nil {
+			return nil, fmt.Errorf("storefwd: packet %d destination: %w", p.ID, err)
+		}
+		if ids[p.ID] {
+			return nil, fmt.Errorf("storefwd: duplicate packet id %d", p.ID)
+		}
+		ids[p.ID] = true
+		p.Node = p.Src
+		if p.Src == p.Dst {
+			p.ArrivedAt = 0
+			continue
+		}
+		p.ArrivedAt = -1
+		e.enqueue(p)
+		e.live++
+	}
+	// Initial bursts may exceed a bounded cap; that is legal (the cap
+	// constrains in-flight forwarding, sources are assumed to hold their
+	// own injection queues), but it counts toward occupancy statistics.
+	e.observeOccupancy()
+	return e, nil
+}
+
+// nextDir returns the dimension-order (lowest differing axis first) output
+// direction for a packet at node toward dst.
+func (e *Engine) nextDir(node, dst mesh.NodeID) mesh.Dir {
+	for a := 0; a < e.mesh.Dim(); a++ {
+		c, cd := e.mesh.CoordAxis(node, a), e.mesh.CoordAxis(dst, a)
+		if c < cd {
+			return mesh.DirPlus(a)
+		}
+		if c > cd {
+			return mesh.DirMinus(a)
+		}
+	}
+	return mesh.NoDir
+}
+
+func (e *Engine) enqueue(p *sim.Packet) {
+	dir := e.nextDir(p.Node, p.Dst)
+	e.queues[int(p.Node)*e.mesh.DirCount()+int(dir)].push(p)
+}
+
+func (e *Engine) observeOccupancy() {
+	dirs := e.mesh.DirCount()
+	for node := 0; node < e.mesh.Size(); node++ {
+		total := 0
+		for d := 0; d < dirs; d++ {
+			l := len(e.queues[node*dirs+d].packets)
+			total += l
+			if l > e.maxQueue {
+				e.maxQueue = l
+			}
+		}
+		if total > e.maxNodeBuffered {
+			e.maxNodeBuffered = total
+		}
+	}
+}
+
+// Time returns the current step.
+func (e *Engine) Time() int { return e.time }
+
+// Live returns the number of undelivered packets.
+func (e *Engine) Live() int { return e.live }
+
+// Done reports whether all packets arrived.
+func (e *Engine) Done() bool { return e.live == 0 }
+
+// Step advances one synchronous step: every queue head whose downstream
+// queue has room (judged by occupancy at the beginning of the step)
+// traverses its arc.
+func (e *Engine) Step() {
+	dirs := e.mesh.DirCount()
+
+	// Phase 1: decide departures from start-of-step occupancies.
+	type move struct {
+		p    *sim.Packet
+		to   mesh.NodeID
+		qIdx int
+	}
+	var moves []move
+	for node := 0; node < e.mesh.Size(); node++ {
+		for d := 0; d < dirs; d++ {
+			qIdx := node*dirs + d
+			p := e.queues[qIdx].head()
+			if p == nil {
+				continue
+			}
+			dir := mesh.Dir(d)
+			to, ok := e.mesh.Neighbor(mesh.NodeID(node), dir)
+			if !ok {
+				// Dimension-order routing never aims off the mesh; this
+				// would be an internal bug.
+				panic(fmt.Sprintf("storefwd: queue (%d,%v) aims off the mesh", node, dir))
+			}
+			if to != p.Dst && e.opts.BufferCap > 0 {
+				nd := e.nextDir(to, p.Dst)
+				downstream := int(to)*dirs + int(nd)
+				if len(e.queues[downstream].packets) >= e.opts.BufferCap {
+					continue // blocked: wait in place
+				}
+			}
+			moves = append(moves, move{p: p, to: to, qIdx: qIdx})
+		}
+	}
+
+	// Waiting statistics: every live packet that does not move this step
+	// waits one step.
+	e.totalWaits += int64(e.live - len(moves))
+
+	// Phase 2: apply all departures simultaneously.
+	e.time++
+	for _, mv := range moves {
+		e.queues[mv.qIdx].pop()
+		mv.p.Node = mv.to
+		mv.p.Hops++
+		e.totalHops++
+		if mv.to == mv.p.Dst {
+			mv.p.ArrivedAt = e.time
+			e.lastArrival = e.time
+			e.live--
+			continue
+		}
+		e.enqueue(mv.p)
+	}
+	e.observeOccupancy()
+}
+
+// Run steps until completion or the step budget is exhausted.
+func (e *Engine) Run() (*Result, error) {
+	for e.live > 0 && e.time < e.opts.MaxSteps {
+		e.Step()
+	}
+	return &Result{
+		Steps:           e.lastArrival,
+		Delivered:       len(e.packets) - e.live,
+		Total:           len(e.packets),
+		HitMaxSteps:     e.live > 0,
+		MaxQueue:        e.maxQueue,
+		MaxNodeBuffered: e.maxNodeBuffered,
+		TotalWaits:      e.totalWaits,
+		TotalHops:       e.totalHops,
+	}, nil
+}

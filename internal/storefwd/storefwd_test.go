@@ -1,0 +1,243 @@
+package storefwd
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func TestSinglePacketShortestPath(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	src, dst := m.ID([]int{1, 2}), m.ID([]int{6, 7})
+	p := sim.NewPacket(0, src, dst)
+	e, err := New(m, []*sim.Packet{p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Dist(src, dst)
+	if res.Steps != want || p.Hops != want || res.TotalWaits != 0 {
+		t.Errorf("steps=%d hops=%d waits=%d, want %d, %d, 0", res.Steps, p.Hops, res.TotalWaits, want, want)
+	}
+}
+
+func TestDimensionOrderRoute(t *testing.T) {
+	m := mesh.MustNew(3, 5)
+	src := m.ID([]int{4, 2, 0})
+	dst := m.ID([]int{1, 2, 3})
+	p := sim.NewPacket(0, src, dst)
+	e, err := New(m, []*sim.Packet{p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First moves must fix axis 0 (three -x0 steps), then axis 2.
+	e.Step()
+	if got := m.CoordAxis(p.Node, 0); got != 3 {
+		t.Errorf("after one step x0 = %d, want 3", got)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != m.Dist(src, dst) {
+		t.Errorf("steps = %d, want %d", res.Steps, m.Dist(src, dst))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	if _, err := New(nil, nil, Options{}); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	if _, err := New(m, []*sim.Packet{nil}, Options{}); err == nil {
+		t.Error("nil packet accepted")
+	}
+	if _, err := New(m, nil, Options{BufferCap: -1}); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if _, err := New(m, []*sim.Packet{sim.NewPacket(0, -1, 2)}, Options{}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := New(m, []*sim.Packet{sim.NewPacket(0, 1, 99)}, Options{}); err == nil {
+		t.Error("bad destination accepted")
+	}
+	if _, err := New(m, []*sim.Packet{sim.NewPacket(3, 0, 1), sim.NewPacket(3, 1, 2)}, Options{}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestSelfAddressedAbsorbed(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	p := sim.NewPacket(0, 5, 5)
+	e, err := New(m, []*sim.Packet{p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Done() || p.ArrivedAt != 0 {
+		t.Errorf("self-addressed packet not absorbed: %+v", p)
+	}
+}
+
+// TestUnboundedDeliversEverything: permutations and hotspots complete, all
+// routes are minimal, and queue stats are sane.
+func TestUnboundedDeliversEverything(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(1))
+	for name, packets := range map[string][]*sim.Packet{
+		"permutation": workload.Permutation(m, rng),
+	} {
+		e, err := New(m, packets, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != res.Total {
+			t.Fatalf("%s: %d/%d delivered", name, res.Delivered, res.Total)
+		}
+		var wantHops int64
+		for _, p := range packets {
+			wantHops += int64(m.Dist(p.Src, p.Dst))
+			if p.Hops != m.Dist(p.Src, p.Dst) {
+				t.Fatalf("%s: packet %d took %d hops for distance %d", name, p.ID, p.Hops, m.Dist(p.Src, p.Dst))
+			}
+		}
+		if res.TotalHops != wantHops {
+			t.Errorf("%s: total hops %d, want %d", name, res.TotalHops, wantHops)
+		}
+		if res.MaxQueue < 1 || res.MaxNodeBuffered < res.MaxQueue {
+			t.Errorf("%s: queue stats inconsistent: %+v", name, res)
+		}
+	}
+}
+
+// TestBoundedBuffersStillDeliver: with cap 1 the router is slower but must
+// still complete (dimension-order + credit flow control is deadlock-free).
+func TestBoundedBuffersStillDeliver(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(2))
+	packets, err := workload.HotSpot(m, 100, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unboundedSteps := 0
+	for _, cap := range []int{0, 4, 1} {
+		fresh := make([]*sim.Packet, len(packets))
+		for i, p := range packets {
+			fresh[i] = sim.NewPacket(p.ID, p.Src, p.Dst)
+		}
+		e, err := New(m, fresh, Options{BufferCap: cap, MaxSteps: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != res.Total {
+			t.Fatalf("cap=%d: %d/%d delivered (%+v)", cap, res.Delivered, res.Total, res)
+		}
+		if cap == 0 {
+			unboundedSteps = res.Steps
+		} else if res.Steps < unboundedSteps {
+			t.Errorf("cap=%d finished in %d steps, faster than unbounded %d", cap, res.Steps, unboundedSteps)
+		}
+	}
+}
+
+// TestWaitsAccounting: two packets forced through the same arc: one waits
+// exactly one step.
+func TestWaitsAccounting(t *testing.T) {
+	m := mesh.MustNew(1, 4)
+	// Both packets start at node 1 and go to node 3: same output queue.
+	p0 := sim.NewPacket(0, 1, 3)
+	p1 := sim.NewPacket(1, 1, 3)
+	e, err := New(m, []*sim.Packet{p0, p1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 3 { // first packet 2 steps, second waits 1 then 2 more
+		t.Errorf("steps = %d, want 3", res.Steps)
+	}
+	if res.TotalWaits != 1 {
+		t.Errorf("waits = %d, want 1", res.TotalWaits)
+	}
+	if res.MaxQueue != 2 {
+		t.Errorf("max queue = %d, want 2", res.MaxQueue)
+	}
+}
+
+// TestHeadOfLineBlocking: a blocked head delays a packet behind it even if
+// that packet's own downstream is free (FIFO semantics).
+func TestHeadOfLineBlocking(t *testing.T) {
+	m := mesh.MustNew(1, 5)
+	// cap=1. q0: node1->+x. p0 at node 1 going to 4; p1 behind it going to 2.
+	// A wall of packets occupies node 2's +x queue so p0 blocks; p1 must
+	// wait behind p0 even though node 2 is p1's destination.
+	wall := sim.NewPacket(9, 2, 4)
+	p0 := sim.NewPacket(0, 1, 4)
+	p1 := sim.NewPacket(1, 1, 2)
+	e, err := New(m, []*sim.Packet{wall, p0, p1}, Options{BufferCap: 1, MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: wall moves 2->3, p0 blocked? wall occupies queue(2,+x) at
+	// start, so p0 waits; p1 waits behind p0.
+	e.Step()
+	if p0.Node != 1 || p1.Node != 1 {
+		t.Fatalf("expected head-of-line blocking at step 1: p0 at %d, p1 at %d", p0.Node, p1.Node)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 {
+		t.Fatalf("only %d delivered", res.Delivered)
+	}
+}
+
+// TestMaxStepsBudget: an undeliverable amount of time is bounded.
+func TestMaxStepsBudget(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(3))
+	packets := workload.Permutation(m, rng)
+	e, err := New(m, packets, Options{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HitMaxSteps {
+		t.Error("expected HitMaxSteps on a 2-step budget")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	p := sim.NewPacket(0, 0, 15)
+	e, err := New(m, []*sim.Packet{p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Time() != 0 || e.Live() != 1 || e.Done() {
+		t.Errorf("initial accessors wrong: t=%d live=%d done=%v", e.Time(), e.Live(), e.Done())
+	}
+	e.Step()
+	if e.Time() != 1 {
+		t.Errorf("Time after step = %d", e.Time())
+	}
+}

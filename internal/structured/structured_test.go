@@ -1,0 +1,105 @@
+package structured
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func runPolicy(t *testing.T, m *mesh.Mesh, pol sim.Policy, packets []*sim.Packet, seed int64) *sim.Result {
+	t.Helper()
+	e, err := sim.New(m, pol, packets, sim.Options{
+		Seed:       seed,
+		Validation: sim.ValidateBasic,
+		MaxSteps:   100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTwoPhaseDelivers(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		packets := workload.Permutation(m, rng)
+		res := runPolicy(t, m, NewTwoPhase(), packets, seed)
+		if res.Delivered != res.Total {
+			t.Fatalf("seed %d: %d/%d delivered (%+v)", seed, res.Delivered, res.Total, res)
+		}
+	}
+}
+
+func TestTwoPhaseIsHotPotatoLegal(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(1))
+	packets, err := workload.UniformRandom(m, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ValidateBasic (inside runPolicy) already asserts every packet gets a
+	// distinct existing arc every step; reaching completion is the test.
+	res := runPolicy(t, m, NewTwoPhase(), packets, 1)
+	if res.Delivered != res.Total {
+		t.Fatalf("%d/%d delivered", res.Delivered, res.Total)
+	}
+}
+
+// TestOverstructuring reproduces the paper's introductory critique: on
+// traffic where every destination is at distance <= 2, the greedy class
+// finishes in a handful of steps while the structured scheme drags packets
+// across the mesh.
+func TestOverstructuring(t *testing.T) {
+	m := mesh.MustNew(2, 12)
+	const radius = 2
+	mk := func(seed int64) []*sim.Packet {
+		rng := rand.New(rand.NewSource(seed))
+		packets, err := workload.LocalRandom(m, 60, radius, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return packets
+	}
+	var greedySum, structuredSum int
+	for seed := int64(0); seed < 3; seed++ {
+		greedySum += runPolicy(t, m, core.NewRestrictedPriority(), mk(seed), seed).Steps
+		structuredSum += runPolicy(t, m, NewTwoPhase(), mk(seed), seed).Steps
+	}
+	if structuredSum <= 2*greedySum {
+		t.Errorf("structured %d vs greedy %d total steps: expected a large detour penalty", structuredSum, greedySum)
+	}
+	if greedySum > 3*radius*3 {
+		t.Errorf("greedy took %d total steps on radius-%d traffic", greedySum, radius)
+	}
+}
+
+// TestTwoPhaseName covers metadata.
+func TestTwoPhaseName(t *testing.T) {
+	pol := NewTwoPhase()
+	if pol.Name() != "structured-two-phase" {
+		t.Errorf("Name() = %q", pol.Name())
+	}
+	if pol.Deterministic() {
+		t.Error("two-phase claims determinism")
+	}
+}
+
+// TestTwoPhaseSelfAddressed: packets already at their destination are
+// absorbed before the policy ever sees them.
+func TestTwoPhaseSelfAddressed(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	p := sim.NewPacket(0, 7, 7)
+	res := runPolicy(t, m, NewTwoPhase(), []*sim.Packet{p}, 1)
+	if res.Steps != 0 || res.Delivered != 1 {
+		t.Errorf("self-addressed result %+v", res)
+	}
+}

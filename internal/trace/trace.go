@@ -1,0 +1,331 @@
+// Package trace records hot-potato runs move by move, serializes them to a
+// compact line-based text format, and re-verifies them independently of
+// the engine: the verifier replays the moves against the raw model rules
+// (hot-potato compliance, one packet per arc, greediness) with none of the
+// engine's code in the loop. A recorded trace therefore serves as an
+// exchangeable witness that a run was legal, as a regression artifact, and
+// as an oracle that would catch a hypothetical engine bug.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// PacketSpec identifies one packet of the traced instance.
+type PacketSpec struct {
+	ID  int
+	Src mesh.NodeID
+	Dst mesh.NodeID
+}
+
+// MoveSpec is one packet movement: the packet took the arc in direction
+// Dir out of its current node.
+type MoveSpec struct {
+	PacketID int
+	Dir      mesh.Dir
+}
+
+// Trace is a fully recorded run.
+type Trace struct {
+	// Dim and Side describe the network; Wrap marks a torus.
+	Dim, Side int
+	Wrap      bool
+	// Packets lists the instance (including packets born at their
+	// destinations, which never move).
+	Packets []PacketSpec
+	// Steps holds the moves of each step, in order.
+	Steps [][]MoveSpec
+}
+
+// Recorder captures an engine run. Register it as an observer before the
+// first step; packets injected later (dynamic traffic) are picked up
+// automatically at their first move.
+type Recorder struct {
+	trace *Trace
+	known map[int]bool
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder builds a recorder for the given instance.
+func NewRecorder(m *mesh.Mesh, packets []*sim.Packet) *Recorder {
+	r := &Recorder{
+		trace: &Trace{Dim: m.Dim(), Side: m.Side(), Wrap: m.Wrap()},
+		known: make(map[int]bool, len(packets)),
+	}
+	for _, p := range packets {
+		r.trace.Packets = append(r.trace.Packets, PacketSpec{ID: p.ID, Src: p.Src, Dst: p.Dst})
+		r.known[p.ID] = true
+	}
+	return r
+}
+
+// OnStep implements sim.Observer.
+func (r *Recorder) OnStep(rec *sim.StepRecord) {
+	moves := make([]MoveSpec, 0, len(rec.Moves))
+	for i := range rec.Moves {
+		mv := &rec.Moves[i]
+		p := mv.Packet
+		if !r.known[p.ID] {
+			r.known[p.ID] = true
+			r.trace.Packets = append(r.trace.Packets, PacketSpec{ID: p.ID, Src: p.Src, Dst: p.Dst})
+		}
+		moves = append(moves, MoveSpec{PacketID: p.ID, Dir: mv.Dir})
+	}
+	r.trace.Steps = append(r.trace.Steps, moves)
+}
+
+// Trace returns the recorded trace (valid after the run completes).
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+// header is the format magic line.
+const header = "hotpotato-trace v1"
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, header)
+	kind := "mesh"
+	if t.Wrap {
+		kind = "torus"
+	}
+	fmt.Fprintf(bw, "%s %d %d\n", kind, t.Dim, t.Side)
+	fmt.Fprintf(bw, "packets %d\n", len(t.Packets))
+	for _, p := range t.Packets {
+		fmt.Fprintf(bw, "p %d %d %d\n", p.ID, p.Src, p.Dst)
+	}
+	fmt.Fprintf(bw, "steps %d\n", len(t.Steps))
+	for i, step := range t.Steps {
+		fmt.Fprintf(bw, "s %d %d\n", i, len(step))
+		for _, mv := range step {
+			fmt.Fprintf(bw, "m %d %d\n", mv.PacketID, mv.Dir)
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrFormat is returned for malformed trace input.
+var ErrFormat = errors.New("trace: malformed input")
+
+// Read parses a serialized trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1<<16), 1<<24)
+	next := func() (string, error) {
+		if !br.Scan() {
+			if err := br.Err(); err != nil {
+				return "", err
+			}
+			return "", fmt.Errorf("%w: unexpected end of input", ErrFormat)
+		}
+		return br.Text(), nil
+	}
+	line, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if line != header {
+		return nil, fmt.Errorf("%w: bad header %q", ErrFormat, line)
+	}
+	t := &Trace{}
+	if line, err = next(); err != nil {
+		return nil, err
+	}
+	var kind string
+	if _, err := fmt.Sscanf(line, "%s %d %d", &kind, &t.Dim, &t.Side); err != nil || (kind != "mesh" && kind != "torus") {
+		return nil, fmt.Errorf("%w: %q", ErrFormat, line)
+	}
+	t.Wrap = kind == "torus"
+	var np int
+	if line, err = next(); err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "packets %d", &np); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrFormat, line)
+	}
+	for i := 0; i < np; i++ {
+		if line, err = next(); err != nil {
+			return nil, err
+		}
+		var p PacketSpec
+		if _, err := fmt.Sscanf(line, "p %d %d %d", &p.ID, &p.Src, &p.Dst); err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrFormat, line)
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	var ns int
+	if line, err = next(); err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "steps %d", &ns); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrFormat, line)
+	}
+	for s := 0; s < ns; s++ {
+		var idx, nm int
+		if line, err = next(); err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(line, "s %d %d", &idx, &nm); err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrFormat, line)
+		}
+		if idx != s {
+			return nil, fmt.Errorf("%w: step %d labeled %d", ErrFormat, s, idx)
+		}
+		step := make([]MoveSpec, 0, nm)
+		for j := 0; j < nm; j++ {
+			if line, err = next(); err != nil {
+				return nil, err
+			}
+			var mv MoveSpec
+			var dir int
+			if _, err := fmt.Sscanf(line, "m %d %d", &mv.PacketID, &dir); err != nil {
+				return nil, fmt.Errorf("%w: %q", ErrFormat, line)
+			}
+			mv.Dir = mesh.Dir(dir)
+			step = append(step, mv)
+		}
+		t.Steps = append(t.Steps, step)
+	}
+	return t, nil
+}
+
+// ReplayResult is the verifier's summary.
+type ReplayResult struct {
+	// Steps is the arrival time of the last packet.
+	Steps int
+	// Delivered counts packets that reached their destination.
+	Delivered int
+	// Deflections counts moves away from destinations.
+	Deflections int
+}
+
+// Verify replays the trace against the model rules and returns the
+// summary. checkGreedy additionally enforces Definition 6 at every step.
+// The verifier is deliberately independent of the sim engine.
+func (t *Trace) Verify(checkGreedy bool) (*ReplayResult, error) {
+	var m *mesh.Mesh
+	var err error
+	if t.Wrap {
+		m, err = mesh.NewTorus(t.Dim, t.Side)
+	} else {
+		m, err = mesh.New(t.Dim, t.Side)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[int]mesh.NodeID, len(t.Packets))
+	dst := make(map[int]mesh.NodeID, len(t.Packets))
+	arrived := make(map[int]bool, len(t.Packets))
+	res := &ReplayResult{}
+	for _, p := range t.Packets {
+		if _, dup := pos[p.ID]; dup {
+			return nil, fmt.Errorf("trace: duplicate packet %d", p.ID)
+		}
+		if err := m.CheckID(p.Src); err != nil {
+			return nil, err
+		}
+		if err := m.CheckID(p.Dst); err != nil {
+			return nil, err
+		}
+		pos[p.ID] = p.Src
+		dst[p.ID] = p.Dst
+		if p.Src == p.Dst {
+			arrived[p.ID] = true
+			res.Delivered++
+		}
+	}
+
+	// injectedAt: packets appear in the trace only from their first moving
+	// step (dynamic traffic); a packet is "live" from the first step it
+	// moves. Hot-potato compliance is therefore checked as: once a packet
+	// has moved, it must move every step until arrival.
+	started := make(map[int]bool, len(t.Packets))
+
+	for s, step := range t.Steps {
+		usedArc := make(map[int64]bool, len(step))
+		movedNow := make(map[int]bool, len(step))
+		for _, mv := range step {
+			node, ok := pos[mv.PacketID]
+			if !ok {
+				return nil, fmt.Errorf("trace: step %d moves unknown packet %d", s, mv.PacketID)
+			}
+			if arrived[mv.PacketID] {
+				return nil, fmt.Errorf("trace: step %d moves arrived packet %d", s, mv.PacketID)
+			}
+			if mv.Dir < 0 || int(mv.Dir) >= m.DirCount() {
+				return nil, fmt.Errorf("trace: step %d packet %d bad direction %d", s, mv.PacketID, mv.Dir)
+			}
+			if _, ok := m.Neighbor(node, mv.Dir); !ok {
+				return nil, fmt.Errorf("trace: step %d packet %d moves off the mesh", s, mv.PacketID)
+			}
+			arcKey := int64(node)*int64(m.DirCount()) + int64(mv.Dir)
+			if usedArc[arcKey] {
+				return nil, fmt.Errorf("trace: step %d arc (%d,%v) used twice", s, node, mv.Dir)
+			}
+			usedArc[arcKey] = true
+			movedNow[mv.PacketID] = true
+		}
+		// Hot-potato compliance: every previously started, unarrived
+		// packet must move.
+		for id := range started {
+			if !arrived[id] && !movedNow[id] {
+				return nil, fmt.Errorf("trace: step %d packet %d held in place (hot-potato violation)", s, id)
+			}
+		}
+		if checkGreedy {
+			if err := t.checkGreedyStep(m, s, step, pos, dst); err != nil {
+				return nil, err
+			}
+		}
+		// Apply moves.
+		for _, mv := range step {
+			started[mv.PacketID] = true
+			from := pos[mv.PacketID]
+			to, _ := m.Neighbor(from, mv.Dir)
+			if !m.IsGoodDir(from, dst[mv.PacketID], mv.Dir) {
+				res.Deflections++
+			}
+			pos[mv.PacketID] = to
+			if to == dst[mv.PacketID] {
+				arrived[mv.PacketID] = true
+				res.Delivered++
+				res.Steps = s + 1
+			}
+		}
+	}
+	return res, nil
+}
+
+// checkGreedyStep verifies Definition 6 for one step: group moves by
+// source node; any deflected packet must have all its good arcs used by
+// advancing packets from the same node.
+func (t *Trace) checkGreedyStep(m *mesh.Mesh, s int, step []MoveSpec, pos, dst map[int]mesh.NodeID) error {
+	// arcAdvancing[node*2d+dir] = some packet advanced via that arc.
+	advancing := make(map[int64]bool, len(step))
+	for _, mv := range step {
+		from := pos[mv.PacketID]
+		if m.IsGoodDir(from, dst[mv.PacketID], mv.Dir) {
+			advancing[int64(from)*int64(m.DirCount())+int64(mv.Dir)] = true
+		}
+	}
+	var buf [2 * mesh.MaxDim]mesh.Dir
+	for _, mv := range step {
+		from := pos[mv.PacketID]
+		if m.IsGoodDir(from, dst[mv.PacketID], mv.Dir) {
+			continue
+		}
+		for _, g := range m.GoodDirs(from, dst[mv.PacketID], buf[:0]) {
+			if !advancing[int64(from)*int64(m.DirCount())+int64(g)] {
+				return fmt.Errorf("trace: step %d packet %d deflected with good arc %v unused by advancing packets (Definition 6)",
+					s, mv.PacketID, g)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package traffic provides continuous packet sources for the sim engine's
+// injection hook, modeling the steady-state deflection-network regime of
+// the studies the paper cites ([GG], [Ma], [ZA]): every node generates
+// packets at a fixed rate, holds them in a local source queue, and injects
+// whenever the hot-potato constraint leaves room (a node may never hold
+// more packets than its out-degree).
+//
+// The source records the generation time of every packet, so end-to-end
+// latency (source queueing + network time) and backlog growth can be
+// measured; the load at which the backlog stops being stable is the
+// network's saturation throughput.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// pending is one generated-but-not-yet-injected packet.
+type pending struct {
+	dst         mesh.NodeID
+	generatedAt int
+	class       int
+}
+
+// Bernoulli is a continuous source: at every step, every node generates a
+// packet with probability Rate, destined to a node drawn by Dest. It
+// implements sim.Injector and is deterministic given the engine RNG.
+type Bernoulli struct {
+	// Rate is the per-node per-step generation probability in [0, 1].
+	Rate float64
+	// Dest draws a destination for a packet generated at src. Nil means
+	// uniform over all nodes other than src.
+	Dest func(src mesh.NodeID, m *mesh.Mesh, rng *rand.Rand) mesh.NodeID
+	// Until stops generation at this step (0 = never stop); after it, the
+	// network and source queues drain, which is how experiments terminate.
+	Until int
+	// HighFrac marks this fraction of generated packets as traffic class 1
+	// (the rest stay class 0), for QoS experiments with class-priority
+	// policies. Zero disables.
+	HighFrac float64
+
+	backlog    [][]pending // indexed by node, allocated on first Inject
+	generated  int
+	injected   int
+	maxBacklog int
+	curBacklog int
+	genTime    map[int]int // packet ID -> generation step
+}
+
+var _ sim.Injector = (*Bernoulli)(nil)
+
+// NewBernoulli returns a source with uniform destinations.
+func NewBernoulli(rate float64, until int) (*Bernoulli, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("traffic: rate %v outside [0, 1]", rate)
+	}
+	return &Bernoulli{
+		Rate:    rate,
+		Until:   until,
+		genTime: make(map[int]int),
+	}, nil
+}
+
+// Inject implements sim.Injector.
+func (b *Bernoulli) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+	m := e.Mesh()
+	if b.backlog == nil {
+		b.backlog = make([][]pending, m.Size())
+	}
+
+	// Generation phase.
+	if b.Until == 0 || t < b.Until {
+		for node := mesh.NodeID(0); int(node) < m.Size(); node++ {
+			if rng.Float64() >= b.Rate {
+				continue
+			}
+			dst := b.drawDest(node, m, rng)
+			class := 0
+			if b.HighFrac > 0 && rng.Float64() < b.HighFrac {
+				class = 1
+			}
+			b.backlog[node] = append(b.backlog[node], pending{dst: dst, generatedAt: t, class: class})
+			b.generated++
+			b.curBacklog++
+		}
+	}
+
+	// Injection phase: drain each source queue into the node's free slots,
+	// in node order (deterministic).
+	var out []*sim.Packet
+	for node := mesh.NodeID(0); int(node) < m.Size(); node++ {
+		q := b.backlog[node]
+		if len(q) == 0 {
+			continue
+		}
+		room := e.InjectionCapacity(node)
+		take := len(q)
+		if room < take {
+			take = room
+		}
+		for i := 0; i < take; i++ {
+			p := sim.NewPacket(e.NextPacketID(), node, q[i].dst)
+			p.Class = q[i].class
+			b.genTime[p.ID] = q[i].generatedAt
+			out = append(out, p)
+			b.injected++
+			b.curBacklog--
+		}
+		b.backlog[node] = q[take:]
+	}
+	if b.curBacklog > b.maxBacklog {
+		b.maxBacklog = b.curBacklog
+	}
+	return out
+}
+
+func (b *Bernoulli) drawDest(src mesh.NodeID, m *mesh.Mesh, rng *rand.Rand) mesh.NodeID {
+	if b.Dest != nil {
+		return b.Dest(src, m, rng)
+	}
+	for {
+		dst := mesh.NodeID(rng.Intn(m.Size()))
+		if dst != src {
+			return dst
+		}
+	}
+}
+
+// Exhausted implements sim.Injector: the source is done once its
+// generation window has closed and its backlog has drained.
+func (b *Bernoulli) Exhausted(t int) bool {
+	return b.Until > 0 && t >= b.Until && b.curBacklog == 0
+}
+
+// Generated returns the number of packets produced by the source.
+func (b *Bernoulli) Generated() int { return b.generated }
+
+// Injected returns the number of packets actually injected so far.
+func (b *Bernoulli) Injected() int { return b.injected }
+
+// Backlog returns the current number of generated-but-not-injected packets.
+func (b *Bernoulli) Backlog() int { return b.curBacklog }
+
+// MaxBacklog returns the largest backlog observed.
+func (b *Bernoulli) MaxBacklog() int { return b.maxBacklog }
+
+// Latency returns the end-to-end latency (generation to arrival) of a
+// delivered packet, or -1 if it has not arrived or is unknown.
+func (b *Bernoulli) Latency(p *sim.Packet) int {
+	gen, ok := b.genTime[p.ID]
+	if !ok || !p.Arrived() {
+		return -1
+	}
+	return p.ArrivedAt - gen
+}
+
+// HotSpotDest returns a Dest function that targets `hot` with probability
+// frac and a uniform node otherwise — the hot-spot traffic of [ZA].
+func HotSpotDest(hot mesh.NodeID, frac float64) func(mesh.NodeID, *mesh.Mesh, *rand.Rand) mesh.NodeID {
+	return func(src mesh.NodeID, m *mesh.Mesh, rng *rand.Rand) mesh.NodeID {
+		if rng.Float64() < frac && hot != src {
+			return hot
+		}
+		for {
+			dst := mesh.NodeID(rng.Intn(m.Size()))
+			if dst != src {
+				return dst
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+func TestNewBernoulliValidation(t *testing.T) {
+	if _, err := NewBernoulli(-0.1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewBernoulli(1.1, 0); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := NewBernoulli(0.5, 100); err != nil {
+		t.Error(err)
+	}
+}
+
+// runDynamic drives a continuous simulation: generate until `until`, then
+// drain until empty or the budget runs out.
+func runDynamic(t *testing.T, rate float64, until, maxSteps int) (*sim.Engine, *Bernoulli, *sim.Result) {
+	t.Helper()
+	m := mesh.MustNew(2, 8)
+	src, err := NewBernoulli(rate, until)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), nil, sim.Options{
+		Seed:       1,
+		Validation: sim.ValidateRestricted,
+		MaxSteps:   maxSteps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInjector(src)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, src, res
+}
+
+func TestDynamicGenerateAndDrain(t *testing.T) {
+	e, src, _ := runDynamic(t, 0.05, 200, 1000)
+	if src.Generated() == 0 {
+		t.Fatal("nothing generated")
+	}
+	if src.Injected() != src.Generated() {
+		t.Errorf("injected %d != generated %d after drain", src.Injected(), src.Generated())
+	}
+	if src.Backlog() != 0 {
+		t.Errorf("backlog %d after drain", src.Backlog())
+	}
+	// Everything generated must eventually arrive.
+	delivered := 0
+	for _, p := range e.Packets() {
+		if p.Arrived() {
+			delivered++
+			if lat := src.Latency(p); lat < m1Dist(e, p) {
+				t.Errorf("packet %d latency %d below network distance %d", p.ID, lat, m1Dist(e, p))
+			}
+		}
+	}
+	if delivered != src.Generated() {
+		t.Errorf("delivered %d of %d generated", delivered, src.Generated())
+	}
+}
+
+func m1Dist(e *sim.Engine, p *sim.Packet) int {
+	return e.Mesh().Dist(p.Src, p.Dst)
+}
+
+func TestDynamicLowLoadStable(t *testing.T) {
+	_, src, _ := runDynamic(t, 0.02, 400, 2000)
+	// At 2% load per node the network is far from saturation: the source
+	// backlog should stay tiny.
+	if src.MaxBacklog() > 20 {
+		t.Errorf("max backlog %d at 2%% load", src.MaxBacklog())
+	}
+}
+
+func TestDynamicOverloadBacklogGrows(t *testing.T) {
+	// At rate 1.0 every node generates every step: far beyond capacity,
+	// the backlog must grow roughly linearly with time.
+	_, src, _ := runDynamic(t, 1.0, 300, 300)
+	if src.Backlog() < src.Generated()/4 {
+		t.Errorf("backlog %d of %d generated: expected clear saturation", src.Backlog(), src.Generated())
+	}
+}
+
+func TestLatencyUnknownPacket(t *testing.T) {
+	src, err := NewBernoulli(0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.NewPacket(999, 0, 1)
+	if src.Latency(p) != -1 {
+		t.Error("latency of unknown packet != -1")
+	}
+}
+
+func TestHotSpotDest(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	src, err := NewBernoulli(0.05, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := m.ID([]int{4, 4})
+	src.Dest = HotSpotDest(hot, 0.8)
+	e, err := sim.New(m, core.NewRestrictedPriority(), nil, sim.Options{
+		Seed: 2, Validation: sim.ValidateRestricted, MaxSteps: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInjector(src)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	toHot := 0
+	for _, p := range e.Packets() {
+		if p.Dst == hot {
+			toHot++
+		}
+	}
+	if total := len(e.Packets()); total == 0 || float64(toHot)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d packets to hot node at 80%% heat", toHot, total)
+	}
+}
+
+// TestInjectionRespectsCapacity: even at overload, no injection error
+// occurs because the source respects InjectionCapacity.
+func TestInjectionRespectsCapacity(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	src, err := NewBernoulli(1.0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), nil, sim.Options{
+		Seed: 3, Validation: sim.ValidateRestricted, MaxSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInjector(src)
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("overload run failed: %v", err)
+	}
+}
+
+// TestDynamicDeterminism: identical seeds produce identical traffic.
+func TestDynamicDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		_, src, res := runDynamic(t, 0.1, 100, 600)
+		return src.Generated(), res.Delivered
+	}
+	g1, d1 := run()
+	g2, d2 := run()
+	if g1 != g2 || d1 != d2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", g1, d1, g2, d2)
+	}
+}

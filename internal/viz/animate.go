@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// Animator renders the first MaxFrames steps of a 2-D run as text frames:
+// per node, the number of packets (or '.'), with bad nodes (more than d
+// packets) highlighted as B, mirroring Figure 3's view live. It implements
+// sim.Observer and writes each frame as it happens.
+type Animator struct {
+	mesh      *mesh.Mesh
+	w         io.Writer
+	maxFrames int
+	frames    int
+	err       error
+}
+
+var _ sim.Observer = (*Animator)(nil)
+
+// NewAnimator builds an animator writing at most maxFrames frames to w.
+// The mesh must be 2-dimensional.
+func NewAnimator(m *mesh.Mesh, w io.Writer, maxFrames int) (*Animator, error) {
+	if m.Dim() != 2 {
+		return nil, fmt.Errorf("viz: animator needs a 2-dimensional mesh, got %v", m)
+	}
+	if maxFrames < 1 {
+		return nil, fmt.Errorf("viz: animator needs at least one frame")
+	}
+	return &Animator{mesh: m, w: w, maxFrames: maxFrames}, nil
+}
+
+// Err returns the first write error, if any.
+func (a *Animator) Err() error { return a.err }
+
+// Frames returns the number of frames written.
+func (a *Animator) Frames() int { return a.frames }
+
+// OnStep implements sim.Observer: renders the configuration at the
+// beginning of the step (the positions the moves depart from).
+func (a *Animator) OnStep(rec *sim.StepRecord) {
+	if a.frames >= a.maxFrames || a.err != nil {
+		return
+	}
+	a.frames++
+	loads := make([]int, a.mesh.Size())
+	advanced, deflected := 0, 0
+	for i := range rec.Moves {
+		loads[rec.Moves[i].From]++
+		if rec.Moves[i].Advanced {
+			advanced++
+		} else {
+			deflected++
+		}
+	}
+	grid, err := Grid2D(a.mesh, func(id mesh.NodeID) string {
+		switch l := loads[id]; {
+		case l > a.mesh.Dim():
+			return "B"
+		case l > 0:
+			return fmt.Sprintf("%d", l)
+		default:
+			return "."
+		}
+	})
+	if err != nil {
+		a.err = err
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d: %d packets (%d advance, %d deflect)\n%s\n",
+		rec.Time, len(rec.Moves), advanced, deflected, grid)
+	if _, err := io.WriteString(a.w, b.String()); err != nil {
+		a.err = err
+	}
+}

@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func TestAnimatorValidation(t *testing.T) {
+	if _, err := NewAnimator(mesh.MustNew(3, 3), &strings.Builder{}, 5); err == nil {
+		t.Error("3-D mesh accepted")
+	}
+	if _, err := NewAnimator(mesh.MustNew(2, 4), &strings.Builder{}, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestAnimatorFrames(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(1))
+	packets, err := workload.UniformRandom(m, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+		Seed: 1, Validation: sim.ValidateRestricted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	anim, err := NewAnimator(m, &sb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddObserver(anim)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if anim.Err() != nil {
+		t.Fatal(anim.Err())
+	}
+	if anim.Frames() != 3 {
+		t.Errorf("Frames = %d, want 3 (capped)", anim.Frames())
+	}
+	out := sb.String()
+	for _, want := range []string{"t=0:", "t=1:", "t=2:", "advance", "deflect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("animation missing %q", want)
+		}
+	}
+	if strings.Contains(out, "t=3:") {
+		t.Error("frame cap not honored")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, strings.NewReader("").UnreadByte() // any error
+}
+
+func TestAnimatorWriteError(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	p := sim.NewPacket(0, 0, 15)
+	e, err := sim.New(m, core.NewRestrictedPriority(), []*sim.Packet{p}, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anim, err := NewAnimator(m, failWriter{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddObserver(anim)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if anim.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}

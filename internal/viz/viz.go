@@ -1,0 +1,195 @@
+// Package viz renders two-dimensional mesh states and the paper's six
+// definitional figures as ASCII diagrams. The figures carry the same
+// content as the paper's drawings: directions (Fig. 1), the 2-neighbor
+// relation and its equivalence classes (Fig. 2), bad-node areas (Fig. 3),
+// surface arcs (Fig. 4), restricted packet types (Fig. 5) and the
+// potential-change rules (Fig. 6).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/mesh"
+)
+
+// Grid2D renders a 2-D mesh as a text grid using a caller-supplied label of
+// up to three characters per node. Row 0 (the +x1 edge renders at the top
+// so larger x1 is "up", matching the usual matrix-free orientation).
+func Grid2D(m *mesh.Mesh, label func(id mesh.NodeID) string) (string, error) {
+	if m.Dim() != 2 {
+		return "", fmt.Errorf("viz: Grid2D needs a 2-dimensional mesh, got %v", m)
+	}
+	var b strings.Builder
+	n := m.Side()
+	for y := n - 1; y >= 0; y-- {
+		for x := 0; x < n; x++ {
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			l := label(m.ID([]int{x, y}))
+			if len(l) > 3 {
+				l = l[:3]
+			}
+			fmt.Fprintf(&b, "%3s", l)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Figure1 renders direction "-" in the second coordinate of an n x n mesh:
+// every node with x1 > 0 has an arc pointing down (decreasing x1), the set
+// of arcs forming the direction class of Definition 3.
+func Figure1(n int) (string, error) {
+	if _, err := mesh.New(2, n); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("Figure 1: direction \"-\" in coordinate 2 (here axis x1) on the %dx%d mesh.\n", n, n))
+	b.WriteString("Every '|v' is one arc of the direction class; squares are nodes.\n\n")
+	for y := n - 1; y >= 0; y-- {
+		for x := 0; x < n; x++ {
+			b.WriteString("[ ] ")
+		}
+		b.WriteByte('\n')
+		if y > 0 {
+			for x := 0; x < n; x++ {
+				b.WriteString(" v  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}
+
+// Figure2 renders the 2-neighbor equivalence classes of an n x n mesh: the
+// transitive closure of the 2-neighbor relation partitions the nodes into
+// 2^d = 4 classes (labelled a-d), each by coordinate parity; nodes with the
+// same letter are mutually reachable by 2-neighbor hops.
+func Figure2(n int) (string, error) {
+	m, err := mesh.New(2, n)
+	if err != nil {
+		return "", err
+	}
+	letters := []string{"a", "b", "c", "d"}
+	grid, err := Grid2D(m, func(id mesh.NodeID) string {
+		return letters[m.ParityClass(id)]
+	})
+	if err != nil {
+		return "", err
+	}
+	return "Figure 2: 2-neighbor equivalence classes (same letter = same class;\n" +
+		"2-neighbors are two steps apart in one direction).\n\n" + grid, nil
+}
+
+// Figure3 renders a bad-node area: given per-node loads, bad nodes (more
+// than d = 2 packets, Definition 9) print as 'B', occupied good nodes as
+// their load, empty nodes as '.'.
+func Figure3(m *mesh.Mesh, loads []int) (string, error) {
+	if len(loads) != m.Size() {
+		return "", fmt.Errorf("viz: loads has %d entries for %d nodes", len(loads), m.Size())
+	}
+	grid, err := Grid2D(m, func(id mesh.NodeID) string {
+		switch l := loads[id]; {
+		case l > m.Dim():
+			return "B"
+		case l > 0:
+			return fmt.Sprintf("%d", l)
+		default:
+			return "."
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	return "Figure 3: an area of bad nodes ('B' holds more than d packets;\n" +
+		"digits are good-node loads; '.' is empty).\n\n" + grid, nil
+}
+
+// Figure4 renders surface arcs: bad nodes print as 'B' and each bad node is
+// annotated with the number of its surface arcs (Definition 11: arcs whose
+// 2-neighbor is good or absent).
+func Figure4(m *mesh.Mesh, loads []int) (string, error) {
+	if len(loads) != m.Size() {
+		return "", fmt.Errorf("viz: loads has %d entries for %d nodes", len(loads), m.Size())
+	}
+	surface := func(id mesh.NodeID) int {
+		cnt := 0
+		for dir := mesh.Dir(0); int(dir) < m.DirCount(); dir++ {
+			n2, ok := m.TwoNeighbor(id, dir)
+			if !ok || loads[n2] <= m.Dim() {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	total := 0
+	grid, err := Grid2D(m, func(id mesh.NodeID) string {
+		if loads[id] > m.Dim() {
+			s := surface(id)
+			total += s
+			return fmt.Sprintf("B%d", s)
+		}
+		if loads[id] > 0 {
+			return fmt.Sprintf("%d", loads[id])
+		}
+		return "."
+	})
+	if err != nil {
+		return "", err
+	}
+	return "Figure 4: surface arcs. 'B<f>' is a bad node with f surface arcs\n" +
+		"(arcs toward a good or absent 2-neighbor, including mesh edges).\n\n" +
+		grid + fmt.Sprintf("\ntotal surface arcs F(t) = %d\n", total), nil
+}
+
+// Figure5 renders the restricted-packet type classification (Section 4.1)
+// on the scene of the paper's Figure 5: type A packets were restricted and
+// advanced in the previous step; every other restricted packet is type B.
+func Figure5() string {
+	return `Figure 5: restricted packet types (Section 4.1).
+
+A packet is *restricted* when it has exactly one good direction, i.e. it is
+aligned with its destination on all axes but one.
+
+  Type A: was restricted in the previous step AND advanced in it.
+  Type B: every other restricted packet (just deflected, just became
+          restricted, or just injected).
+
+Scene (x0 to the right, packets marked at their node, dst in parens):
+
+      . . . . . . . .
+      . a>. . . . *a.      a: advanced along its row last step  -> type A
+      . . b>. . *b. .      b: was deflected last step           -> type B
+      . . . c^. . . .      c: restricted but moving on x1 after
+      . . . (c) . . .         turning: had 2 good dirs before   -> type B
+      . d>(d) . . . .      d: just injected beside its dst      -> type B
+
+Only another restricted packet may deflect a restricted one (Definition 18),
+and the deflector of a type-A packet is always type B.
+`
+}
+
+// Figure6 renders the potential-change rules of Section 4.2.
+func Figure6() string {
+	return `Figure 6: changes in the potential of packets in one step (Section 4.2).
+
+phi_p(t) = dist_p(t) + C_p(t), with C_p the "spare potential":
+
+  state of p after step t          | new C_p
+  ---------------------------------+---------------------------
+  arrived at its destination       | 0
+  not restricted                   | 2n
+  restricted, type B               | 2n
+  restricted, type A, and p did    |
+    not deflect a type-A packet    | C_p(t-1) - 2
+  restricted, type A, and p        |
+    deflected the type-A packet q  | C_q(t-1) - 2   (the switch)
+
+A type-A packet therefore burns 2 spare units per advancing step (total
+step change: -1 distance - 2 spare = -3), and when a type-B packet deflects
+a type-A packet they swap countdowns, so the pair's total potential changes
+exactly as if the type-A packet had advanced.
+`
+}

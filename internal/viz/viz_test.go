@@ -1,0 +1,129 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hotpotato/internal/mesh"
+)
+
+func TestGrid2D(t *testing.T) {
+	m := mesh.MustNew(2, 3)
+	out, err := Grid2D(m, func(id mesh.NodeID) string { return "x" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if strings.Count(out, "x") != 9 {
+		t.Errorf("expected 9 labels:\n%s", out)
+	}
+}
+
+func TestGrid2DOrientation(t *testing.T) {
+	m := mesh.MustNew(2, 2)
+	out, err := Grid2D(m, func(id mesh.NodeID) string {
+		if id == m.ID([]int{0, 1}) {
+			return "T" // top-left
+		}
+		if id == m.ID([]int{1, 0}) {
+			return "R" // bottom-right
+		}
+		return "."
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "T") || !strings.Contains(lines[1], "R") {
+		t.Errorf("orientation wrong:\n%s", out)
+	}
+}
+
+func TestGrid2DRejectsOtherDims(t *testing.T) {
+	m := mesh.MustNew(3, 3)
+	if _, err := Grid2D(m, func(mesh.NodeID) string { return "" }); err == nil {
+		t.Error("3-D mesh accepted")
+	}
+}
+
+func TestGrid2DTruncatesLongLabels(t *testing.T) {
+	m := mesh.MustNew(2, 2)
+	out, err := Grid2D(m, func(mesh.NodeID) string { return "abcdef" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "abcd") {
+		t.Errorf("label not truncated:\n%s", out)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	out, err := Figure1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 1") || strings.Count(out, "v") < 12 {
+		t.Errorf("figure 1 content wrong:\n%s", out)
+	}
+	if _, err := Figure1(1); err == nil {
+		t.Error("Figure1(1) accepted")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := Figure2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, letter := range []string{"a", "b", "c", "d"} {
+		if strings.Count(out, letter) < 4 {
+			t.Errorf("class %q underrepresented:\n%s", letter, out)
+		}
+	}
+}
+
+func TestFigure3And4(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	loads := make([]int, m.Size())
+	loads[m.ID([]int{1, 1})] = 3 // bad
+	loads[m.ID([]int{2, 1})] = 4 // bad
+	loads[m.ID([]int{0, 0})] = 1 // good
+	f3, err := Figure3(m, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grid, found := strings.Cut(f3, "\n\n")
+	if !found || strings.Count(grid, "B") != 2 || !strings.Contains(grid, "1") {
+		t.Errorf("figure 3 wrong:\n%s", f3)
+	}
+	f4, err := Figure4(m, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f4, "total surface arcs") {
+		t.Errorf("figure 4 missing total:\n%s", f4)
+	}
+	// Both bad nodes are on the mesh edge in 2-neighbor terms: every one of
+	// their 4 directions leads to a good or absent 2-neighbor, so F = 8.
+	if !strings.Contains(f4, "F(t) = 8") {
+		t.Errorf("figure 4 F(t) wrong:\n%s", f4)
+	}
+	if _, err := Figure3(m, []int{1}); err == nil {
+		t.Error("short loads accepted by Figure3")
+	}
+	if _, err := Figure4(m, []int{1}); err == nil {
+		t.Error("short loads accepted by Figure4")
+	}
+}
+
+func TestFigure5And6Static(t *testing.T) {
+	if !strings.Contains(Figure5(), "Type A") || !strings.Contains(Figure5(), "Type B") {
+		t.Error("figure 5 missing type descriptions")
+	}
+	if !strings.Contains(Figure6(), "C_q(t-1) - 2") {
+		t.Error("figure 6 missing the switch rule")
+	}
+}

@@ -1,0 +1,277 @@
+// Package workload generates batch routing problems for the d-dimensional
+// mesh: the many-to-many instances the paper analyzes, the permutations its
+// related work targets, and the adversarial instances used to stress bounds.
+//
+// All generators respect the paper's injection constraint (Section 2): no
+// node is the origin of more packets than its out-degree. Generators are
+// deterministic given the caller-supplied RNG.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// UniformRandom places k packets on uniformly random origins (respecting
+// the per-node origin capacity) with independent uniformly random
+// destinations. This is the generic many-to-many instance of the paper's
+// main theorems.
+func UniformRandom(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+	capTotal := 0
+	for id := mesh.NodeID(0); int(id) < m.Size(); id++ {
+		capTotal += m.Degree(id)
+	}
+	if k < 0 || k > capTotal {
+		return nil, fmt.Errorf("workload: k=%d outside [0, %d] for %v", k, capTotal, m)
+	}
+	used := make([]int, m.Size())
+	packets := make([]*sim.Packet, 0, k)
+	for len(packets) < k {
+		src := mesh.NodeID(rng.Intn(m.Size()))
+		if used[src] >= m.Degree(src) {
+			continue
+		}
+		used[src]++
+		dst := mesh.NodeID(rng.Intn(m.Size()))
+		packets = append(packets, sim.NewPacket(len(packets), src, dst))
+	}
+	return packets, nil
+}
+
+// Permutation returns a full random permutation instance: every node is the
+// origin of exactly one packet and the destination of exactly one packet.
+func Permutation(m *mesh.Mesh, rng *rand.Rand) []*sim.Packet {
+	perm := rng.Perm(m.Size())
+	packets := make([]*sim.Packet, m.Size())
+	for i, j := range perm {
+		packets[i] = sim.NewPacket(i, mesh.NodeID(i), mesh.NodeID(j))
+	}
+	return packets
+}
+
+// PartialPermutation returns k packets with distinct random origins and
+// distinct random destinations (each node is the origin of at most one
+// packet and the destination of at most one packet).
+func PartialPermutation(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+	if k < 0 || k > m.Size() {
+		return nil, fmt.Errorf("workload: k=%d outside [0, %d] for %v", k, m.Size(), m)
+	}
+	srcs := rng.Perm(m.Size())[:k]
+	dsts := rng.Perm(m.Size())[:k]
+	packets := make([]*sim.Packet, k)
+	for i := range packets {
+		packets[i] = sim.NewPacket(i, mesh.NodeID(srcs[i]), mesh.NodeID(dsts[i]))
+	}
+	return packets, nil
+}
+
+// Transpose returns the transpose permutation on a 2-dimensional mesh:
+// (x, y) sends to (y, x). A classic structured stress case: all traffic
+// crosses the main diagonal.
+func Transpose(m *mesh.Mesh) ([]*sim.Packet, error) {
+	if m.Dim() != 2 {
+		return nil, fmt.Errorf("workload: transpose needs a 2-dimensional mesh, got %v", m)
+	}
+	packets := make([]*sim.Packet, 0, m.Size())
+	coord := make([]int, 2)
+	for id := mesh.NodeID(0); int(id) < m.Size(); id++ {
+		c := m.Coord(id, coord)
+		dst := m.ID([]int{c[1], c[0]})
+		packets = append(packets, sim.NewPacket(int(id), id, dst))
+	}
+	return packets, nil
+}
+
+// BitReversal returns the bit-reversal permutation on a 2-dimensional mesh
+// whose side is a power of two: each coordinate is replaced by its
+// bit-reversed value. Another classic worst case for dimension-ordered
+// routers.
+func BitReversal(m *mesh.Mesh) ([]*sim.Packet, error) {
+	if m.Dim() != 2 {
+		return nil, fmt.Errorf("workload: bit reversal needs a 2-dimensional mesh, got %v", m)
+	}
+	bits := 0
+	for 1<<bits < m.Side() {
+		bits++
+	}
+	if 1<<bits != m.Side() {
+		return nil, fmt.Errorf("workload: bit reversal needs a power-of-two side, got %d", m.Side())
+	}
+	rev := func(x int) int {
+		r := 0
+		for i := 0; i < bits; i++ {
+			r = r<<1 | (x>>i)&1
+		}
+		return r
+	}
+	packets := make([]*sim.Packet, 0, m.Size())
+	coord := make([]int, 2)
+	for id := mesh.NodeID(0); int(id) < m.Size(); id++ {
+		c := m.Coord(id, coord)
+		dst := m.ID([]int{rev(c[0]), rev(c[1])})
+		packets = append(packets, sim.NewPacket(int(id), id, dst))
+	}
+	return packets, nil
+}
+
+// SingleTarget returns k packets from distinct random origins, all destined
+// to the same target node (the single-target problem of [BTS] and [BNS];
+// the trivial lower bound is d_max + k - 1 arrivals cannot beat the target
+// in-degree bottleneck).
+func SingleTarget(m *mesh.Mesh, k int, target mesh.NodeID, rng *rand.Rand) ([]*sim.Packet, error) {
+	if err := m.CheckID(target); err != nil {
+		return nil, err
+	}
+	if k < 0 || k > m.Size() {
+		return nil, fmt.Errorf("workload: k=%d outside [0, %d] for %v", k, m.Size(), m)
+	}
+	srcs := rng.Perm(m.Size())[:k]
+	packets := make([]*sim.Packet, k)
+	for i, s := range srcs {
+		packets[i] = sim.NewPacket(i, mesh.NodeID(s), target)
+	}
+	return packets, nil
+}
+
+// HotSpot returns k packets from random origins where a hotFrac fraction
+// target a single random hot node and the rest are uniform. Models the
+// hot-spot traffic of shared-resource workloads.
+func HotSpot(m *mesh.Mesh, k int, hotFrac float64, rng *rand.Rand) ([]*sim.Packet, error) {
+	if hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("workload: hotFrac=%v outside [0, 1]", hotFrac)
+	}
+	packets, err := UniformRandom(m, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	hot := mesh.NodeID(rng.Intn(m.Size()))
+	for _, p := range packets {
+		if rng.Float64() < hotFrac {
+			p.Dst = hot
+		}
+	}
+	return packets, nil
+}
+
+// LocalRandom returns k packets with uniformly random origins whose
+// destinations are uniform among the nodes within L1 distance radius of the
+// origin (bounding d_max). Exercises the small-distance regime discussed in
+// Section 6 and the [BTS]/[Fe]/[BRS] bounds 2(k-1)+d_max.
+func LocalRandom(m *mesh.Mesh, k, radius int, rng *rand.Rand) ([]*sim.Packet, error) {
+	if radius < 1 {
+		return nil, fmt.Errorf("workload: radius=%d must be positive", radius)
+	}
+	packets, err := UniformRandom(m, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	coord := make([]int, m.Dim())
+	for _, p := range packets {
+		// Rejection-sample a destination within the L1 ball. The ball
+		// around any node contains at least its radius-step axis
+		// neighborhood, so this terminates quickly for radius << n*d.
+		for {
+			m.Coord(p.Src, coord)
+			budget := radius
+			for a := 0; a < m.Dim(); a++ {
+				delta := rng.Intn(2*budget+1) - budget
+				c := coord[a] + delta
+				if c < 0 {
+					c = 0
+				}
+				if c >= m.Side() {
+					c = m.Side() - 1
+				}
+				budget -= abs(c - coord[a])
+				coord[a] = c
+			}
+			dst := m.ID(coord)
+			if m.Dist(p.Src, dst) <= radius {
+				p.Dst = dst
+				break
+			}
+		}
+	}
+	return packets, nil
+}
+
+// FullLoad returns perNode packets at every node (uniform random
+// destinations), the maximum-load regime of the paper's final remark in
+// Section 4 (perNode = 4 on interior 2-D nodes is the full 2d load).
+// perNode must not exceed the minimum node degree, d.
+func FullLoad(m *mesh.Mesh, perNode int, rng *rand.Rand) ([]*sim.Packet, error) {
+	if perNode < 1 || perNode > m.Dim() {
+		return nil, fmt.Errorf("workload: perNode=%d outside [1, %d] (corner out-degree)", perNode, m.Dim())
+	}
+	packets := make([]*sim.Packet, 0, m.Size()*perNode)
+	for id := mesh.NodeID(0); int(id) < m.Size(); id++ {
+		for j := 0; j < perNode; j++ {
+			dst := mesh.NodeID(rng.Intn(m.Size()))
+			packets = append(packets, sim.NewPacket(len(packets), id, dst))
+		}
+	}
+	return packets, nil
+}
+
+// FullPermutation returns a random permutation instance like Permutation;
+// it exists for symmetry with the paper's remark (k = n^d, one packet per
+// node) and simply delegates.
+func FullPermutation(m *mesh.Mesh, rng *rand.Rand) []*sim.Packet {
+	return Permutation(m, rng)
+}
+
+// CornerRush returns k packets originating in one corner quadrant of a 2-D
+// mesh, all destined to the opposite corner node's quadrant, concentrating
+// congestion diagonally. An adversarial instance for greedy routers.
+func CornerRush(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+	if m.Dim() != 2 {
+		return nil, fmt.Errorf("workload: corner rush needs a 2-dimensional mesh, got %v", m)
+	}
+	half := m.Side() / 2
+	if half < 1 {
+		return nil, fmt.Errorf("workload: mesh side %d too small", m.Side())
+	}
+	quadCap := 0
+	for x := 0; x < half; x++ {
+		for y := 0; y < half; y++ {
+			quadCap += m.Degree(m.ID([]int{x, y}))
+		}
+	}
+	if k < 0 || k > quadCap {
+		return nil, fmt.Errorf("workload: k=%d outside [0, %d] for corner rush on %v", k, quadCap, m)
+	}
+	used := make(map[mesh.NodeID]int)
+	packets := make([]*sim.Packet, 0, k)
+	for len(packets) < k {
+		src := m.ID([]int{rng.Intn(half), rng.Intn(half)})
+		if used[src] >= m.Degree(src) {
+			continue
+		}
+		used[src]++
+		dst := m.ID([]int{m.Side() - 1 - rng.Intn(half), m.Side() - 1 - rng.Intn(half)})
+		packets = append(packets, sim.NewPacket(len(packets), src, dst))
+	}
+	return packets, nil
+}
+
+// MaxDistance returns the largest source-to-destination distance of the
+// instance (the d_max of the [BTS]-style bounds).
+func MaxDistance(m *mesh.Mesh, packets []*sim.Packet) int {
+	dmax := 0
+	for _, p := range packets {
+		if d := m.Dist(p.Src, p.Dst); d > dmax {
+			dmax = d
+		}
+	}
+	return dmax
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

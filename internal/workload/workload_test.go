@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// checkInstance validates the universal instance invariants: unique IDs,
+// packets at their sources, origin capacity respected.
+func checkInstance(t *testing.T, m *mesh.Mesh, packets []*sim.Packet) {
+	t.Helper()
+	ids := make(map[int]bool)
+	origins := make(map[mesh.NodeID]int)
+	for _, p := range packets {
+		if ids[p.ID] {
+			t.Fatalf("duplicate packet id %d", p.ID)
+		}
+		ids[p.ID] = true
+		if p.Node != p.Src {
+			t.Fatalf("packet %d not at its source", p.ID)
+		}
+		if err := m.CheckID(p.Src); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckID(p.Dst); err != nil {
+			t.Fatal(err)
+		}
+		origins[p.Src]++
+	}
+	for node, cnt := range origins {
+		if cnt > m.Degree(node) {
+			t.Fatalf("node %d originates %d packets, out-degree %d", node, cnt, m.Degree(node))
+		}
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(1))
+	packets, err := UniformRandom(m, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) != 100 {
+		t.Fatalf("got %d packets", len(packets))
+	}
+	checkInstance(t, m, packets)
+
+	if _, err := UniformRandom(m, -1, rng); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := UniformRandom(m, 1<<20, rng); err == nil {
+		t.Error("k beyond total capacity accepted")
+	}
+	// k equal to total origin capacity is feasible.
+	capTotal := 0
+	for id := mesh.NodeID(0); int(id) < m.Size(); id++ {
+		capTotal += m.Degree(id)
+	}
+	packets, err = UniformRandom(m, capTotal, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+}
+
+func TestPermutation(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(2))
+	packets := Permutation(m, rng)
+	if len(packets) != m.Size() {
+		t.Fatalf("got %d packets", len(packets))
+	}
+	checkInstance(t, m, packets)
+	srcs := make(map[mesh.NodeID]bool)
+	dsts := make(map[mesh.NodeID]bool)
+	for _, p := range packets {
+		srcs[p.Src] = true
+		dsts[p.Dst] = true
+	}
+	if len(srcs) != m.Size() || len(dsts) != m.Size() {
+		t.Errorf("not a permutation: %d srcs, %d dsts", len(srcs), len(dsts))
+	}
+	if len(FullPermutation(m, rng)) != m.Size() {
+		t.Error("FullPermutation size wrong")
+	}
+}
+
+func TestPartialPermutation(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(3))
+	packets, err := PartialPermutation(m, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	srcs := make(map[mesh.NodeID]bool)
+	dsts := make(map[mesh.NodeID]bool)
+	for _, p := range packets {
+		if srcs[p.Src] || dsts[p.Dst] {
+			t.Fatal("sources or destinations not distinct")
+		}
+		srcs[p.Src] = true
+		dsts[p.Dst] = true
+	}
+	if _, err := PartialPermutation(m, m.Size()+1, rng); err == nil {
+		t.Error("oversized partial permutation accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mesh.MustNew(2, 5)
+	packets, err := Transpose(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	for _, p := range packets {
+		if m.CoordAxis(p.Src, 0) != m.CoordAxis(p.Dst, 1) ||
+			m.CoordAxis(p.Src, 1) != m.CoordAxis(p.Dst, 0) {
+			t.Fatalf("packet %d not transposed", p.ID)
+		}
+	}
+	if _, err := Transpose(mesh.MustNew(3, 4)); err == nil {
+		t.Error("3-D transpose accepted")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	packets, err := BitReversal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	// (1,0) -> (4,0) under 3-bit reversal.
+	for _, p := range packets {
+		if p.Src == m.ID([]int{1, 0}) && p.Dst != m.ID([]int{4, 0}) {
+			t.Errorf("bit reversal of (1,0) wrong: %d", p.Dst)
+		}
+	}
+	if _, err := BitReversal(mesh.MustNew(2, 6)); err == nil {
+		t.Error("non-power-of-two side accepted")
+	}
+	if _, err := BitReversal(mesh.MustNew(3, 4)); err == nil {
+		t.Error("3-D bit reversal accepted")
+	}
+}
+
+func TestSingleTarget(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(4))
+	target := m.ID([]int{3, 3})
+	packets, err := SingleTarget(m, 20, target, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	srcs := map[mesh.NodeID]bool{}
+	for _, p := range packets {
+		if p.Dst != target {
+			t.Fatalf("packet %d has destination %d", p.ID, p.Dst)
+		}
+		if srcs[p.Src] {
+			t.Fatal("duplicate source")
+		}
+		srcs[p.Src] = true
+	}
+	if _, err := SingleTarget(m, 5, -1, rng); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := SingleTarget(m, m.Size()+1, target, rng); err == nil {
+		t.Error("oversized k accepted")
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(5))
+	packets, err := HotSpot(m, 200, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	counts := map[mesh.NodeID]int{}
+	for _, p := range packets {
+		counts[p.Dst]++
+	}
+	maxCnt := 0
+	for _, c := range counts {
+		if c > maxCnt {
+			maxCnt = c
+		}
+	}
+	if maxCnt < 100 {
+		t.Errorf("hot node received only %d of 200 packets at 70%% heat", maxCnt)
+	}
+	if _, err := HotSpot(m, 10, 1.5, rng); err == nil {
+		t.Error("hotFrac > 1 accepted")
+	}
+	if _, err := HotSpot(m, 10, -0.1, rng); err == nil {
+		t.Error("hotFrac < 0 accepted")
+	}
+}
+
+func TestLocalRandom(t *testing.T) {
+	m := mesh.MustNew(2, 12)
+	rng := rand.New(rand.NewSource(6))
+	const radius = 3
+	packets, err := LocalRandom(m, 150, radius, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	if got := MaxDistance(m, packets); got > radius {
+		t.Errorf("MaxDistance = %d > radius %d", got, radius)
+	}
+	if _, err := LocalRandom(m, 10, 0, rng); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestFullLoad(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	rng := rand.New(rand.NewSource(7))
+	packets, err := FullLoad(m, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) != 2*m.Size() {
+		t.Fatalf("got %d packets", len(packets))
+	}
+	checkInstance(t, m, packets)
+	if _, err := FullLoad(m, 3, rng); err == nil {
+		t.Error("perNode above corner capacity accepted")
+	}
+	if _, err := FullLoad(m, 0, rng); err == nil {
+		t.Error("perNode 0 accepted")
+	}
+}
+
+func TestCornerRush(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	rng := rand.New(rand.NewSource(8))
+	packets, err := CornerRush(m, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInstance(t, m, packets)
+	half := m.Side() / 2
+	for _, p := range packets {
+		if m.CoordAxis(p.Src, 0) >= half || m.CoordAxis(p.Src, 1) >= half {
+			t.Fatalf("source %d outside origin quadrant", p.Src)
+		}
+		if m.CoordAxis(p.Dst, 0) < half || m.CoordAxis(p.Dst, 1) < half {
+			t.Fatalf("destination %d outside target quadrant", p.Dst)
+		}
+	}
+	if _, err := CornerRush(mesh.MustNew(3, 4), 5, rng); err == nil {
+		t.Error("3-D corner rush accepted")
+	}
+	if _, err := CornerRush(m, 1<<20, rng); err == nil {
+		t.Error("oversized corner rush accepted")
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	packets := []*sim.Packet{
+		sim.NewPacket(0, m.ID([]int{0, 0}), m.ID([]int{3, 0})),
+		sim.NewPacket(1, m.ID([]int{0, 0}), m.ID([]int{7, 7})),
+	}
+	if got := MaxDistance(m, packets); got != 14 {
+		t.Errorf("MaxDistance = %d, want 14", got)
+	}
+	if got := MaxDistance(m, nil); got != 0 {
+		t.Errorf("MaxDistance(nil) = %d", got)
+	}
+}
+
+// TestQuickGeneratorsRespectCapacity fuzzes generator parameters against the
+// origin-capacity invariant.
+func TestQuickGeneratorsRespectCapacity(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	f := func(seed int64, rawK uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(rawK) % 80
+		packets, err := UniformRandom(m, k, rng)
+		if err != nil || len(packets) != k {
+			return false
+		}
+		origins := map[mesh.NodeID]int{}
+		for _, p := range packets {
+			origins[p.Src]++
+			if origins[p.Src] > m.Degree(p.Src) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneratorsAreDeterministic: the same seed yields the same instance.
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	gen := func() []*sim.Packet {
+		rng := rand.New(rand.NewSource(99))
+		ps, err := HotSpot(m, 50, 0.4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst {
+			t.Fatalf("instance differs at packet %d", i)
+		}
+	}
+}
