@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench experiments experiments-quick figures cover clean
+.PHONY: all build test test-short test-race vet fmt bench experiments experiments-quick figures cover clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The concurrency-sensitive packages (parallel routing, fault injection)
+# under the race detector.
+test-race:
+	$(GO) test -race ./internal/sim/... ./internal/fault/...
 
 vet:
 	$(GO) vet ./...

@@ -21,6 +21,7 @@ import (
 	"hotpotato/internal/analysis"
 	"hotpotato/internal/bound"
 	"hotpotato/internal/core"
+	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/routing"
 	"hotpotato/internal/sim"
@@ -109,6 +110,50 @@ func newWorkload(name string, m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packe
 	}
 }
 
+// buildFaults assembles the fault model from the command-line knobs: any
+// combination of probabilistic link flaps, probabilistic node crashes and a
+// scripted event schedule, composed in that order. Returns nil when no fault
+// source is requested.
+func buildFaults(m *mesh.Mesh, rate, repair float64, maxDown int, crash float64, script string) (sim.FaultModel, error) {
+	var models []fault.Model
+	if rate != 0 { // negative rates fall through to the constructor's error
+		f, err := fault.NewLinkFlaps(rate, repair)
+		if err != nil {
+			return nil, err
+		}
+		f.MaxDown = maxDown
+		models = append(models, f)
+	}
+	if crash != 0 {
+		c, err := fault.NewNodeCrashes(crash, repair)
+		if err != nil {
+			return nil, err
+		}
+		c.MaxDown = maxDown
+		models = append(models, c)
+	}
+	if script != "" {
+		f, err := os.Open(script)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := fault.ParseScript(f, m)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fault script %s: %w", script, err)
+		}
+		models = append(models, sched)
+	}
+	switch len(models) {
+	case 0:
+		return nil, nil
+	case 1:
+		return models[0], nil
+	default:
+		return fault.Compose(models...), nil
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hotpotato", flag.ContinueOnError)
 	var (
@@ -128,6 +173,14 @@ func run(args []string) error {
 		heatmap  = fs.Bool("heatmap", false, "print a per-node deflection heat map after the run (2-D only)")
 		animate  = fs.Int("animate", 0, "print the first N steps as text frames (2-D only)")
 		workers  = fs.Int("workers", 0, "route nodes concurrently on this many goroutines (0 = serial)")
+
+		faultRate    = fs.Float64("fault-rate", 0, "per-link per-step failure probability (0 = no link flaps)")
+		faultRepair  = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
+		faultMaxDown = fs.Int("fault-max-down", 0, "cap on concurrently failed links/nodes (0 = unlimited)")
+		crashRate    = fs.Float64("crash-rate", 0, "per-node per-step crash probability (0 = no crashes)")
+		faultScript  = fs.String("fault-script", "", "scripted fault events file (lines: <step> <link-down|link-up|node-down|node-up> <node> [dir])")
+		faultFate    = fs.String("fault-fate", "drop", "fate of packets inside a crashing node: drop or absorb")
+		maxWall      = fs.Duration("max-wall", 0, "wall-clock budget for the run (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,9 +223,26 @@ func run(args []string) error {
 		MaxSteps:       *maxSteps,
 		DetectLivelock: *livelock,
 		Workers:        *workers,
+		MaxWallTime:    *maxWall,
 	})
 	if err != nil {
 		return err
+	}
+	faults, err := buildFaults(m, *faultRate, *faultRepair, *faultMaxDown, *crashRate, *faultScript)
+	if err != nil {
+		return err
+	}
+	if faults != nil {
+		var fate sim.PacketFate
+		switch *faultFate {
+		case "drop":
+			fate = sim.FateDrop
+		case "absorb":
+			fate = sim.FateAbsorb
+		default:
+			return fmt.Errorf("unknown fault fate %q (want drop or absorb)", *faultFate)
+		}
+		e.SetFaults(faults, fate)
 	}
 	var tracker *core.Tracker
 	if *track {
@@ -229,11 +299,22 @@ func run(args []string) error {
 	fmt.Printf("delivered:   %d/%d\n", res.Delivered, res.Total)
 	fmt.Printf("deflections: %d (of %d hops)\n", res.TotalDeflections, res.TotalHops)
 	fmt.Printf("max load:    %d packets in one node\n", res.MaxNodeLoad)
+	if faults != nil {
+		fmt.Printf("faults:      %d link failures, %d node failures over the run\n",
+			res.LinkFailures, res.NodeFailures)
+		fmt.Printf("degraded:    %d dropped (%d crash, %d unreachable, %d stranded, %d at injection), %d absorbed\n",
+			res.Dropped, res.DroppedCrash, res.DroppedUnreachable, res.DroppedStranded, res.DroppedInject,
+			res.Absorbed)
+		fmt.Printf("reroutes:    %d packet-steps with no surviving good arc\n", res.Reroutes)
+	}
 	if res.Livelocked {
 		fmt.Println("LIVELOCK detected: the configuration repeated")
 	}
 	if res.HitMaxSteps {
 		fmt.Println("step budget exhausted before completion")
+	}
+	if res.DeadlineExceeded {
+		fmt.Println("wall-clock budget exhausted before completion")
 	}
 	if *dim == 2 {
 		bound := analysis.Theorem20Bound(*side, res.Total)

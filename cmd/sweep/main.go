@@ -19,6 +19,7 @@ import (
 
 	"hotpotato/internal/analysis"
 	"hotpotato/internal/core"
+	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/routing"
 	"hotpotato/internal/sim"
@@ -39,6 +40,18 @@ func parseInts(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %w", s, err)
 		}
 		out = append(out, v)
 	}
@@ -115,6 +128,9 @@ func run(args []string) error {
 		engineWorkers = fs.Int("workers", 0, "in-engine routing goroutines per run (0 = serial)")
 		csvOut        = fs.Bool("csv", false, "emit CSV")
 		validate      = fs.Bool("strict", false, "validate Definition 18 (restricted preference) too")
+		frFlag        = fs.String("fault-rate", "0", "comma-separated per-link per-step failure probabilities (0 = intact mesh)")
+		faultRepair   = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
+		faultMaxDown  = fs.Int("fault-max-down", 0, "cap on concurrently failed links (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +143,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	faultRates, err := parseFloats(*frFlag)
+	if err != nil {
+		return err
+	}
 
 	lvl := sim.ValidateGreedy
 	if *validate {
@@ -135,7 +155,7 @@ func run(args []string) error {
 
 	tb := stats.NewTable(
 		fmt.Sprintf("sweep: d=%d, %d trials per cell", *dim, *trials),
-		"network", "n", "k", "workload", "policy",
+		"network", "n", "k", "workload", "policy", "fault_rate", "delivered", "dropped",
 		"steps_mean", "steps_std", "steps_max", "defl_mean", "bound", "max/bound", "violations")
 	for _, n := range ns {
 		var m *mesh.Mesh
@@ -160,37 +180,55 @@ func run(args []string) error {
 					if err != nil {
 						return err
 					}
-					results, err := analysis.RunTrialsParallel(analysis.TrialSpec{
-						Mesh:        m,
-						NewPolicy:   mkPol,
-						NewWorkload: mkWl,
-						Track:       *track,
-						Validation:  lvl,
-						Workers:     *engineWorkers,
-					}, *trials, *seed, *workers)
-					if err != nil {
-						return fmt.Errorf("cell n=%d k=%d %s/%s: %w", n, k, wlName, polName, err)
+					for _, frate := range faultRates {
+						spec := analysis.TrialSpec{
+							Mesh:        m,
+							NewPolicy:   mkPol,
+							NewWorkload: mkWl,
+							Track:       *track,
+							Validation:  lvl,
+							Workers:     *engineWorkers,
+						}
+						if frate != 0 { // negative rates reach the validator below
+							// Validate the rates here; NewFaults runs inside
+							// the trial, too late for a clean flag error.
+							if _, err := fault.NewLinkFlaps(frate, *faultRepair); err != nil {
+								return err
+							}
+							frate := frate
+							spec.NewFaults = func() sim.FaultModel {
+								f, _ := fault.NewLinkFlaps(frate, *faultRepair)
+								f.MaxDown = *faultMaxDown
+								return f
+							}
+						}
+						results, err := analysis.RunTrialsParallel(spec, *trials, *seed, *workers)
+						if err != nil {
+							return fmt.Errorf("cell n=%d k=%d %s/%s fr=%g: %w", n, k, wlName, polName, frate, err)
+						}
+						sm := stats.SummarizeInts(analysis.Steps(results))
+						var deflSum float64
+						kAct, delivered, dropped := 0, 0, 0
+						for _, r := range results {
+							deflSum += float64(r.Result.TotalDeflections)
+							kAct = r.Result.Total
+							delivered += r.Result.Delivered
+							dropped += r.Result.Dropped + r.Result.Absorbed
+						}
+						var bound float64
+						if *dim == 2 && !*torus {
+							bound = analysis.Theorem20Bound(n, kAct)
+						} else {
+							bound = analysis.Section5Bound(*dim, n, kAct)
+						}
+						viol := "-"
+						if *track {
+							viol = analysis.TotalViolations(results).String()
+						}
+						tb.AddRow(m.String(), n, kAct, wlName, polName, frate, delivered, dropped,
+							sm.Mean, sm.Std, int(sm.Max), deflSum/float64(len(results)),
+							bound, sm.Max/bound, viol)
 					}
-					sm := stats.SummarizeInts(analysis.Steps(results))
-					var deflSum float64
-					kAct := 0
-					for _, r := range results {
-						deflSum += float64(r.Result.TotalDeflections)
-						kAct = r.Result.Total
-					}
-					var bound float64
-					if *dim == 2 && !*torus {
-						bound = analysis.Theorem20Bound(n, kAct)
-					} else {
-						bound = analysis.Section5Bound(*dim, n, kAct)
-					}
-					viol := "-"
-					if *track {
-						viol = analysis.TotalViolations(results).String()
-					}
-					tb.AddRow(m.String(), n, kAct, wlName, polName,
-						sm.Mean, sm.Std, int(sm.Max), deflSum/float64(len(results)),
-						bound, sm.Max/bound, viol)
 				}
 			}
 		}

@@ -31,6 +31,12 @@ type TrialSpec struct {
 	// Workers routes nodes concurrently inside the engine (see
 	// sim.Options.Workers); the policy must be clonable.
 	Workers int
+	// NewFaults constructs a fresh fault model for the trial (models are
+	// stateful, so each engine needs its own). Nil runs on the intact mesh.
+	NewFaults func() sim.FaultModel
+	// FaultFate selects what a node crash does to the packets inside
+	// (drop vs absorb); only consulted when NewFaults is set.
+	FaultFate sim.PacketFate
 }
 
 // TrialResult is the outcome of one trial.
@@ -76,6 +82,9 @@ func RunTrial(spec TrialSpec) (*TrialResult, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spec.NewFaults != nil {
+		e.SetFaults(spec.NewFaults(), spec.FaultFate)
 	}
 	tr := &TrialResult{Packets: packets}
 	var tracker *core.Tracker

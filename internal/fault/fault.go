@@ -1,0 +1,269 @@
+// Package fault provides deterministic, seed-reproducible fault models for
+// the simulator: scripted link/node failure schedules and memoryless
+// flap/crash processes, in the spirit of the dynamic and adversarial
+// injection settings of the grid-routing line of work (Even-Medina-
+// Patt-Shamir; Even-Medina). Deflection routing is the classic answer to
+// faulty networks precisely because routers are bufferless and stateless;
+// these models let the engine exercise that claim.
+//
+// A model mutates a mesh.Overlay at the beginning of each step. The engine
+// owns when Advance is called and with which RNG (a dedicated stream
+// derived from the engine seed, untouched by routing), so a (seed, model)
+// pair always reproduces the same fault sequence — independent of the
+// policy, the worker count, and the traffic.
+//
+// Models are stateful (schedules keep a cursor, processes keep no state but
+// draw from the RNG): construct a fresh model per run.
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hotpotato/internal/mesh"
+)
+
+// Model is a fault process: Advance applies the failure transitions for
+// step t to the overlay. It must be deterministic given its own state and
+// the RNG stream, and must only be called with non-decreasing t.
+//
+// The interface is structurally identical to sim.FaultModel, so every
+// model in this package plugs into sim.Engine.SetFaults directly (package
+// sim deliberately does not import this package).
+type Model interface {
+	Advance(t int, o *mesh.Overlay, rng *rand.Rand)
+}
+
+// Kind enumerates scripted fault event types.
+type Kind int
+
+const (
+	// LinkDown cuts the bidirectional link (Node, Dir).
+	LinkDown Kind = iota
+	// LinkUp restores the link (Node, Dir).
+	LinkUp
+	// NodeDown crashes Node.
+	NodeDown
+	// NodeUp reboots Node.
+	NodeUp
+)
+
+// String renders the kind in the script syntax.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case NodeDown:
+		return "node-down"
+	case NodeUp:
+		return "node-up"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scripted fault transition.
+type Event struct {
+	// Time is the step at the beginning of which the event fires.
+	Time int
+	// Kind is the transition type.
+	Kind Kind
+	// Node is the crashed/rebooted node, or the near endpoint of the link.
+	Node mesh.NodeID
+	// Dir identifies the link for LinkDown/LinkUp; ignored for node events.
+	Dir mesh.Dir
+}
+
+// Schedule replays a fixed list of events: every event with Time <= t is
+// applied by Advance(t), in time order (ties in input order). A Schedule
+// is single-use per run; Reset rewinds it.
+type Schedule struct {
+	events []Event
+	cursor int
+}
+
+// NewSchedule builds a schedule from events in any order.
+func NewSchedule(events ...Event) *Schedule {
+	s := &Schedule{events: append([]Event(nil), events...)}
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Time < s.events[j].Time })
+	return s
+}
+
+// Events returns the schedule's events in firing order.
+func (s *Schedule) Events() []Event { return s.events }
+
+// Reset rewinds the schedule for a fresh run.
+func (s *Schedule) Reset() { s.cursor = 0 }
+
+// Advance implements Model.
+func (s *Schedule) Advance(t int, o *mesh.Overlay, rng *rand.Rand) {
+	for s.cursor < len(s.events) && s.events[s.cursor].Time <= t {
+		ev := s.events[s.cursor]
+		s.cursor++
+		switch ev.Kind {
+		case LinkDown:
+			o.FailLink(ev.Node, ev.Dir)
+		case LinkUp:
+			o.RestoreLink(ev.Node, ev.Dir)
+		case NodeDown:
+			o.FailNode(ev.Node)
+		case NodeUp:
+			o.RestoreNode(ev.Node)
+		}
+	}
+}
+
+// Compose chains several models into one; each step they advance in the
+// given order against the same overlay and shared RNG stream.
+func Compose(models ...Model) Model {
+	flat := make(multi, 0, len(models))
+	for _, m := range models {
+		if m != nil {
+			flat = append(flat, m)
+		}
+	}
+	return flat
+}
+
+type multi []Model
+
+// Advance implements Model.
+func (ms multi) Advance(t int, o *mesh.Overlay, rng *rand.Rand) {
+	for _, m := range ms {
+		m.Advance(t, o, rng)
+	}
+}
+
+// ParseScript reads a fault script: one event per line,
+//
+//	<step> <op> <node> [dir]
+//
+// where <op> is link-down, link-up, node-down or node-up, <node> is either
+// a node id or comma-separated coordinates ("3,4"), and <dir> (link events
+// only) is +/- followed by an axis: x, y, z, w or the axis index ("+x",
+// "-1"). Blank lines and lines starting with '#' are ignored.
+//
+//	# cut the +x link out of (3,4) at step 10, restore it at step 50
+//	10 link-down 3,4 +x
+//	50 link-up 3,4 +x
+//	30 node-down 5,5
+func ParseScript(r io.Reader, m *mesh.Mesh) (*Schedule, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("fault: line %d: want \"<step> <op> <node> [dir]\", got %q", lineNo, line)
+		}
+		t, err := strconv.Atoi(fields[0])
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("fault: line %d: bad step %q", lineNo, fields[0])
+		}
+		var kind Kind
+		switch fields[1] {
+		case "link-down":
+			kind = LinkDown
+		case "link-up":
+			kind = LinkUp
+		case "node-down":
+			kind = NodeDown
+		case "node-up":
+			kind = NodeUp
+		default:
+			return nil, fmt.Errorf("fault: line %d: unknown op %q", lineNo, fields[1])
+		}
+		node, err := parseNode(fields[2], m)
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+		}
+		ev := Event{Time: t, Kind: kind, Node: node, Dir: mesh.NoDir}
+		if kind == LinkDown || kind == LinkUp {
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("fault: line %d: %s needs a direction", lineNo, kind)
+			}
+			dir, err := ParseDir(fields[3], m.Dim())
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+			}
+			ev.Dir = dir
+		} else if len(fields) > 3 {
+			return nil, fmt.Errorf("fault: line %d: %s takes no direction", lineNo, kind)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fault: reading script: %w", err)
+	}
+	return NewSchedule(events...), nil
+}
+
+// parseNode accepts a plain node id or comma-separated coordinates.
+func parseNode(s string, m *mesh.Mesh) (mesh.NodeID, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) == 1 {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad node %q", s)
+		}
+		if err := m.CheckID(mesh.NodeID(id)); err != nil {
+			return 0, err
+		}
+		return mesh.NodeID(id), nil
+	}
+	if len(parts) != m.Dim() {
+		return 0, fmt.Errorf("node %q has %d coordinates, mesh is %d-dimensional", s, len(parts), m.Dim())
+	}
+	coord := make([]int, len(parts))
+	for i, p := range parts {
+		c, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || c < 0 || c >= m.Side() {
+			return 0, fmt.Errorf("bad coordinate %q in node %q", p, s)
+		}
+		coord[i] = c
+	}
+	return m.ID(coord), nil
+}
+
+// ParseDir parses a direction token: '+' or '-' followed by an axis named
+// x/y/z/w or given as its index.
+func ParseDir(s string, dim int) (mesh.Dir, error) {
+	if len(s) < 2 || (s[0] != '+' && s[0] != '-') {
+		return mesh.NoDir, fmt.Errorf("bad direction %q (want e.g. +x or -1)", s)
+	}
+	axis := -1
+	switch rest := s[1:]; rest {
+	case "x":
+		axis = 0
+	case "y":
+		axis = 1
+	case "z":
+		axis = 2
+	case "w":
+		axis = 3
+	default:
+		a, err := strconv.Atoi(rest)
+		if err != nil {
+			return mesh.NoDir, fmt.Errorf("bad direction %q (want e.g. +x or -1)", s)
+		}
+		axis = a
+	}
+	if axis < 0 || axis >= dim {
+		return mesh.NoDir, fmt.Errorf("direction %q axis out of range for dimension %d", s, dim)
+	}
+	if s[0] == '+' {
+		return mesh.DirPlus(axis), nil
+	}
+	return mesh.DirMinus(axis), nil
+}

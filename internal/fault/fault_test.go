@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/mesh"
+)
+
+func TestScheduleAppliesInTimeOrder(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	o := mesh.NewOverlay(m)
+	n := m.ID([]int{1, 1})
+	s := NewSchedule(
+		Event{Time: 5, Kind: LinkUp, Node: n, Dir: mesh.DirPlus(0)},
+		Event{Time: 0, Kind: LinkDown, Node: n, Dir: mesh.DirPlus(0)},
+		Event{Time: 3, Kind: NodeDown, Node: 0},
+	)
+
+	s.Advance(0, o, nil)
+	if o.HasArc(n, mesh.DirPlus(0)) {
+		t.Error("t=0 event not applied")
+	}
+	if o.NodeDown(0) {
+		t.Error("t=3 event applied early")
+	}
+	s.Advance(1, o, nil)
+	s.Advance(2, o, nil)
+	if o.NodeDown(0) {
+		t.Error("t=3 event applied at t=2")
+	}
+	// A jump past several event times applies all of them (catch-up).
+	s.Advance(7, o, nil)
+	if !o.NodeDown(0) {
+		t.Error("t=3 event missing after catch-up")
+	}
+	if !o.HasArc(n, mesh.DirPlus(0)) {
+		t.Error("t=5 restore missing after catch-up")
+	}
+
+	// After a rewind, a fresh catch-up replays everything: the link ends up
+	// restored (t=5 event) and the node ends up down (t=3 event).
+	s.Reset()
+	o.Reset()
+	s.Advance(10, o, nil)
+	if !o.HasArc(n, mesh.DirPlus(0)) || !o.NodeDown(0) {
+		t.Error("Reset did not rewind the schedule")
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	script := `
+# cut a link, crash a node, restore both
+10 link-down 3,4 +x
+50 link-up 3,4 +x
+30 node-down 5,5
+60 node-up 5,5
+5 link-down 12 -y
+`
+	s, err := ParseScript(strings.NewReader(script), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := s.Events()
+	if len(evs) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(evs))
+	}
+	// Sorted by time.
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Time > evs[i].Time {
+			t.Fatalf("events not time-sorted: %v", evs)
+		}
+	}
+	if evs[0] != (Event{Time: 5, Kind: LinkDown, Node: 12, Dir: mesh.DirMinus(1)}) {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if want := (Event{Time: 10, Kind: LinkDown, Node: m.ID([]int{3, 4}), Dir: mesh.DirPlus(0)}); evs[1] != want {
+		t.Errorf("second event = %+v, want %+v", evs[1], want)
+	}
+	if evs[2].Kind != NodeDown || evs[2].Dir != mesh.NoDir {
+		t.Errorf("node event = %+v", evs[2])
+	}
+
+	for _, bad := range []string{
+		"x link-down 0 +x",  // bad step
+		"1 melt-down 0",     // bad op
+		"1 link-down 0",     // missing dir
+		"1 link-down 0 +q",  // bad dir
+		"1 link-down 0 +3",  // axis out of range for d=2
+		"1 node-down 0 +x",  // node event with dir
+		"1 node-down 9,9,9", // wrong coordinate count
+		"1 node-down 99999", // id off the mesh
+		"1 link-down",       // too few fields
+		"1 node-down 8,1",   // coordinate out of range
+	} {
+		if _, err := ParseScript(strings.NewReader(bad), m); err == nil {
+			t.Errorf("ParseScript(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestParseDir(t *testing.T) {
+	cases := []struct {
+		in   string
+		dim  int
+		want mesh.Dir
+		ok   bool
+	}{
+		{"+x", 2, mesh.DirPlus(0), true},
+		{"-y", 2, mesh.DirMinus(1), true},
+		{"+1", 2, mesh.DirPlus(1), true},
+		{"-0", 3, mesh.DirMinus(0), true},
+		{"+z", 3, mesh.DirPlus(2), true},
+		{"+w", 4, mesh.DirPlus(3), true},
+		{"+z", 2, mesh.NoDir, false},
+		{"x", 2, mesh.NoDir, false},
+		{"", 2, mesh.NoDir, false},
+		{"+", 2, mesh.NoDir, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDir(c.in, c.dim)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseDir(%q, %d) = (%v, %v), want (%v, ok=%v)", c.in, c.dim, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// TestLinkFlapsDeterministic: the same RNG seed reproduces the exact same
+// failure trajectory.
+func TestLinkFlapsDeterministic(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	trajectory := func(seed int64) []int {
+		f, err := NewLinkFlaps(0.01, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := mesh.NewOverlay(m)
+		rng := rand.New(rand.NewSource(seed))
+		var down []int
+		for step := 0; step < 200; step++ {
+			f.Advance(step, o, rng)
+			down = append(down, o.DownLinks())
+		}
+		return down
+	}
+	a, b := trajectory(7), trajectory(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: %d vs %d down links for the same seed", i, a[i], b[i])
+		}
+	}
+	c := trajectory(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 200-step trajectories (suspicious)")
+	}
+	// Something actually failed and recovered along the way.
+	peak := 0
+	for _, d := range a {
+		if d > peak {
+			peak = d
+		}
+	}
+	if peak == 0 {
+		t.Error("no link ever failed at rate 0.01 over 200 steps")
+	}
+}
+
+func TestLinkFlapsMaxDown(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	f := &LinkFlaps{FailRate: 0.5, RepairRate: 0, MaxDown: 3}
+	o := mesh.NewOverlay(m)
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 50; step++ {
+		f.Advance(step, o, rng)
+		if o.DownLinks() > 3 {
+			t.Fatalf("step %d: %d links down, cap is 3", step, o.DownLinks())
+		}
+	}
+	if o.DownLinks() != 3 {
+		t.Errorf("cap never reached: %d down", o.DownLinks())
+	}
+}
+
+func TestNodeCrashes(t *testing.T) {
+	m := mesh.MustNew(2, 6)
+	f, err := NewNodeCrashes(0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.MaxDown = 4
+	o := mesh.NewOverlay(m)
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 100; step++ {
+		f.Advance(step, o, rng)
+		if o.DownNodes() > 4 {
+			t.Fatalf("step %d: %d nodes down, cap is 4", step, o.DownNodes())
+		}
+	}
+	if o.DownNodes() == 0 {
+		t.Error("no node ever crashed at rate 0.05 over 100 steps")
+	}
+	// With RepairRate 0 crashes are permanent: cumulative == current.
+	if o.NodeFailures() != o.DownNodes() {
+		t.Errorf("permanent crashes: cumulative %d != current %d", o.NodeFailures(), o.DownNodes())
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewLinkFlaps(-0.1, 0.5); err == nil {
+		t.Error("negative fail rate accepted")
+	}
+	if _, err := NewLinkFlaps(0.1, 1.5); err == nil {
+		t.Error("repair rate > 1 accepted")
+	}
+	if _, err := NewNodeCrashes(2, 0); err == nil {
+		t.Error("crash rate > 1 accepted")
+	}
+}
+
+// TestCompose: chained models all advance; nil members are dropped.
+func TestCompose(t *testing.T) {
+	m := mesh.MustNew(2, 4)
+	o := mesh.NewOverlay(m)
+	s1 := NewSchedule(Event{Time: 0, Kind: NodeDown, Node: 1})
+	s2 := NewSchedule(Event{Time: 0, Kind: NodeDown, Node: 2})
+	c := Compose(s1, nil, s2)
+	c.Advance(0, o, rand.New(rand.NewSource(1)))
+	if !o.NodeDown(1) || !o.NodeDown(2) {
+		t.Error("composed models did not all advance")
+	}
+}

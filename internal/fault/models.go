@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+)
+
+// LinkFlaps is a memoryless link-failure process: at every step each up
+// link fails with probability FailRate and each cut link recovers with
+// probability RepairRate. Links are enumerated in a fixed order (node id,
+// then positive axis direction — each undirected link exactly once on both
+// meshes and tori), so the sequence is fully determined by the RNG stream.
+//
+// The expected steady-state fraction of down links is
+// FailRate / (FailRate + RepairRate); MaxDown additionally caps the number
+// of concurrently down links, which is the knob experiments use to
+// guarantee the network keeps spare capacity.
+type LinkFlaps struct {
+	// FailRate is the per-step failure probability of an up link.
+	FailRate float64
+	// RepairRate is the per-step recovery probability of a down link.
+	RepairRate float64
+	// MaxDown caps concurrently down links; 0 means no cap.
+	MaxDown int
+}
+
+// NewLinkFlaps validates the rates and returns the process.
+func NewLinkFlaps(failRate, repairRate float64) (*LinkFlaps, error) {
+	if failRate < 0 || failRate > 1 || repairRate < 0 || repairRate > 1 {
+		return nil, fmt.Errorf("fault: rates must be in [0,1], got fail=%g repair=%g", failRate, repairRate)
+	}
+	return &LinkFlaps{FailRate: failRate, RepairRate: repairRate}, nil
+}
+
+// Advance implements Model.
+func (f *LinkFlaps) Advance(t int, o *mesh.Overlay, rng *rand.Rand) {
+	if f.FailRate == 0 && o.DownLinks() == 0 {
+		return
+	}
+	base := o.Base()
+	size := base.Size()
+	for id := 0; id < size; id++ {
+		node := mesh.NodeID(id)
+		for axis := 0; axis < base.Dim(); axis++ {
+			dir := mesh.DirPlus(axis)
+			if !base.HasArc(node, dir) {
+				continue
+			}
+			if o.LinkDown(node, dir) {
+				if rng.Float64() < f.RepairRate {
+					o.RestoreLink(node, dir)
+				}
+			} else if rng.Float64() < f.FailRate {
+				if f.MaxDown <= 0 || o.DownLinks() < f.MaxDown {
+					o.FailLink(node, dir)
+				}
+			}
+		}
+	}
+}
+
+// NodeCrashes is a memoryless node-failure process: at every step each up
+// node crashes with probability CrashRate and each down node reboots with
+// probability RepairRate (a RepairRate of 0 makes crashes permanent).
+// Nodes are visited in id order, so the sequence is fully determined by
+// the RNG stream.
+type NodeCrashes struct {
+	// CrashRate is the per-step crash probability of an up node.
+	CrashRate float64
+	// RepairRate is the per-step reboot probability of a down node.
+	RepairRate float64
+	// MaxDown caps concurrently down nodes; 0 means no cap.
+	MaxDown int
+}
+
+// NewNodeCrashes validates the rates and returns the process.
+func NewNodeCrashes(crashRate, repairRate float64) (*NodeCrashes, error) {
+	if crashRate < 0 || crashRate > 1 || repairRate < 0 || repairRate > 1 {
+		return nil, fmt.Errorf("fault: rates must be in [0,1], got crash=%g repair=%g", crashRate, repairRate)
+	}
+	return &NodeCrashes{CrashRate: crashRate, RepairRate: repairRate}, nil
+}
+
+// Advance implements Model.
+func (f *NodeCrashes) Advance(t int, o *mesh.Overlay, rng *rand.Rand) {
+	if f.CrashRate == 0 && o.DownNodes() == 0 {
+		return
+	}
+	size := o.Base().Size()
+	for id := 0; id < size; id++ {
+		node := mesh.NodeID(id)
+		if o.NodeDown(node) {
+			if rng.Float64() < f.RepairRate {
+				o.RestoreNode(node)
+			}
+		} else if rng.Float64() < f.CrashRate {
+			if f.MaxDown <= 0 || o.DownNodes() < f.MaxDown {
+				o.FailNode(node)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package mesh
+
+import "testing"
+
+// TestOverlayPassthrough: a fault-free overlay is indistinguishable from
+// its base mesh through the Topology interface.
+func TestOverlayPassthrough(t *testing.T) {
+	for _, base := range []*Mesh{MustNew(2, 4), MustNewTorus(2, 5), MustNew(3, 3)} {
+		o := NewOverlay(base)
+		if o.Base() != base {
+			t.Fatalf("%v: Base() mismatch", base)
+		}
+		for id := NodeID(0); int(id) < base.Size(); id++ {
+			if got, want := o.Degree(id), base.Degree(id); got != want {
+				t.Errorf("%v node %d: Degree = %d, want %d", base, id, got, want)
+			}
+			for d := 0; d < base.DirCount(); d++ {
+				dir := Dir(d)
+				if got, want := o.HasArc(id, dir), base.HasArc(id, dir); got != want {
+					t.Errorf("%v node %d dir %v: HasArc = %v, want %v", base, id, dir, got, want)
+				}
+				gn, gok := o.Neighbor(id, dir)
+				wn, wok := base.Neighbor(id, dir)
+				if gn != wn || gok != wok {
+					t.Errorf("%v node %d dir %v: Neighbor = (%d,%v), want (%d,%v)", base, id, dir, gn, gok, wn, wok)
+				}
+			}
+			dst := NodeID(base.Size() - 1 - int(id))
+			var b1, b2 [2 * MaxDim]Dir
+			got := o.GoodDirs(id, dst, b1[:0])
+			want := base.GoodDirs(id, dst, b2[:0])
+			if len(got) != len(want) {
+				t.Errorf("%v %d->%d: GoodDirs = %v, want %v", base, id, dst, got, want)
+			}
+			if o.GoodDirCount(id, dst) != base.GoodDirCount(id, dst) {
+				t.Errorf("%v %d->%d: GoodDirCount mismatch", base, id, dst)
+			}
+		}
+		if o.Version() != 0 || o.DownLinks() != 0 || o.DownNodes() != 0 {
+			t.Errorf("%v: fresh overlay not clean: version=%d links=%d nodes=%d",
+				base, o.Version(), o.DownLinks(), o.DownNodes())
+		}
+		if o.String() != base.String() {
+			t.Errorf("%v: String = %q", base, o.String())
+		}
+	}
+}
+
+func TestOverlayLinkFailure(t *testing.T) {
+	m := MustNew(2, 4)
+	o := NewOverlay(m)
+	from := m.ID([]int{1, 1})
+	to := m.ID([]int{2, 1})
+	dir := DirPlus(0)
+
+	if !o.FailLink(from, dir) {
+		t.Fatal("FailLink returned false for a live link")
+	}
+	if o.FailLink(from, dir) {
+		t.Error("FailLink on an already-cut link reported a change")
+	}
+	if o.HasArc(from, dir) {
+		t.Error("cut arc still present")
+	}
+	if o.HasArc(to, dir.Opposite()) {
+		t.Error("reverse arc of a cut link still present: link failures must be bidirectional")
+	}
+	if got, want := o.Degree(from), m.Degree(from)-1; got != want {
+		t.Errorf("Degree(from) = %d, want %d", got, want)
+	}
+	if got, want := o.Degree(to), m.Degree(to)-1; got != want {
+		t.Errorf("Degree(to) = %d, want %d", got, want)
+	}
+	// The cut arc must disappear from good directions on both sides.
+	if o.IsGoodDir(from, to, dir) {
+		t.Error("IsGoodDir true through a cut link")
+	}
+	var buf [2 * MaxDim]Dir
+	for _, g := range o.GoodDirs(from, m.ID([]int{3, 1}), buf[:0]) {
+		if g == dir {
+			t.Error("GoodDirs still lists the cut arc")
+		}
+	}
+	if o.DownLinks() != 1 || o.LinkFailures() != 1 {
+		t.Errorf("DownLinks=%d LinkFailures=%d, want 1, 1", o.DownLinks(), o.LinkFailures())
+	}
+
+	v := o.Version()
+	if !o.RestoreLink(to, dir.Opposite()) { // restore via the other endpoint
+		t.Fatal("RestoreLink returned false")
+	}
+	if o.RestoreLink(from, dir) {
+		t.Error("RestoreLink on a healthy link reported a change")
+	}
+	if !o.HasArc(from, dir) || !o.HasArc(to, dir.Opposite()) {
+		t.Error("restored link not usable in both directions")
+	}
+	if o.Version() == v {
+		t.Error("Version did not change on restore")
+	}
+	if o.DownLinks() != 0 || o.LinkFailures() != 1 {
+		t.Errorf("after restore: DownLinks=%d LinkFailures=%d, want 0, 1", o.DownLinks(), o.LinkFailures())
+	}
+
+	// Failing a nonexistent boundary arc is a no-op.
+	if o.FailLink(m.ID([]int{0, 0}), DirMinus(0)) {
+		t.Error("FailLink off the mesh edge reported a change")
+	}
+}
+
+func TestOverlayNodeFailure(t *testing.T) {
+	m := MustNew(2, 4)
+	o := NewOverlay(m)
+	down := m.ID([]int{2, 2})
+	left := m.ID([]int{1, 2})
+
+	if !o.FailNode(down) {
+		t.Fatal("FailNode returned false")
+	}
+	if o.FailNode(down) {
+		t.Error("double FailNode reported a change")
+	}
+	if !o.NodeDown(down) || o.DownNodes() != 1 || o.NodeFailures() != 1 {
+		t.Error("node-down state wrong")
+	}
+	if o.Degree(down) != 0 {
+		t.Errorf("Degree(down) = %d, want 0", o.Degree(down))
+	}
+	for d := 0; d < m.DirCount(); d++ {
+		if o.HasArc(down, Dir(d)) {
+			t.Errorf("outgoing arc %v of a failed node still present", Dir(d))
+		}
+	}
+	// Neighbors lose the arc into the failed node.
+	if o.HasArc(left, DirPlus(0)) {
+		t.Error("arc into a failed node still present")
+	}
+	if got, want := o.Degree(left), m.Degree(left)-1; got != want {
+		t.Errorf("Degree(neighbor) = %d, want %d", got, want)
+	}
+	// A good direction leading into the failed node disappears.
+	if o.IsGoodDir(left, down, DirPlus(0)) {
+		t.Error("IsGoodDir true into a failed node")
+	}
+	if o.GoodDirCount(left, down) != 0 {
+		t.Errorf("GoodDirCount into a failed node = %d, want 0", o.GoodDirCount(left, down))
+	}
+
+	if !o.RestoreNode(down) {
+		t.Fatal("RestoreNode returned false")
+	}
+	if o.RestoreNode(down) {
+		t.Error("RestoreNode on a live node reported a change")
+	}
+	if got, want := o.Degree(down), m.Degree(down); got != want {
+		t.Errorf("restored Degree = %d, want %d", got, want)
+	}
+}
+
+// TestOverlayTwoNeighbor: two-hop reachability respects failed middle
+// links and nodes.
+func TestOverlayTwoNeighbor(t *testing.T) {
+	m := MustNew(1, 5)
+	o := NewOverlay(m)
+	if to, ok := o.TwoNeighbor(0, DirPlus(0)); !ok || to != 2 {
+		t.Fatalf("TwoNeighbor intact = (%d,%v), want (2,true)", to, ok)
+	}
+	o.FailLink(1, DirPlus(0))
+	if _, ok := o.TwoNeighbor(0, DirPlus(0)); ok {
+		t.Error("TwoNeighbor crosses a cut second link")
+	}
+	o.RestoreLink(1, DirPlus(0))
+	o.FailNode(1)
+	if _, ok := o.TwoNeighbor(0, DirPlus(0)); ok {
+		t.Error("TwoNeighbor crosses a failed middle node")
+	}
+}
+
+func TestOverlayReset(t *testing.T) {
+	m := MustNew(2, 4)
+	o := NewOverlay(m)
+	o.FailLink(0, DirPlus(0))
+	o.FailNode(5)
+	o.Reset()
+	if o.DownLinks() != 0 || o.DownNodes() != 0 {
+		t.Errorf("Reset left DownLinks=%d DownNodes=%d", o.DownLinks(), o.DownNodes())
+	}
+	if o.LinkFailures() != 1 || o.NodeFailures() != 1 {
+		t.Error("Reset must keep cumulative failure counts")
+	}
+	for id := NodeID(0); int(id) < m.Size(); id++ {
+		if o.Degree(id) != m.Degree(id) {
+			t.Fatalf("node %d degree %d after Reset, want %d", id, o.Degree(id), m.Degree(id))
+		}
+	}
+}
+
+// TestOverlayRestoreNodeKeepsCutLinks: RestoreNode does not resurrect
+// links that were explicitly cut.
+func TestOverlayRestoreNodeKeepsCutLinks(t *testing.T) {
+	m := MustNew(2, 4)
+	o := NewOverlay(m)
+	n := m.ID([]int{1, 1})
+	o.FailLink(n, DirPlus(0))
+	o.FailNode(n)
+	o.RestoreNode(n)
+	if o.HasArc(n, DirPlus(0)) {
+		t.Error("explicitly cut link came back with the node")
+	}
+	if !o.HasArc(n, DirPlus(1)) {
+		t.Error("untouched link missing after node restore")
+	}
+}

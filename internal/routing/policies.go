@@ -51,10 +51,25 @@ func (p *matchingPolicy) Deterministic() bool { return p.deterministic }
 // Route implements sim.Policy.
 func (p *matchingPolicy) Route(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
 	order := p.buf.Reset(len(ns.Packets))
-	if p.shuffle && len(order) > 1 {
-		rng.Shuffle(len(order), func(x, y int) {
-			order[x], order[y] = order[y], order[x]
-		})
+	if p.shuffle {
+		if len(order) > 1 {
+			rng.Shuffle(len(order), func(x, y int) {
+				order[x], order[y] = order[y], order[x]
+			})
+		}
+		// Also randomize each packet's good-arc preference. With a fixed
+		// axis order the matching is deterministic for a lone packet, which
+		// matters under link failures: a packet whose only good arc at its
+		// current node is down gets deflected to a neighbor, and from there
+		// a fixed preference walks it straight back — a two-node loop no
+		// amount of priority shuffling breaks. A random good arc lets it
+		// round the failed link instead.
+		for i := range ns.Packets {
+			g := ns.Info(i).Good()
+			if len(g) > 1 {
+				rng.Shuffle(len(g), func(x, y int) { g[x], g[y] = g[y], g[x] })
+			}
+		}
 	}
 	if p.less != nil {
 		// slices.SortStableFunc avoids the reflection-based swapper that

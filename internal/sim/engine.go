@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/rng"
@@ -57,6 +58,10 @@ var (
 	// ErrBadInjection is returned by New for ill-formed initial
 	// configurations.
 	ErrBadInjection = errors.New("sim: invalid initial configuration")
+	// ErrPolicyPanic is returned by Step/Run when a policy's Route panics.
+	// The panic is recovered (also inside worker goroutines) and surfaced
+	// as an error so a buggy policy cannot crash a sweep.
+	ErrPolicyPanic = errors.New("sim: policy panicked")
 )
 
 // DefaultMaxSteps is the step budget used when Options.MaxSteps is zero.
@@ -102,6 +107,12 @@ type Options struct {
 	// of the same policy; deterministic policies produce identical results
 	// on every path).
 	Workers int
+	// MaxWallTime bounds the wall-clock duration of Run; 0 means no limit.
+	// Run checks the deadline between steps, finishes the step in flight,
+	// and reports the cutoff in Result.DeadlineExceeded. A wall-clock bound
+	// is inherently not reproducible across machines; use MaxSteps for
+	// deterministic budgets and this as the safety valve around them.
+	MaxWallTime time.Duration
 }
 
 // ClonablePolicy is implemented by policies whose per-engine scratch state
@@ -133,11 +144,42 @@ type Result struct {
 	// MaxNodeLoad is the largest number of packets observed in one node at
 	// the beginning of a step.
 	MaxNodeLoad int
+
+	// Dropped is the number of packets removed undelivered by fault
+	// degradation (all causes; always Delivered + Dropped + Absorbed +
+	// live-at-exit == Total).
+	Dropped int
+	// Absorbed is the number of crash victims terminated at their crashing
+	// node under FateAbsorb (counted separately from drops).
+	Absorbed int
+	// DroppedCrash counts drops of packets caught in a crashing node
+	// (FateDrop only; under FateAbsorb they count in Absorbed instead).
+	DroppedCrash int
+	// DroppedUnreachable counts drops of packets whose destination was down
+	// when the failure set changed.
+	DroppedUnreachable int
+	// DroppedStranded counts drops of packets shed because a node's
+	// surviving out-degree fell below its load.
+	DroppedStranded int
+	// DroppedInject counts injected packets refused gracefully because the
+	// failure set left no room for them.
+	DroppedInject int
+	// LinkFailures and NodeFailures are the cumulative fault transitions
+	// applied over the run (0 without a fault model).
+	LinkFailures int
+	NodeFailures int
+	// Reroutes counts packet-steps in which a packet had no surviving good
+	// arc (all its geometrically good arcs were down), so every available
+	// move was a forced, fault-induced deflection.
+	Reroutes int64
+	// DeadlineExceeded reports that Options.MaxWallTime cut the run short.
+	DeadlineExceeded bool
 }
 
 // Engine runs one routing problem under one policy.
 type Engine struct {
 	mesh    *mesh.Mesh
+	topo    mesh.Topology // routing view: mesh, or overlay under faults
 	policy  Policy
 	packets []*Packet
 	opts    Options
@@ -155,11 +197,29 @@ type Engine struct {
 	livelockable bool
 	seen         map[uint64]int
 	injector     Injector
+	ids          map[int]bool
 	nextID       int
+
+	// Fault state (nil/zero without SetFaults).
+	faults       FaultModel
+	overlay      *mesh.Overlay
+	faultRng     *rand.Rand
+	faultVersion uint64
+	fate         PacketFate
 
 	totalDeflections int64
 	totalHops        int64
 	maxNodeLoad      int
+	reroutes         int64
+
+	dropped         int
+	absorbed        int
+	dropCrash       int
+	dropUnreachable int
+	dropStranded    int
+	dropInject      int
+
+	deadlineExceeded bool
 
 	// Reusable routing scratch: one for the serial path, one per goroutine
 	// when Options.Workers > 1.
@@ -186,6 +246,7 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 	}
 	e := &Engine{
 		mesh:         m,
+		topo:         m,
 		policy:       policy,
 		packets:      packets,
 		opts:         opts,
@@ -209,7 +270,7 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 		}
 	}
 
-	ids := make(map[int]bool, len(packets))
+	e.ids = make(map[int]bool, len(packets))
 	for _, p := range packets {
 		if p == nil {
 			return nil, fmt.Errorf("%w: nil packet", ErrBadInjection)
@@ -223,13 +284,15 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 		if p.Node != p.Src {
 			return nil, fmt.Errorf("%w: packet %d not at its source", ErrBadInjection, p.ID)
 		}
-		if ids[p.ID] {
+		if e.ids[p.ID] {
 			return nil, fmt.Errorf("%w: duplicate packet id %d", ErrBadInjection, p.ID)
 		}
-		ids[p.ID] = true
+		e.ids[p.ID] = true
 		if p.ID >= e.nextID {
 			e.nextID = p.ID + 1
 		}
+		p.Cause = DropNone
+		p.DroppedAt = -1
 		if p.Src == p.Dst {
 			p.ArrivedAt = 0
 			continue
@@ -272,12 +335,14 @@ func (e *Engine) SetInjector(inj Injector) {
 }
 
 // InjectionCapacity returns how many packets can still be injected at the
-// node this step without exceeding its out-degree. The value reflects the
-// engine state when called: an Injector returning several packets for the
-// same node in one Inject call must count its own earlier picks against
-// the capacity itself.
+// node this step without exceeding its out-degree — the surviving
+// out-degree when a fault model is installed, so injectors automatically
+// respect reduced capacity. The value reflects the engine state when
+// called: an Injector returning several packets for the same node in one
+// Inject call must count its own earlier picks against the capacity
+// itself.
 func (e *Engine) InjectionCapacity(node mesh.NodeID) int {
-	c := e.mesh.Degree(node) - len(e.byNode[node])
+	c := e.topo.Degree(node) - len(e.byNode[node])
 	if c < 0 {
 		return 0
 	}
@@ -292,7 +357,11 @@ func (e *Engine) NextPacketID() int {
 	return id
 }
 
-// inject runs the installed injector and validates its output.
+// inject runs the installed injector and validates its output. Injector
+// bugs — nil packets, off-mesh endpoints, reused IDs, exceeding the intact
+// mesh's capacity — are hard errors; packets the current failure set leaves
+// no room for (source or destination down, surviving degree already full)
+// are refused gracefully with cause DropInject.
 func (e *Engine) inject() error {
 	newPackets := e.injector.Inject(e.time, e, e.rng)
 	for _, p := range newPackets {
@@ -308,16 +377,35 @@ func (e *Engine) inject() error {
 		if p.Node != p.Src {
 			return fmt.Errorf("%w: injected packet %d not at its source", ErrBadInjection, p.ID)
 		}
+		if e.ids[p.ID] {
+			return fmt.Errorf("%w: injected packet reuses id %d at step %d", ErrBadInjection, p.ID, e.time)
+		}
+		e.ids[p.ID] = true
+		if p.ID >= e.nextID {
+			e.nextID = p.ID + 1
+		}
 		e.packets = append(e.packets, p)
 		p.InjectedAt = e.time
+		p.Cause = DropNone
+		p.DroppedAt = -1
 		if p.Src == p.Dst {
 			p.ArrivedAt = e.time
 			continue
 		}
 		p.ArrivedAt = -1
-		if len(e.byNode[p.Src]) >= e.mesh.Degree(p.Src) {
-			return fmt.Errorf("%w: step %d node %d injection exceeds out-degree %d",
-				ErrBadInjection, e.time, p.Src, e.mesh.Degree(p.Src))
+		if e.overlay != nil && (e.overlay.NodeDown(p.Src) || e.overlay.NodeDown(p.Dst)) {
+			e.markDropped(p, DropInject)
+			continue
+		}
+		if len(e.byNode[p.Src]) >= e.topo.Degree(p.Src) {
+			if len(e.byNode[p.Src]) >= e.mesh.Degree(p.Src) {
+				return fmt.Errorf("%w: step %d node %d injection exceeds out-degree %d",
+					ErrBadInjection, e.time, p.Src, e.mesh.Degree(p.Src))
+			}
+			// There would be room on the intact mesh: the injector is fine,
+			// the failure set ate the capacity.
+			e.markDropped(p, DropInject)
+			continue
 		}
 		e.enqueue(p)
 		e.live++
@@ -328,7 +416,9 @@ func (e *Engine) inject() error {
 	return nil
 }
 
-// Mesh returns the network topology.
+// Mesh returns the intact base mesh. Under an installed fault model the
+// engine routes against Topology() instead; Mesh stays the geometric
+// ground truth (sizes, distances, coordinates).
 func (e *Engine) Mesh() *mesh.Mesh { return e.mesh }
 
 // Policy returns the routing policy.
@@ -365,6 +455,7 @@ type routeScratch struct {
 	src         rng.SplitMix64
 	rnd         *rand.Rand
 	maxNodeLoad int
+	reroutes    int64 // per-step count, drained by Step/routeParallel
 }
 
 func (e *Engine) newScratch(policy Policy) *routeScratch {
@@ -373,24 +464,43 @@ func (e *Engine) newScratch(policy Policy) *routeScratch {
 		dirOwner: make([]int, e.mesh.DirCount()),
 		policy:   policy,
 	}
-	sc.ns.Mesh = e.mesh
+	sc.ns.Mesh = e.topo
 	sc.ns.infos = make([]PacketInfo, 0, e.mesh.DirCount())
 	sc.rnd = rand.New(&sc.src)
 	return sc
 }
 
 // fillInfo computes PacketInfo for every packet of the scratch node state.
-func (sc *routeScratch) fillInfo(m *mesh.Mesh) {
+// Good directions come from the routing topology, so under faults they are
+// the surviving good arcs; a live packet with GoodCount == 0 (possible only
+// when faults cut every geometrically good arc) is a forced reroute.
+func (sc *routeScratch) fillInfo(topo mesh.Topology) {
 	ns := &sc.ns
 	ns.infos = ns.infos[:0]
 	for _, p := range ns.Packets {
 		var pi PacketInfo
-		dirs := m.GoodDirs(p.Node, p.Dst, pi.goodBuf[:0])
+		dirs := topo.GoodDirs(p.Node, p.Dst, pi.goodBuf[:0])
 		pi.GoodCount = len(dirs)
+		if pi.GoodCount == 0 {
+			sc.reroutes++
+		}
 		pi.Restricted = pi.GoodCount == 1
 		pi.TypeA = pi.Restricted && p.RestrictedPrev && p.AdvancedPrev
 		ns.infos = append(ns.infos, pi)
 	}
+}
+
+// routePolicy invokes the policy with panic isolation: a panicking Route
+// surfaces as an ErrPolicyPanic instead of tearing down the process (or, in
+// the parallel path, deadlocking a worker pool).
+func (sc *routeScratch) routePolicy(rnd *rand.Rand) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: policy %s: %v", ErrPolicyPanic, sc.policy.Name(), r)
+		}
+	}()
+	sc.policy.Route(&sc.ns, sc.out, rnd)
+	return nil
 }
 
 // validate checks the assignment for the scratch node state according to
@@ -403,11 +513,11 @@ func (e *Engine) validate(sc *routeScratch) error {
 	}
 	for i, dir := range out {
 		p := ns.Packets[i]
-		if dir < 0 || int(dir) >= e.mesh.DirCount() {
+		if dir < 0 || int(dir) >= e.topo.DirCount() {
 			return fmt.Errorf("%w: step %d node %d packet %d (dir %d)",
 				ErrUnassigned, ns.Time, ns.Node, p.ID, dir)
 		}
-		if !e.mesh.HasArc(ns.Node, dir) {
+		if !e.topo.HasArc(ns.Node, dir) {
 			return fmt.Errorf("%w: step %d node %d packet %d via %v",
 				ErrOffMesh, ns.Time, ns.Node, p.ID, dir)
 		}
@@ -422,15 +532,15 @@ func (e *Engine) validate(sc *routeScratch) error {
 	}
 	for i, dir := range out {
 		pi := ns.Info(i)
-		if e.mesh.IsGoodDir(ns.Packets[i].Node, ns.Packets[i].Dst, dir) {
+		if e.topo.IsGoodDir(ns.Packets[i].Node, ns.Packets[i].Dst, dir) {
 			continue // advancing
 		}
-		// Packet i is deflected: every good arc must carry an advancing
-		// packet (Definition 6), and if packet i is restricted, that
-		// advancing packet must itself be restricted (Definition 18).
+		// Packet i is deflected: every (surviving) good arc must carry an
+		// advancing packet (Definition 6), and if packet i is restricted,
+		// that advancing packet must itself be restricted (Definition 18).
 		for _, g := range pi.Good() {
 			j := sc.dirOwner[g]
-			if j < 0 || !e.mesh.IsGoodDir(ns.Packets[j].Node, ns.Packets[j].Dst, g) {
+			if j < 0 || !e.topo.IsGoodDir(ns.Packets[j].Node, ns.Packets[j].Dst, g) {
 				return fmt.Errorf("%w: step %d node %d packet %d deflected with free good arc %v",
 					ErrNotGreedy, ns.Time, ns.Node, ns.Packets[i].ID, g)
 			}
@@ -452,13 +562,15 @@ func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.
 	sc.ns.Node = node
 	sc.ns.Time = t
 	sc.ns.Packets = pkts
-	sc.fillInfo(e.mesh)
+	sc.fillInfo(e.topo)
 
 	sc.out = sc.out[:len(pkts)]
 	for i := range sc.out {
 		sc.out[i] = mesh.NoDir
 	}
-	sc.policy.Route(&sc.ns, sc.out, rnd)
+	if err := sc.routePolicy(rnd); err != nil {
+		return fmt.Errorf("step %d node %d: %w", t, node, err)
+	}
 
 	if e.opts.Validation > ValidateOff {
 		if err := e.validate(sc); err != nil {
@@ -467,13 +579,14 @@ func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.
 	}
 	for i, p := range pkts {
 		dir := sc.out[i]
-		to, ok := e.mesh.Neighbor(node, dir)
+		to, ok := e.topo.Neighbor(node, dir)
 		if !ok {
-			// Unvalidated policies can still not corrupt the engine.
+			// Unvalidated policies can still not corrupt the engine (nor
+			// route through an arc the failure set removed).
 			return fmt.Errorf("%w: step %d node %d packet %d via %v", ErrOffMesh, t, node, p.ID, dir)
 		}
 		pi := sc.ns.Info(i)
-		adv := e.mesh.IsGoodDir(node, p.Dst, dir)
+		adv := e.topo.IsGoodDir(node, p.Dst, dir)
 		sc.moves = append(sc.moves, Move{
 			Packet:        p,
 			From:          node,
@@ -503,6 +616,7 @@ func (e *Engine) routeParallel(t int) error {
 		lo := w * chunk
 		if lo >= len(e.active) {
 			e.workers[w].moves = e.workers[w].moves[:0]
+			e.workers[w].reroutes = 0
 			continue
 		}
 		hi := lo + chunk
@@ -512,8 +626,17 @@ func (e *Engine) routeParallel(t int) error {
 		wg.Add(1)
 		go func(w int, nodes []mesh.NodeID) {
 			defer wg.Done()
+			// Backstop for panics outside the policy call (routePolicy
+			// already recovers those): a panicking worker must not kill the
+			// process while the others run.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("sim: worker %d panicked at step %d: %v", w, t, r)
+				}
+			}()
 			sc := e.workers[w]
 			sc.moves = sc.moves[:0]
+			sc.reroutes = 0
 			for _, node := range nodes {
 				sc.src.Seed(rng.Mix(e.opts.Seed, int64(t), int64(node)))
 				if err := e.routeNode(sc, node, t, sc.rnd); err != nil {
@@ -535,6 +658,7 @@ func (e *Engine) routeParallel(t int) error {
 		if sc.maxNodeLoad > e.maxNodeLoad {
 			e.maxNodeLoad = sc.maxNodeLoad
 		}
+		e.reroutes += sc.reroutes
 	}
 	return nil
 }
@@ -544,6 +668,12 @@ func (e *Engine) routeParallel(t int) error {
 // budget) are reported by Run.
 func (e *Engine) Step() error {
 	t := e.time
+	// Fault transitions happen first (single-threaded, own RNG stream), so
+	// injection and routing always see a settled failure set and the fault
+	// sequence is identical on the serial and parallel paths.
+	if e.faults != nil {
+		e.applyFaults()
+	}
 	if e.injector != nil {
 		if err := e.inject(); err != nil {
 			return err
@@ -558,6 +688,7 @@ func (e *Engine) Step() error {
 	} else {
 		sc := e.scratch
 		sc.moves = sc.moves[:0]
+		sc.reroutes = 0
 		for _, node := range e.active {
 			if err := e.routeNode(sc, node, t, e.rng); err != nil {
 				return err
@@ -567,6 +698,7 @@ func (e *Engine) Step() error {
 		if sc.maxNodeLoad > e.maxNodeLoad {
 			e.maxNodeLoad = sc.maxNodeLoad
 		}
+		e.reroutes += sc.reroutes
 	}
 
 	// Apply all moves simultaneously.
@@ -632,7 +764,7 @@ func (e *Engine) stateHash() uint64 {
 		_, _ = h.Write(buf[:4])
 	}
 	for _, p := range e.packets {
-		if p.Arrived() {
+		if p.Arrived() || p.Dropped() {
 			put(-1)
 			continue
 		}
@@ -650,11 +782,20 @@ func (e *Engine) stateHash() uint64 {
 	return h.Sum64()
 }
 
-// Run steps the engine until every packet arrives, a livelock is detected,
-// or the step budget is exhausted, and returns the summary.
+// Run steps the engine until every packet arrives (or is removed by fault
+// degradation), a livelock is detected, the step budget is exhausted, or
+// the wall-clock deadline passes, and returns the summary.
 func (e *Engine) Run() (*Result, error) {
+	var deadline time.Time
+	if e.opts.MaxWallTime > 0 {
+		deadline = time.Now().Add(e.opts.MaxWallTime)
+	}
 	for (e.live > 0 || (e.injector != nil && !e.injector.Exhausted(e.time))) &&
 		!e.livelock && e.time < e.opts.MaxSteps {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			e.deadlineExceeded = true
+			break
+		}
 		if err := e.Step(); err != nil {
 			return nil, err
 		}
@@ -663,14 +804,28 @@ func (e *Engine) Run() (*Result, error) {
 }
 
 func (e *Engine) result() *Result {
-	return &Result{
+	r := &Result{
 		Steps:            e.lastArrival,
-		Delivered:        len(e.packets) - e.live,
+		Delivered:        len(e.packets) - e.live - e.dropped - e.absorbed,
 		Total:            len(e.packets),
 		Livelocked:       e.livelock,
-		HitMaxSteps:      e.live > 0 && !e.livelock && e.time >= e.opts.MaxSteps,
+		HitMaxSteps:      e.live > 0 && !e.livelock && !e.deadlineExceeded && e.time >= e.opts.MaxSteps,
 		TotalDeflections: e.totalDeflections,
 		TotalHops:        e.totalHops,
 		MaxNodeLoad:      e.maxNodeLoad,
+
+		Dropped:            e.dropped,
+		Absorbed:           e.absorbed,
+		DroppedCrash:       e.dropCrash,
+		DroppedUnreachable: e.dropUnreachable,
+		DroppedStranded:    e.dropStranded,
+		DroppedInject:      e.dropInject,
+		Reroutes:           e.reroutes,
+		DeadlineExceeded:   e.deadlineExceeded,
 	}
+	if e.overlay != nil {
+		r.LinkFailures = e.overlay.LinkFailures()
+		r.NodeFailures = e.overlay.NodeFailures()
+	}
+	return r
 }

@@ -35,6 +35,14 @@ type Packet struct {
 	Class int
 	// ArrivedAt is the step at which the packet reached Dst, or -1.
 	ArrivedAt int
+	// DroppedAt is the step at which the engine removed the packet
+	// undelivered (fault degradation), or -1. Use Dropped() to test: tests
+	// that build packets as struct literals leave this zero-valued, and
+	// Cause is the authoritative flag.
+	DroppedAt int
+	// Cause records why the packet was removed undelivered; DropNone while
+	// the packet is live or after delivery.
+	Cause DropCause
 	// Hops is the number of arcs traversed so far.
 	Hops int
 	// Deflections is the number of steps in which the packet moved away
@@ -55,12 +63,16 @@ type Packet struct {
 
 // NewPacket returns a packet ready for injection at src.
 func NewPacket(id int, src, dst mesh.NodeID) *Packet {
-	return &Packet{ID: id, Src: src, Dst: dst, Node: src, EnteredVia: mesh.NoDir, ArrivedAt: -1}
+	return &Packet{ID: id, Src: src, Dst: dst, Node: src, EnteredVia: mesh.NoDir, ArrivedAt: -1, DroppedAt: -1}
 }
 
 // Arrived reports whether the packet has reached its destination and left
 // the network.
 func (p *Packet) Arrived() bool { return p.ArrivedAt >= 0 }
+
+// Dropped reports whether the engine removed the packet undelivered
+// (crash, unreachable destination, stranding, or refused injection).
+func (p *Packet) Dropped() bool { return p.Cause != DropNone }
 
 // Delay returns the number of steps the packet spent in the network, or -1
 // if it has not arrived yet.
@@ -76,6 +88,8 @@ func (p *Packet) String() string {
 	status := fmt.Sprintf("at %d", p.Node)
 	if p.Arrived() {
 		status = fmt.Sprintf("arrived t=%d", p.ArrivedAt)
+	} else if p.Dropped() {
+		status = fmt.Sprintf("dropped t=%d (%s)", p.DroppedAt, p.Cause)
 	}
 	return fmt.Sprintf("packet %d (%d->%d, %s)", p.ID, p.Src, p.Dst, status)
 }

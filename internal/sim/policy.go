@@ -24,6 +24,8 @@ type PacketInfo struct {
 
 // Good returns the packet's good directions, ordered by axis. The slice
 // aliases engine-owned scratch memory valid only during the Route call.
+// Policies may reorder it in place (e.g., to randomize arc preference) but
+// must not change the set of directions it holds.
 func (pi *PacketInfo) Good() []mesh.Dir { return pi.goodBuf[:pi.GoodCount] }
 
 // NodeState is the local view a policy gets of one node in one step: exactly
@@ -31,8 +33,13 @@ func (pi *PacketInfo) Good() []mesh.Dir { return pi.goodBuf[:pi.GoodCount] }
 // are currently in it, with their destinations, entry arcs and locally
 // trackable history flags).
 type NodeState struct {
-	// Mesh is the network topology.
-	Mesh *mesh.Mesh
+	// Mesh is the network topology the node routes against. Without faults
+	// this is the *mesh.Mesh itself; with a fault model installed it is the
+	// failure overlay, whose connectivity methods (HasArc, Degree, GoodDirs)
+	// reflect the surviving arcs while geometry (Dist, coordinates) stays
+	// that of the intact mesh — a bufferless router knows its live ports but
+	// has no global failure map.
+	Mesh mesh.Topology
 	// Node is the node being routed.
 	Node mesh.NodeID
 	// Time is the current step index.

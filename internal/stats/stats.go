@@ -13,6 +13,7 @@ import (
 // Summary describes a sample of float64 observations.
 type Summary struct {
 	N                int
+	Sum              float64
 	Mean, Std        float64
 	Min, Median, Max float64
 	P90, P99         float64
@@ -35,6 +36,7 @@ func Summarize(xs []float64) Summary {
 	for _, x := range sorted {
 		sum += x
 	}
+	s.Sum = sum
 	s.Mean = sum / float64(len(sorted))
 	if len(sorted) > 1 {
 		var ss float64
