@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt bench experiments experiments-quick figures cover clean
+.PHONY: all build test test-short test-race vet fmt bench bench-json bench-smoke experiments experiments-quick figures cover clean
+
+# Output file for the committed benchmark record (see bench-json).
+BENCH_JSON ?= BENCH_PR2.json
 
 all: build vet test
 
@@ -28,6 +31,16 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the full root benchmark suite (experiment benchmarks E1-E21 plus the
+# engine microbenchmarks) and commit the result as structured JSON.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -timeout 30m . | tee bench_output.txt | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# CI smoke variant: one iteration per benchmark, compared non-blockingly
+# against the committed record with a generous tolerance.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 10m . | $(GO) run ./cmd/benchjson -o /dev/null -baseline $(BENCH_JSON) -tolerance 3.0
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -252,6 +252,41 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "hops/s")
 }
 
+// BenchmarkEngineStepSteadyState times a single steady-state Step call with
+// engine construction excluded from the timer, so allocs/op reports exactly
+// what one synchronous routing step costs once the scratch buffers exist.
+// The expected figure is 0 allocs/op.
+func BenchmarkEngineStepSteadyState(b *testing.B) {
+	m := mesh.MustNew(2, 32)
+	rebuild := func(seed int64) *sim.Engine {
+		rng := rand.New(rand.NewSource(seed))
+		packets, err := workload.FullLoad(m, 2, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{Seed: seed, Validation: sim.ValidateGreedy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	b.ReportAllocs()
+	b.StopTimer()
+	e, seed := rebuild(1), int64(1)
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Done() {
+			b.StopTimer()
+			seed++
+			e = rebuild(seed)
+			b.StartTimer()
+		}
+		if err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkValidationOverhead compares a validated against an unvalidated
 // run of the same instance shape.
 func BenchmarkValidationOverhead(b *testing.B) {

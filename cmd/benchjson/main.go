@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output into the JSON
+// benchmark record committed alongside each performance PR (for example
+// BENCH_PR2.json). It reads the raw test output on stdin and writes a
+// structured report, so the usual invocation is
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_PR2.json
+//
+// With -baseline it additionally compares ns/op against a previously
+// committed report and prints one line per regressed benchmark, exiting
+// nonzero when any exceeds the threshold — that is the CI smoke mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hotpotato/internal/benchfmt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out      = fs.String("o", "", "write JSON here instead of stdout")
+		baseline = fs.String("baseline", "", "committed report to compare ns/op against")
+		tol      = fs.Float64("tolerance", 1.30, "fail when ns/op exceeds baseline by this factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		return err
+	}
+	regressed := 0
+	for _, b := range rep.Benchmarks {
+		ref, ok := base.Lookup(b.Name)
+		if !ok {
+			continue // new benchmark, nothing to compare
+		}
+		now, was := b.Metrics["ns/op"], ref.Metrics["ns/op"]
+		if was <= 0 || now <= was*(*tol) {
+			continue
+		}
+		regressed++
+		fmt.Fprintf(os.Stderr, "benchjson: %s regressed: %.0f ns/op vs baseline %.0f (%.2fx, tolerance %.2fx)\n",
+			b.Name, now, was, now/was, *tol)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", regressed, *tol)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.2fx against %s\n", *tol, *baseline)
+	return nil
+}
+
+func loadReport(path string) (*benchfmt.Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &benchfmt.Report{}
+	if err := json.Unmarshal(buf, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

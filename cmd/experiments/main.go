@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hotpotato/internal/analysis"
+	"hotpotato/internal/profiling"
 )
 
 func main() {
@@ -39,9 +40,22 @@ func run(args []string) error {
 		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		list     = fs.Bool("list", false, "list available experiments and exit")
 		outDir   = fs.String("out", "", "also write one file per experiment into this directory")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" || *memProf != "" {
+		stopProf, err := profiling.Start(*cpuProf, *memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -21,6 +21,7 @@ import (
 	"hotpotato/internal/core"
 	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
+	"hotpotato/internal/profiling"
 	"hotpotato/internal/routing"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/stats"
@@ -131,9 +132,22 @@ func run(args []string) error {
 		frFlag        = fs.String("fault-rate", "0", "comma-separated per-link per-step failure probabilities (0 = intact mesh)")
 		faultRepair   = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
 		faultMaxDown  = fs.Int("fault-max-down", 0, "cap on concurrently failed links (0 = unlimited)")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
 	}
 	ns, err := parseInts(*nsFlag)
 	if err != nil {

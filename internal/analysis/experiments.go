@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hotpotato/internal/stats"
 )
@@ -51,9 +51,9 @@ func Experiments() []Experiment {
 	for _, e := range registry {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		// Order E1..E10 numerically, not lexically.
-		return expOrder(out[i].ID) < expOrder(out[j].ID)
+	// Order E1..E10 numerically, not lexically.
+	slices.SortFunc(out, func(a, b Experiment) int {
+		return expOrder(a.ID) - expOrder(b.ID)
 	})
 	return out
 }

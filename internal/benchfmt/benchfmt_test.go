@@ -1,0 +1,99 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hotpotato
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE8FullLoad            	    8776	    257369 ns/op	   72969 B/op	     286 allocs/op
+BenchmarkEngineStepSteadyState 	   33282	     69993 ns/op	       1 B/op	       0 allocs/op
+BenchmarkValidationOverhead/greedy-8         	     100	  10000000 ns/op
+BenchmarkEngineThroughput-8    	     152	   5068495 ns/op	 8996322 hops/s	  318100 B/op	    1290 allocs/op
+PASS
+ok  	hotpotato	5.536s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "hotpotato" {
+		t.Errorf("bad header: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu not captured: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	e8, ok := rep.Lookup("E8FullLoad")
+	if !ok {
+		t.Fatal("E8FullLoad missing")
+	}
+	if e8.Procs != 1 || e8.Iterations != 8776 {
+		t.Errorf("E8 header fields: %+v", e8)
+	}
+	if e8.Metrics["ns/op"] != 257369 || e8.Metrics["allocs/op"] != 286 {
+		t.Errorf("E8 metrics: %+v", e8.Metrics)
+	}
+
+	sub, ok := rep.Lookup("ValidationOverhead/greedy")
+	if !ok {
+		t.Fatal("subbenchmark missing")
+	}
+	if sub.Procs != 8 {
+		t.Errorf("subbenchmark procs = %d, want 8", sub.Procs)
+	}
+
+	thr, _ := rep.Lookup("EngineThroughput")
+	if thr.Metrics["hops/s"] != 8996322 {
+		t.Errorf("custom metric lost: %+v", thr.Metrics)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkE1Theorem20\nsome stray log line\nBenchmarkE1Theorem20-4   10   5.0 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Procs != 4 {
+		t.Fatalf("got %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkX  notanumber  5 ns/op\n",
+		"BenchmarkX  10  5 ns/op trailing\n",
+		"BenchmarkX  10  bad ns/op\n",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestSplitProcsDashedNames(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"E8FullLoad-8", "E8FullLoad", 8},
+		{"Overhead/with-tracker", "Overhead/with-tracker", 1},
+		{"Overhead/with-tracker-16", "Overhead/with-tracker", 16},
+		{"Plain", "Plain", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

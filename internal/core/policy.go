@@ -33,10 +33,8 @@ func restrictedRank(ns *sim.NodeState, i int, typeAFirst bool) int {
 // packets served first, random tie-breaking and random deflections.
 // Theorem 20 bounds its routing time on the n x n mesh by 8*sqrt(2)*n*sqrt(k).
 func NewRestrictedPriority() sim.Policy {
-	return routing.NewCustom("restricted-priority",
-		func(ns *sim.NodeState, i, j int) bool {
-			return restrictedRank(ns, i, true) < restrictedRank(ns, j, true)
-		},
+	return routing.NewCustomRank("restricted-priority",
+		func(ns *sim.NodeState, i int) int { return restrictedRank(ns, i, true) },
 		true, routing.DeflectRandom)
 }
 
@@ -64,10 +62,8 @@ func NewRestrictedPriorityDeterministic() sim.Policy {
 // it routinely deflects type-A packets, exercising the spare-potential
 // switch rule (case 3(b) of the potential definition, Figure 6).
 func NewRestrictedPriorityTypeBFirst() sim.Policy {
-	return routing.NewCustom("restricted-priority-bfirst",
-		func(ns *sim.NodeState, i, j int) bool {
-			return restrictedRank(ns, i, false) < restrictedRank(ns, j, false)
-		},
+	return routing.NewCustomRank("restricted-priority-bfirst",
+		func(ns *sim.NodeState, i int) int { return restrictedRank(ns, i, false) },
 		true, routing.DeflectRandom)
 }
 
@@ -79,16 +75,15 @@ func NewRestrictedPriorityTypeBFirst() sim.Policy {
 // to make the d-dimensional analysis go through; the priority-ordered
 // augmenting matching in package routing guarantees it).
 func NewFewestGoodFirst() sim.Policy {
-	return routing.NewCustom("fewest-good-first",
-		func(ns *sim.NodeState, i, j int) bool {
-			gi, gj := ns.Info(i).GoodCount, ns.Info(j).GoodCount
-			if gi != gj {
-				return gi < gj
+	return routing.NewCustomRank("fewest-good-first",
+		func(ns *sim.NodeState, i int) int {
+			// Rank by good count, and within a class prefer packets that
+			// advanced in the previous step (the d-dimensional "type A").
+			r := 2 * ns.Info(i).GoodCount
+			if !ns.Packets[i].AdvancedPrev {
+				r++
 			}
-			// Within a class, prefer packets that advanced in the previous
-			// step (the d-dimensional "type A").
-			ai, aj := ns.Packets[i].AdvancedPrev, ns.Packets[j].AdvancedPrev
-			return ai && !aj
+			return r
 		},
 		true, routing.DeflectRandom)
 }

@@ -21,7 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -91,7 +91,7 @@ type Schedule struct {
 // NewSchedule builds a schedule from events in any order.
 func NewSchedule(events ...Event) *Schedule {
 	s := &Schedule{events: append([]Event(nil), events...)}
-	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Time < s.events[j].Time })
+	slices.SortStableFunc(s.events, func(a, b Event) int { return a.Time - b.Time })
 	return s
 }
 

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // MaxDim is the largest supported dimension.
@@ -295,7 +295,7 @@ func CompactVolume(dim, size int) (*Volume, error) {
 		}
 	}
 	collect(dim - 1)
-	sort.SliceStable(cells, func(i, j int) bool { return cells[i].shell < cells[j].shell })
+	slices.SortStableFunc(cells, func(a, b cell) int { return a.shell - b.shell })
 	for i := 0; i < size && i < len(cells); i++ {
 		v.AddCoords(cells[i].coords...)
 	}

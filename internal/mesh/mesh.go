@@ -14,6 +14,7 @@ package mesh
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NodeID is the linear index of a node: for coordinates (c_0, ..., c_{d-1}),
@@ -33,6 +34,11 @@ type Mesh struct {
 	size    int
 	wrap    bool
 	strides [MaxDim]int
+
+	// Lazily built flat-array view (see Tables). Guarded by tablesOnce so
+	// concurrent engines sharing one mesh build it exactly once.
+	tablesOnce sync.Once
+	tables     *Tables
 }
 
 // New returns the d-dimensional mesh with side length n.

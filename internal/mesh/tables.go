@@ -1,0 +1,304 @@
+package mesh
+
+// Tables is the precomputed flat-array view of a Mesh: the same topology
+// with every hot primitive — Neighbor, HasArc, Degree, GoodDirs, IsGoodDir,
+// Dist, coordinate access — turned into array lookups and subtractions
+// instead of div/mod coordinate arithmetic. It implements Topology, so it
+// drops into every place a *Mesh does; the simulation engine additionally
+// devirtualizes to it (concrete method calls on the intact mesh's hot path)
+// whenever no fault overlay is installed.
+//
+// Tables are immutable once built and safe for concurrent use. Build them
+// with (*Mesh).Tables(), which constructs them once per mesh and caches
+// them; the cost is O(size * dirs) time and memory (a few words per node),
+// paid only by callers that opt in.
+type Tables struct {
+	base     *Mesh
+	dim      int
+	side     int32
+	wrap     bool
+	dirCount int
+
+	// neighbor[int(from)*dirCount+int(dir)] is the node reached along dir,
+	// or -1 when the arc leads off the mesh.
+	neighbor []NodeID
+	// degree[id] is the out-degree of the node.
+	degree []int8
+	// coord[int(id)*dim+axis] is the cached coordinate of the node.
+	coord []int32
+}
+
+// Tables returns the flat-array view of the mesh, building it on first use.
+// The result is cached on the mesh and shared by all callers.
+func (m *Mesh) Tables() *Tables {
+	m.tablesOnce.Do(func() { m.tables = buildTables(m) })
+	return m.tables
+}
+
+func buildTables(m *Mesh) *Tables {
+	t := &Tables{
+		base:     m,
+		dim:      m.dim,
+		side:     int32(m.side),
+		wrap:     m.wrap,
+		dirCount: m.DirCount(),
+		neighbor: make([]NodeID, m.size*m.DirCount()),
+		degree:   make([]int8, m.size),
+		coord:    make([]int32, m.size*m.dim),
+	}
+	var buf [MaxDim]int
+	for id := 0; id < m.size; id++ {
+		node := NodeID(id)
+		for a, c := range m.Coord(node, buf[:]) {
+			t.coord[id*t.dim+a] = int32(c)
+		}
+		t.degree[id] = int8(m.Degree(node))
+		for d := 0; d < t.dirCount; d++ {
+			if to, ok := m.Neighbor(node, Dir(d)); ok {
+				t.neighbor[id*t.dirCount+d] = to
+			} else {
+				t.neighbor[id*t.dirCount+d] = -1
+			}
+		}
+	}
+	return t
+}
+
+// Base returns the mesh the tables were built from.
+func (t *Tables) Base() *Mesh { return t.base }
+
+// Geometry identical on every view: delegated to the base mesh where no
+// table helps, served from the coordinate cache where one does.
+
+func (t *Tables) Dim() int                { return t.dim }
+func (t *Tables) Side() int               { return int(t.side) }
+func (t *Tables) Size() int               { return t.base.size }
+func (t *Tables) Wrap() bool              { return t.wrap }
+func (t *Tables) DirCount() int           { return t.dirCount }
+func (t *Tables) Diameter() int           { return t.base.Diameter() }
+func (t *Tables) Contains(id NodeID) bool { return t.base.Contains(id) }
+func (t *Tables) CheckID(id NodeID) error { return t.base.CheckID(id) }
+func (t *Tables) ID(coord []int) NodeID   { return t.base.ID(coord) }
+func (t *Tables) ParityClass(id NodeID) int {
+	class := 0
+	for a := 0; a < t.dim; a++ {
+		class |= int(t.coord[int(id)*t.dim+a]&1) << a
+	}
+	return class
+}
+func (t *Tables) SnakeRank(id NodeID) int { return t.base.SnakeRank(id) }
+func (t *Tables) String() string          { return t.base.String() }
+
+// Coord writes the cached coordinates of id into buf and returns buf[:dim].
+func (t *Tables) Coord(id NodeID, buf []int) []int {
+	if buf == nil {
+		buf = make([]int, t.dim)
+	}
+	c := t.coord[int(id)*t.dim : int(id)*t.dim+t.dim]
+	for a, v := range c {
+		buf[a] = int(v)
+	}
+	return buf[:t.dim]
+}
+
+// CoordAxis returns the cached coordinate of id along the given axis.
+func (t *Tables) CoordAxis(id NodeID, axis int) int {
+	return int(t.coord[int(id)*t.dim+axis])
+}
+
+// Dist returns the (geometric) distance between two nodes from the
+// coordinate cache: L1 on the mesh, per-axis wraparound minimum on the
+// torus.
+func (t *Tables) Dist(a, b NodeID) int {
+	ca := t.coord[int(a)*t.dim:]
+	cb := t.coord[int(b)*t.dim:]
+	sum := int32(0)
+	for ax := 0; ax < t.dim; ax++ {
+		diff := ca[ax] - cb[ax]
+		if diff < 0 {
+			diff = -diff
+		}
+		if t.wrap && t.side-diff < diff {
+			diff = t.side - diff
+		}
+		sum += diff
+	}
+	return int(sum)
+}
+
+// HasArc reports whether the arc leaving `from` along dir exists.
+func (t *Tables) HasArc(from NodeID, dir Dir) bool {
+	return t.neighbor[int(from)*t.dirCount+int(dir)] >= 0
+}
+
+// Neighbor returns the node reached from `from` along dir; false if the arc
+// leads off the mesh.
+func (t *Tables) Neighbor(from NodeID, dir Dir) (NodeID, bool) {
+	to := t.neighbor[int(from)*t.dirCount+int(dir)]
+	if to < 0 {
+		return from, false
+	}
+	return to, true
+}
+
+// TwoNeighbor returns the 2-neighbor of `from` in direction dir
+// (Definition 4) via two table hops.
+func (t *Tables) TwoNeighbor(from NodeID, dir Dir) (NodeID, bool) {
+	mid := t.neighbor[int(from)*t.dirCount+int(dir)]
+	if mid < 0 {
+		return from, false
+	}
+	to := t.neighbor[int(mid)*t.dirCount+int(dir)]
+	if to < 0 {
+		return from, false
+	}
+	return to, true
+}
+
+// Degree returns the out-degree of the node.
+func (t *Tables) Degree(id NodeID) int { return int(t.degree[id]) }
+
+// GoodDirs appends the good directions (Definition 5) for a packet at
+// `from` destined to dst, in the same order Mesh.GoodDirs produces them:
+// by axis, "+" before "-" on a torus tie.
+func (t *Tables) GoodDirs(from, dst NodeID, buf []Dir) []Dir {
+	cf := t.coord[int(from)*t.dim:]
+	cd := t.coord[int(dst)*t.dim:]
+	if !t.wrap {
+		for a := 0; a < t.dim; a++ {
+			f, d := cf[a], cd[a]
+			if f == d {
+				continue
+			}
+			if f < d {
+				buf = append(buf, Dir(2*a))
+			} else {
+				buf = append(buf, Dir(2*a+1))
+			}
+		}
+		return buf
+	}
+	for a := 0; a < t.dim; a++ {
+		fwd := cd[a] - cf[a]
+		if fwd == 0 {
+			continue
+		}
+		if fwd < 0 {
+			fwd += t.side
+		}
+		switch {
+		case 2*fwd < t.side:
+			buf = append(buf, Dir(2*a))
+		case 2*fwd > t.side:
+			buf = append(buf, Dir(2*a+1))
+		default: // exactly opposite on the ring: both ways are shortest
+			buf = append(buf, Dir(2*a), Dir(2*a+1))
+		}
+	}
+	return buf
+}
+
+// GoodDirsInto writes the good directions for a packet at `from` destined
+// to dst into buf (which always has room: at most 2 per axis) and returns
+// the count, in the same order as GoodDirs. The fixed-array form avoids the
+// slice-append bookkeeping on the per-packet hot path.
+func (t *Tables) GoodDirsInto(from, dst NodeID, buf *[2 * MaxDim]Dir) int {
+	cf := t.coord[int(from)*t.dim:]
+	cd := t.coord[int(dst)*t.dim:]
+	n := 0
+	if !t.wrap {
+		for a := 0; a < t.dim; a++ {
+			f, d := cf[a], cd[a]
+			if f == d {
+				continue
+			}
+			if f < d {
+				buf[n] = Dir(2 * a)
+			} else {
+				buf[n] = Dir(2*a + 1)
+			}
+			n++
+		}
+		return n
+	}
+	for a := 0; a < t.dim; a++ {
+		fwd := cd[a] - cf[a]
+		if fwd == 0 {
+			continue
+		}
+		if fwd < 0 {
+			fwd += t.side
+		}
+		switch {
+		case 2*fwd < t.side:
+			buf[n] = Dir(2 * a)
+			n++
+		case 2*fwd > t.side:
+			buf[n] = Dir(2*a + 1)
+			n++
+		default: // exactly opposite on the ring: both ways are shortest
+			buf[n] = Dir(2 * a)
+			buf[n+1] = Dir(2*a + 1)
+			n += 2
+		}
+	}
+	return n
+}
+
+// GoodDirCount returns the number of good directions for a packet at `from`
+// destined to dst.
+func (t *Tables) GoodDirCount(from, dst NodeID) int {
+	cf := t.coord[int(from)*t.dim:]
+	cd := t.coord[int(dst)*t.dim:]
+	cnt := 0
+	if !t.wrap {
+		for a := 0; a < t.dim; a++ {
+			if cf[a] != cd[a] {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	for a := 0; a < t.dim; a++ {
+		fwd := cd[a] - cf[a]
+		if fwd == 0 {
+			continue
+		}
+		if fwd < 0 {
+			fwd += t.side
+		}
+		if 2*fwd == t.side {
+			cnt += 2
+		} else {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// IsGoodDir reports whether dir is a good direction for a packet at `from`
+// destined to dst.
+func (t *Tables) IsGoodDir(from, dst NodeID, dir Dir) bool {
+	a := int(dir) >> 1
+	f := t.coord[int(from)*t.dim+a]
+	d := t.coord[int(dst)*t.dim+a]
+	if f == d {
+		return false
+	}
+	if !t.wrap {
+		if dir&1 == 0 {
+			return f < d
+		}
+		return f > d
+	}
+	fwd := d - f
+	if fwd < 0 {
+		fwd += t.side
+	}
+	if dir&1 == 0 {
+		return 2*fwd <= t.side
+	}
+	return 2*fwd >= t.side
+}
+
+var _ Topology = (*Tables)(nil)

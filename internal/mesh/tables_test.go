@@ -1,0 +1,121 @@
+package mesh
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// checkTablesAgainstMesh exhaustively compares every table-served primitive
+// against the arithmetic implementation on the base mesh.
+func checkTablesAgainstMesh(t *testing.T, m *Mesh) {
+	t.Helper()
+	tab := m.Tables()
+	if tab != m.Tables() {
+		t.Fatal("Tables not cached")
+	}
+	var bufA, bufB [2 * MaxDim]Dir
+	var cbufA, cbufB [MaxDim]int
+	rng := rand.New(rand.NewSource(int64(m.size)))
+	for id := 0; id < m.Size(); id++ {
+		from := NodeID(id)
+		if got, want := tab.Degree(from), m.Degree(from); got != want {
+			t.Fatalf("%v: Degree(%d) = %d, want %d", m, from, got, want)
+		}
+		if got, want := tab.ParityClass(from), m.ParityClass(from); got != want {
+			t.Fatalf("%v: ParityClass(%d) = %d, want %d", m, from, got, want)
+		}
+		if !slices.Equal(tab.Coord(from, cbufA[:]), m.Coord(from, cbufB[:])) {
+			t.Fatalf("%v: Coord(%d) mismatch", m, from)
+		}
+		for a := 0; a < m.Dim(); a++ {
+			if got, want := tab.CoordAxis(from, a), m.CoordAxis(from, a); got != want {
+				t.Fatalf("%v: CoordAxis(%d, %d) = %d, want %d", m, from, a, got, want)
+			}
+		}
+		for d := 0; d < m.DirCount(); d++ {
+			dir := Dir(d)
+			if got, want := tab.HasArc(from, dir), m.HasArc(from, dir); got != want {
+				t.Fatalf("%v: HasArc(%d, %v) = %v, want %v", m, from, dir, got, want)
+			}
+			gn, gok := tab.Neighbor(from, dir)
+			wn, wok := m.Neighbor(from, dir)
+			if gn != wn || gok != wok {
+				t.Fatalf("%v: Neighbor(%d, %v) = (%d, %v), want (%d, %v)", m, from, dir, gn, gok, wn, wok)
+			}
+			gn, gok = tab.TwoNeighbor(from, dir)
+			wn, wok = m.TwoNeighbor(from, dir)
+			if gn != wn || gok != wok {
+				t.Fatalf("%v: TwoNeighbor(%d, %v) = (%d, %v), want (%d, %v)", m, from, dir, gn, gok, wn, wok)
+			}
+		}
+		// Good-direction primitives against a sample of destinations (all of
+		// them on small meshes).
+		dsts := m.Size()
+		for s := 0; s < 32 && s < dsts; s++ {
+			dst := NodeID(s)
+			if dsts > 32 {
+				dst = NodeID(rng.Intn(dsts))
+			}
+			if got, want := tab.Dist(from, dst), m.Dist(from, dst); got != want {
+				t.Fatalf("%v: Dist(%d, %d) = %d, want %d", m, from, dst, got, want)
+			}
+			got := tab.GoodDirs(from, dst, bufA[:0])
+			want := m.GoodDirs(from, dst, bufB[:0])
+			if !slices.Equal(got, want) {
+				t.Fatalf("%v: GoodDirs(%d, %d) = %v, want %v", m, from, dst, got, want)
+			}
+			if g, w := tab.GoodDirCount(from, dst), m.GoodDirCount(from, dst); g != w {
+				t.Fatalf("%v: GoodDirCount(%d, %d) = %d, want %d", m, from, dst, g, w)
+			}
+			for d := 0; d < m.DirCount(); d++ {
+				if g, w := tab.IsGoodDir(from, dst, Dir(d)), m.IsGoodDir(from, dst, Dir(d)); g != w {
+					t.Fatalf("%v: IsGoodDir(%d, %d, %v) = %v, want %v", m, from, dst, Dir(d), g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTablesMatchMeshPrimitives cross-checks the flat tables against the
+// arithmetic mesh primitives on a spread of meshes and tori, including the
+// even-side torus whose half-way axis offers both directions.
+func TestTablesMatchMeshPrimitives(t *testing.T) {
+	cases := []*Mesh{
+		MustNew(1, 2), MustNew(1, 7),
+		MustNew(2, 2), MustNew(2, 5), MustNew(2, 8),
+		MustNew(3, 3), MustNew(3, 4),
+		MustNew(4, 3),
+		MustNewTorus(1, 3), MustNewTorus(1, 6),
+		MustNewTorus(2, 3), MustNewTorus(2, 4), MustNewTorus(2, 7),
+		MustNewTorus(3, 4), MustNewTorus(3, 5),
+	}
+	for _, m := range cases {
+		checkTablesAgainstMesh(t, m)
+	}
+}
+
+// TestTablesFuzz drives randomized (dim, side, wrap) shapes through the
+// same exhaustive cross-check.
+func TestTablesFuzz(t *testing.T) {
+	f := func(rawDim, rawSide uint8, wrap bool) bool {
+		dim := int(rawDim)%3 + 1
+		side := int(rawSide)%6 + 3
+		var m *Mesh
+		var err error
+		if wrap {
+			m, err = NewTorus(dim, side)
+		} else {
+			m, err = New(dim, side)
+		}
+		if err != nil {
+			return false
+		}
+		checkTablesAgainstMesh(t, m)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -12,6 +12,11 @@ import (
 // higher priority for advancing. A nil lessFunc keeps the incoming order.
 type lessFunc func(ns *sim.NodeState, i, j int) bool
 
+// rankFunc assigns a priority rank to a packet index; lower ranks advance
+// first. Equivalent to less(i, j) = rank(i) < rank(j), but evaluated once
+// per packet instead of twice per comparison.
+type rankFunc func(ns *sim.NodeState, i int) int
+
 // matchingPolicy is the common shape of all priority-matching policies.
 type matchingPolicy struct {
 	name          string
@@ -19,10 +24,12 @@ type matchingPolicy struct {
 	shuffle       bool // randomize order before sorting (random tie-break)
 	singlePass    bool // skip augmentation (ablation variant)
 	less          lessFunc
+	rank          rankFunc // non-nil takes precedence over less
 	deflect       DeflectRule
 
 	assigner Assigner
 	buf      OrderBuf
+	keys     [2 * mesh.MaxDim]int
 }
 
 var _ sim.Policy = (*matchingPolicy)(nil)
@@ -41,6 +48,7 @@ func (p *matchingPolicy) Clone() sim.Policy {
 		shuffle:       p.shuffle,
 		singlePass:    p.singlePass,
 		less:          p.less,
+		rank:          p.rank,
 		deflect:       p.deflect,
 	}
 }
@@ -50,6 +58,15 @@ func (p *matchingPolicy) Deterministic() bool { return p.deterministic }
 
 // Route implements sim.Policy.
 func (p *matchingPolicy) Route(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+	if len(ns.Packets) == 1 {
+		// The dominant case under light and moderate load: a lone packet
+		// needs no priority order and no matching — advance along a
+		// (uniformly random, when shuffling) good arc, or deflect onto a
+		// (uniformly random) surviving arc. The choice has the same
+		// distribution the full machinery produces.
+		p.routeSingle(ns, out, rng)
+		return
+	}
 	order := p.buf.Reset(len(ns.Packets))
 	if p.shuffle {
 		if len(order) > 1 {
@@ -71,7 +88,23 @@ func (p *matchingPolicy) Route(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand
 			}
 		}
 	}
-	if p.less != nil {
+	if p.rank != nil {
+		// Evaluate the rank once per packet and insertion-sort the (tiny —
+		// at most the node degree) order stably by it.
+		keys := p.keys[:len(order)]
+		for x, i := range order {
+			keys[x] = p.rank(ns, i)
+		}
+		for x := 1; x < len(order); x++ {
+			ox, kx := order[x], keys[x]
+			y := x - 1
+			for y >= 0 && keys[y] > kx {
+				order[y+1], keys[y+1] = order[y], keys[y]
+				y--
+			}
+			order[y+1], keys[y+1] = ox, kx
+		}
+	} else if p.less != nil {
 		// slices.SortStableFunc avoids the reflection-based swapper that
 		// sort.SliceStable allocates on every node of every step.
 		slices.SortStableFunc(order, func(x, y int) int {
@@ -90,6 +123,37 @@ func (p *matchingPolicy) Route(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand
 		return
 	}
 	p.assigner.Assign(ns, out, order, p.deflect, rng)
+}
+
+// routeSingle routes a node holding exactly one packet.
+func (p *matchingPolicy) routeSingle(ns *sim.NodeState, out []mesh.Dir, rng *rand.Rand) {
+	g := ns.Info(0).Good()
+	if n := len(g); n > 0 {
+		if p.shuffle && n > 1 {
+			out[0] = g[rng.Intn(n)]
+		} else {
+			out[0] = g[0]
+		}
+		return
+	}
+	// No surviving good arc: a forced deflection over the existing arcs.
+	a := &p.assigner
+	dirCount := ns.Mesh.DirCount()
+	nfree := 0
+	for d := 0; d < dirCount; d++ {
+		if ns.HasArc(mesh.Dir(d)) {
+			a.free[nfree] = mesh.Dir(d)
+			nfree++
+		}
+	}
+	if nfree == 0 {
+		return // impossible in a legal configuration; the engine reports it
+	}
+	if p.deflect == DeflectRandom && nfree > 1 {
+		out[0] = a.free[rng.Intn(nfree)]
+	} else {
+		out[0] = a.free[0]
+	}
 }
 
 // NewRandomGreedy returns the unstructured greedy baseline: every step each
@@ -116,7 +180,7 @@ func NewFixedPriority() sim.Policy {
 	return &matchingPolicy{
 		name:          "greedy-fixed",
 		deterministic: true,
-		less:          func(ns *sim.NodeState, i, j int) bool { return ns.Packets[i].ID < ns.Packets[j].ID },
+		rank:          func(ns *sim.NodeState, i int) int { return ns.Packets[i].ID },
 		deflect:       DeflectFirstFit,
 	}
 }
@@ -128,8 +192,8 @@ func NewDestOrderGreedy() sim.Policy {
 	return &matchingPolicy{
 		name:    "greedy-dest-order",
 		shuffle: true,
-		less: func(ns *sim.NodeState, i, j int) bool {
-			return ns.Mesh.SnakeRank(ns.Packets[i].Dst) < ns.Mesh.SnakeRank(ns.Packets[j].Dst)
+		rank: func(ns *sim.NodeState, i int) int {
+			return ns.Mesh.SnakeRank(ns.Packets[i].Dst)
 		},
 		deflect: DeflectRandom,
 	}
@@ -144,8 +208,8 @@ func NewOldestFirst() sim.Policy {
 	return &matchingPolicy{
 		name:    "greedy-oldest-first",
 		shuffle: true,
-		less: func(ns *sim.NodeState, i, j int) bool {
-			return ns.Packets[i].InjectedAt < ns.Packets[j].InjectedAt
+		rank: func(ns *sim.NodeState, i int) int {
+			return ns.Packets[i].InjectedAt
 		},
 		deflect: DeflectRandom,
 	}
@@ -178,10 +242,8 @@ func NewFarthestFirst() sim.Policy {
 	return &matchingPolicy{
 		name:    "greedy-farthest-first",
 		shuffle: true,
-		less: func(ns *sim.NodeState, i, j int) bool {
-			di := ns.Mesh.Dist(ns.Packets[i].Node, ns.Packets[i].Dst)
-			dj := ns.Mesh.Dist(ns.Packets[j].Node, ns.Packets[j].Dst)
-			return di > dj
+		rank: func(ns *sim.NodeState, i int) int {
+			return -ns.Mesh.Dist(ns.Packets[i].Node, ns.Packets[i].Dst)
 		},
 		deflect: DeflectRandom,
 	}
@@ -194,10 +256,8 @@ func NewNearestFirst() sim.Policy {
 	return &matchingPolicy{
 		name:    "greedy-nearest-first",
 		shuffle: true,
-		less: func(ns *sim.NodeState, i, j int) bool {
-			di := ns.Mesh.Dist(ns.Packets[i].Node, ns.Packets[i].Dst)
-			dj := ns.Mesh.Dist(ns.Packets[j].Node, ns.Packets[j].Dst)
-			return di < dj
+		rank: func(ns *sim.NodeState, i int) int {
+			return ns.Mesh.Dist(ns.Packets[i].Node, ns.Packets[i].Dst)
 		},
 		deflect: DeflectRandom,
 	}
@@ -212,6 +272,22 @@ func NewCustom(name string, less func(ns *sim.NodeState, i, j int) bool, shuffle
 		deterministic: !shuffle && deflect != DeflectRandom,
 		shuffle:       shuffle,
 		less:          less,
+		deflect:       deflect,
+	}
+}
+
+// NewCustomRank builds a priority-matching greedy policy from an integer
+// rank on packets: lower ranks advance first, ties keep the (optionally
+// shuffled) incoming order. Semantically identical to NewCustom with
+// less(i, j) = rank(i) < rank(j), but the rank is evaluated once per packet
+// instead of twice per comparison, which matters on the simulation hot
+// path.
+func NewCustomRank(name string, rank func(ns *sim.NodeState, i int) int, shuffle bool, deflect DeflectRule) sim.Policy {
+	return &matchingPolicy{
+		name:          name,
+		deterministic: !shuffle && deflect != DeflectRandom,
+		shuffle:       shuffle,
+		rank:          rank,
 		deflect:       deflect,
 	}
 }

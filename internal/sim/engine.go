@@ -13,10 +13,9 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
-	"sort"
-	"sync"
+	"runtime"
+	"slices"
 	"time"
 
 	"hotpotato/internal/mesh"
@@ -73,7 +72,10 @@ const DefaultMaxSteps = 1 << 20
 // [GG], [Ma], [ZA]). Implementations must respect the model's injection
 // constraint: after injection, no node may hold more packets than its
 // out-degree — use Engine.InjectionCapacity to learn the per-node room.
-// Returned packets must sit at their sources with fresh unique IDs.
+// Returned packets must sit at their sources with fresh IDs at or above the
+// engine's ID watermark — every ID ever accepted stays below the watermark,
+// so any monotonically increasing scheme works and NextPacketID always
+// satisfies the contract. IDs below the watermark are rejected as reused.
 type Injector interface {
 	// Inject returns the packets entering the network at step t. The rng
 	// is the engine's deterministic source.
@@ -179,11 +181,17 @@ type Result struct {
 // Engine runs one routing problem under one policy.
 type Engine struct {
 	mesh    *mesh.Mesh
-	topo    mesh.Topology // routing view: mesh, or overlay under faults
+	topo    mesh.Topology // routing view: flat mesh tables, or overlay under faults
+	fast    *mesh.Tables  // non-nil iff topo is the intact mesh's table view
 	policy  Policy
 	packets []*Packet
 	opts    Options
-	rng     *rand.Rand
+	// rng is the serial tie-break and injection stream, backed by an inline
+	// SplitMix64 source: seeding is one store instead of the ~5 KB state
+	// expansion of the default Go source, which dominated engine
+	// construction in sweeps that build thousands of engines.
+	rng *rand.Rand
+	src rng.SplitMix64
 
 	time        int
 	live        int
@@ -197,8 +205,12 @@ type Engine struct {
 	livelockable bool
 	seen         map[uint64]int
 	injector     Injector
-	ids          map[int]bool
-	nextID       int
+	// ids holds the IDs of the outstanding (live) packets only; finalized
+	// IDs are covered by the nextID watermark (every ID ever accepted is
+	// below it), so memory stays proportional to the packets in flight, not
+	// to the total injected over a long run.
+	ids    map[int]struct{}
+	nextID int
 
 	// Fault state (nil/zero without SetFaults).
 	faults       FaultModel
@@ -221,11 +233,15 @@ type Engine struct {
 
 	deadlineExceeded bool
 
-	// Reusable routing scratch: one for the serial path, one per goroutine
-	// when Options.Workers > 1.
+	// Reusable routing scratch: one for the serial path, one per pool
+	// worker when Options.Workers > 1.
 	scratch *routeScratch
 	workers []*routeScratch
+	pool    *workerPool
+	// moves is the per-step move buffer, written in place in active-node
+	// order (the parallel path writes each node's segment at moveOff).
 	moves   []Move
+	moveOff []int
 }
 
 // New validates the initial configuration and returns an engine positioned
@@ -244,16 +260,29 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = DefaultMaxSteps
 	}
+	tab := m.Tables()
 	e := &Engine{
 		mesh:         m,
-		topo:         m,
+		topo:         tab,
+		fast:         tab,
 		policy:       policy,
 		packets:      packets,
 		opts:         opts,
-		rng:          rand.New(rand.NewSource(opts.Seed)),
 		byNode:       make([][]*Packet, m.Size()),
 		activeMark:   make([]bool, m.Size()),
 		livelockable: opts.DetectLivelock && policy.Deterministic(),
+	}
+	e.src.Seed(rng.Mix(opts.Seed))
+	e.rng = rand.New(&e.src)
+	// One contiguous backing array for all per-node queues: a node never
+	// holds more packets than its out-degree, so slicing each queue to its
+	// degree's capacity makes enqueue allocation-free for the whole run.
+	queueBacking := make([]*Packet, m.ArcCount())
+	off := 0
+	for id := range e.byNode {
+		deg := tab.Degree(mesh.NodeID(id))
+		e.byNode[id] = queueBacking[off : off : off+deg]
+		off += deg
 	}
 	if e.livelockable {
 		e.seen = make(map[uint64]int)
@@ -270,7 +299,7 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 		}
 	}
 
-	e.ids = make(map[int]bool, len(packets))
+	e.ids = make(map[int]struct{}, len(packets))
 	for _, p := range packets {
 		if p == nil {
 			return nil, fmt.Errorf("%w: nil packet", ErrBadInjection)
@@ -284,10 +313,10 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 		if p.Node != p.Src {
 			return nil, fmt.Errorf("%w: packet %d not at its source", ErrBadInjection, p.ID)
 		}
-		if e.ids[p.ID] {
+		if _, dup := e.ids[p.ID]; dup {
 			return nil, fmt.Errorf("%w: duplicate packet id %d", ErrBadInjection, p.ID)
 		}
-		e.ids[p.ID] = true
+		e.ids[p.ID] = struct{}{}
 		if p.ID >= e.nextID {
 			e.nextID = p.ID + 1
 		}
@@ -295,6 +324,7 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 		p.DroppedAt = -1
 		if p.Src == p.Dst {
 			p.ArrivedAt = 0
+			delete(e.ids, p.ID) // finalized immediately; the watermark covers it
 			continue
 		}
 		p.ArrivedAt = -1
@@ -307,8 +337,28 @@ func New(m *mesh.Mesh, policy Policy, packets []*Packet, opts Options) (*Engine,
 				ErrBadInjection, node, len(e.byNode[node]), deg)
 		}
 	}
-	sortNodes(e.active)
+	e.moves = make([]Move, 0, e.live)
+	e.sortActive()
+	if opts.Workers > 1 {
+		e.pool = newWorkerPool(e.workers)
+		// Stop the pool goroutines when the engine is garbage collected, so
+		// sweeps that build thousands of engines and never call Close do not
+		// leak them. Workers hold no reference back to the engine between
+		// steps, so collection is not prevented.
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
 	return e, nil
+}
+
+// Close releases the engine's worker pool goroutines (a no-op for serial
+// engines, and safe to call more than once). It is called automatically by
+// a finalizer when the engine is collected, so calling it is optional; it
+// just makes the release deterministic. The engine must not be stepped
+// after Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
 }
 
 func (e *Engine) enqueue(p *Packet) {
@@ -319,8 +369,27 @@ func (e *Engine) enqueue(p *Packet) {
 	e.byNode[p.Node] = append(e.byNode[p.Node], p)
 }
 
-func sortNodes(nodes []mesh.NodeID) {
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+// sortActive restores the sorted order of the active list after a step's
+// move application (or after injection) perturbed it. For dense active sets
+// the list is rebuilt by a single ordered scan of the activeMark bitmap —
+// an int-keyed counting pass with no comparisons at all; sparse sets fall
+// back to slices.Sort. Both paths are allocation-free.
+func (e *Engine) sortActive() {
+	a := e.active
+	if len(a) <= 1 {
+		return
+	}
+	if len(a)*4 >= len(e.activeMark) {
+		a = a[:0]
+		for id, mark := range e.activeMark {
+			if mark {
+				a = append(a, mesh.NodeID(id))
+			}
+		}
+		e.active = a
+		return
+	}
+	slices.Sort(a)
 }
 
 // AddObserver registers an observer to run after every step.
@@ -363,6 +432,10 @@ func (e *Engine) NextPacketID() int {
 // no room for (source or destination down, surviving degree already full)
 // are refused gracefully with cause DropInject.
 func (e *Engine) inject() error {
+	// Freshness floor: the watermark before the injector ran. IDs the
+	// injector drew from NextPacketID during this call sit between floor and
+	// the advanced e.nextID and are fresh by construction.
+	floor := e.nextID
 	newPackets := e.injector.Inject(e.time, e, e.rng)
 	for _, p := range newPackets {
 		if p == nil {
@@ -377,10 +450,17 @@ func (e *Engine) inject() error {
 		if p.Node != p.Src {
 			return fmt.Errorf("%w: injected packet %d not at its source", ErrBadInjection, p.ID)
 		}
-		if e.ids[p.ID] {
-			return fmt.Errorf("%w: injected packet reuses id %d at step %d", ErrBadInjection, p.ID, e.time)
+		// Freshness is enforced with the ID watermark: every ID accepted
+		// before this batch is below floor, and the floor then climbs past
+		// each accepted packet, so reused IDs and duplicates within the
+		// batch are rejected while anything monotone (NextPacketID in
+		// particular) passes. This keeps the used-ID record O(1) instead of
+		// growing with every injection.
+		if p.ID < floor {
+			return fmt.Errorf("%w: injected packet reuses id %d (or breaks the increasing-id contract, watermark %d) at step %d",
+				ErrBadInjection, p.ID, floor, e.time)
 		}
-		e.ids[p.ID] = true
+		floor = p.ID + 1
 		if p.ID >= e.nextID {
 			e.nextID = p.ID + 1
 		}
@@ -407,11 +487,12 @@ func (e *Engine) inject() error {
 			e.markDropped(p, DropInject)
 			continue
 		}
+		e.ids[p.ID] = struct{}{}
 		e.enqueue(p)
 		e.live++
 	}
 	if len(newPackets) > 0 {
-		sortNodes(e.active)
+		e.sortActive()
 	}
 	return nil
 }
@@ -445,12 +526,11 @@ func (e *Engine) Done() bool { return e.live == 0 }
 func (e *Engine) Livelocked() bool { return e.livelock }
 
 // routeScratch is the per-worker routing state: one exists for the serial
-// path, and one per goroutine in the parallel path.
+// path, and one per pool goroutine in the parallel path.
 type routeScratch struct {
 	ns          NodeState
 	out         []mesh.Dir
 	dirOwner    []int
-	moves       []Move
 	policy      Policy
 	src         rng.SplitMix64
 	rnd         *rand.Rand
@@ -474,19 +554,28 @@ func (e *Engine) newScratch(policy Policy) *routeScratch {
 // Good directions come from the routing topology, so under faults they are
 // the surviving good arcs; a live packet with GoodCount == 0 (possible only
 // when faults cut every geometrically good arc) is a forced reroute.
-func (sc *routeScratch) fillInfo(topo mesh.Topology) {
+// The infos are filled in place (never copied through a stack temporary):
+// passing a fresh PacketInfo's buffer to an interface call makes it escape,
+// which used to be the engine's dominant allocation.
+func (sc *routeScratch) fillInfo(topo mesh.Topology, fast *mesh.Tables) {
 	ns := &sc.ns
-	ns.infos = ns.infos[:0]
-	for _, p := range ns.Packets {
-		var pi PacketInfo
-		dirs := topo.GoodDirs(p.Node, p.Dst, pi.goodBuf[:0])
-		pi.GoodCount = len(dirs)
+	if cap(ns.infos) < len(ns.Packets) {
+		ns.infos = make([]PacketInfo, len(ns.Packets))
+	} else {
+		ns.infos = ns.infos[:len(ns.Packets)]
+	}
+	for i, p := range ns.Packets {
+		pi := &ns.infos[i]
+		if fast != nil {
+			pi.GoodCount = fast.GoodDirsInto(p.Node, p.Dst, &pi.goodBuf)
+		} else {
+			pi.GoodCount = len(topo.GoodDirs(p.Node, p.Dst, pi.goodBuf[:0]))
+		}
 		if pi.GoodCount == 0 {
 			sc.reroutes++
 		}
 		pi.Restricted = pi.GoodCount == 1
 		pi.TypeA = pi.Restricted && p.RestrictedPrev && p.AdvancedPrev
-		ns.infos = append(ns.infos, pi)
 	}
 }
 
@@ -503,21 +592,42 @@ func (sc *routeScratch) routePolicy(rnd *rand.Rand) (err error) {
 	return nil
 }
 
+// goodContains reports whether dir belongs to the packet's (surviving) good
+// set. fillInfo already computed the set, so a scan of its at-most-2·dim
+// entries replaces a coordinate-arithmetic IsGoodDir call on the hot path —
+// and under faults it automatically means "surviving good arc".
+func goodContains(pi *PacketInfo, dir mesh.Dir) bool {
+	for _, g := range pi.Good() {
+		if g == dir {
+			return true
+		}
+	}
+	return false
+}
+
 // validate checks the assignment for the scratch node state according to
 // the configured validation level. dirOwner is rebuilt as a side effect.
 func (e *Engine) validate(sc *routeScratch) error {
 	ns := &sc.ns
 	out := sc.out
+	fast := e.fast
+	dirCount := e.mesh.DirCount()
 	for i := range sc.dirOwner {
 		sc.dirOwner[i] = -1
 	}
 	for i, dir := range out {
 		p := ns.Packets[i]
-		if dir < 0 || int(dir) >= e.topo.DirCount() {
+		if dir < 0 || int(dir) >= dirCount {
 			return fmt.Errorf("%w: step %d node %d packet %d (dir %d)",
 				ErrUnassigned, ns.Time, ns.Node, p.ID, dir)
 		}
-		if !e.topo.HasArc(ns.Node, dir) {
+		var hasArc bool
+		if fast != nil {
+			hasArc = fast.HasArc(ns.Node, dir)
+		} else {
+			hasArc = e.topo.HasArc(ns.Node, dir)
+		}
+		if !hasArc {
 			return fmt.Errorf("%w: step %d node %d packet %d via %v",
 				ErrOffMesh, ns.Time, ns.Node, p.ID, dir)
 		}
@@ -532,7 +642,7 @@ func (e *Engine) validate(sc *routeScratch) error {
 	}
 	for i, dir := range out {
 		pi := ns.Info(i)
-		if e.topo.IsGoodDir(ns.Packets[i].Node, ns.Packets[i].Dst, dir) {
+		if goodContains(pi, dir) {
 			continue // advancing
 		}
 		// Packet i is deflected: every (surviving) good arc must carry an
@@ -540,7 +650,7 @@ func (e *Engine) validate(sc *routeScratch) error {
 		// that advancing packet must itself be restricted (Definition 18).
 		for _, g := range pi.Good() {
 			j := sc.dirOwner[g]
-			if j < 0 || !e.topo.IsGoodDir(ns.Packets[j].Node, ns.Packets[j].Dst, g) {
+			if j < 0 || !goodContains(ns.Info(j), g) {
 				return fmt.Errorf("%w: step %d node %d packet %d deflected with free good arc %v",
 					ErrNotGreedy, ns.Time, ns.Node, ns.Packets[i].ID, g)
 			}
@@ -553,8 +663,10 @@ func (e *Engine) validate(sc *routeScratch) error {
 	return nil
 }
 
-// routeNode routes one node's packets into sc.moves using the given RNG.
-func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.Rand) error {
+// routeNode routes one node's packets, writing exactly len(dst) ==
+// len(byNode[node]) moves into dst (the node's segment of the engine's move
+// buffer) using the given RNG.
+func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.Rand, dst []Move) error {
 	pkts := e.byNode[node]
 	if len(pkts) > sc.maxNodeLoad {
 		sc.maxNodeLoad = len(pkts)
@@ -562,7 +674,7 @@ func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.
 	sc.ns.Node = node
 	sc.ns.Time = t
 	sc.ns.Packets = pkts
-	sc.fillInfo(e.topo)
+	sc.fillInfo(e.topo, e.fast)
 
 	sc.out = sc.out[:len(pkts)]
 	for i := range sc.out {
@@ -577,17 +689,27 @@ func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.
 			return err
 		}
 	}
+	fast := e.fast
+	dirCount := e.mesh.DirCount()
 	for i, p := range pkts {
 		dir := sc.out[i]
-		to, ok := e.topo.Neighbor(node, dir)
+		var to mesh.NodeID
+		ok := dir >= 0 && int(dir) < dirCount
+		if ok {
+			if fast != nil {
+				to, ok = fast.Neighbor(node, dir)
+			} else {
+				to, ok = e.topo.Neighbor(node, dir)
+			}
+		}
 		if !ok {
 			// Unvalidated policies can still not corrupt the engine (nor
 			// route through an arc the failure set removed).
 			return fmt.Errorf("%w: step %d node %d packet %d via %v", ErrOffMesh, t, node, p.ID, dir)
 		}
 		pi := sc.ns.Info(i)
-		adv := e.topo.IsGoodDir(node, p.Dst, dir)
-		sc.moves = append(sc.moves, Move{
+		adv := goodContains(pi, dir)
+		dst[i] = Move{
 			Packet:        p,
 			From:          node,
 			To:            to,
@@ -597,64 +719,42 @@ func (e *Engine) routeNode(sc *routeScratch, node mesh.NodeID, t int, rnd *rand.
 			WasRestricted: pi.Restricted,
 			WasTypeA:      pi.TypeA,
 			ArrivedNow:    to == p.Dst,
-		})
+		}
 	}
 	return nil
 }
 
-// routeParallel routes the active nodes across the worker scratches.
-// Chunks are contiguous ranges of the (sorted) active list, so the
-// concatenated moves keep the per-node grouping and global node order the
-// observers rely on. Each node's tie-break RNG is derived from
-// (seed, step, node), making the outcome independent of the partition.
+// routeParallel routes the active nodes on the persistent worker pool.
+// Workers claim chunks of the (sorted) active list from a shared atomic
+// cursor, so a heavy node no longer serializes a static partition; each
+// node's moves land in its precomputed segment of e.moves, which keeps the
+// per-node grouping and global node order the observers and the move
+// application rely on. Each node's tie-break RNG is derived from
+// (seed, step, node), making the outcome independent of the partition and
+// of the worker count.
 func (e *Engine) routeParallel(t int) error {
-	nw := len(e.workers)
-	chunk := (len(e.active) + nw - 1) / nw
-	var wg sync.WaitGroup
-	errs := make([]error, nw)
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		if lo >= len(e.active) {
-			e.workers[w].moves = e.workers[w].moves[:0]
-			e.workers[w].reroutes = 0
-			continue
-		}
-		hi := lo + chunk
-		if hi > len(e.active) {
-			hi = len(e.active)
-		}
-		wg.Add(1)
-		go func(w int, nodes []mesh.NodeID) {
-			defer wg.Done()
-			// Backstop for panics outside the policy call (routePolicy
-			// already recovers those): a panicking worker must not kill the
-			// process while the others run.
-			defer func() {
-				if r := recover(); r != nil {
-					errs[w] = fmt.Errorf("sim: worker %d panicked at step %d: %v", w, t, r)
-				}
-			}()
-			sc := e.workers[w]
-			sc.moves = sc.moves[:0]
-			sc.reroutes = 0
-			for _, node := range nodes {
-				sc.src.Seed(rng.Mix(e.opts.Seed, int64(t), int64(node)))
-				if err := e.routeNode(sc, node, t, sc.rnd); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w, e.active[lo:hi])
+	n := len(e.active)
+	if cap(e.moveOff) < n+1 {
+		e.moveOff = make([]int, n+1)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	e.moveOff = e.moveOff[:n+1]
+	total := 0
+	for i, node := range e.active {
+		e.moveOff[i] = total
+		total += len(e.byNode[node])
 	}
-	e.moves = e.moves[:0]
+	e.moveOff[n] = total
+	if cap(e.moves) < total {
+		e.moves = make([]Move, total)
+	}
+	e.moves = e.moves[:total]
 	for _, sc := range e.workers {
-		e.moves = append(e.moves, sc.moves...)
+		sc.reroutes = 0
+	}
+	if err := e.pool.route(e, t); err != nil {
+		return err
+	}
+	for _, sc := range e.workers {
 		if sc.maxNodeLoad > e.maxNodeLoad {
 			e.maxNodeLoad = sc.maxNodeLoad
 		}
@@ -686,15 +786,24 @@ func (e *Engine) Step() error {
 			return err
 		}
 	} else {
+		// Every live packet sits in exactly one active node's queue, so the
+		// step produces exactly e.live moves; the buffer is reused across
+		// steps and only reallocated when injection outgrows it.
+		total := e.live
+		if cap(e.moves) < total {
+			e.moves = make([]Move, total)
+		}
+		e.moves = e.moves[:total]
 		sc := e.scratch
-		sc.moves = sc.moves[:0]
 		sc.reroutes = 0
+		base := 0
 		for _, node := range e.active {
-			if err := e.routeNode(sc, node, t, e.rng); err != nil {
+			n := len(e.byNode[node])
+			if err := e.routeNode(sc, node, t, e.rng, e.moves[base:base+n]); err != nil {
 				return err
 			}
+			base += n
 		}
-		e.moves = sc.moves
 		if sc.maxNodeLoad > e.maxNodeLoad {
 			e.maxNodeLoad = sc.maxNodeLoad
 		}
@@ -726,15 +835,18 @@ func (e *Engine) Step() error {
 			p.ArrivedAt = e.time
 			e.lastArrival = e.time
 			e.live--
+			delete(e.ids, p.ID) // finalized; the nextID watermark covers it
 		} else {
 			e.enqueue(p)
 		}
 	}
-	sortNodes(e.active)
+	e.sortActive()
 
-	rec := StepRecord{Time: t, Moves: e.moves}
-	for _, o := range e.observers {
-		o.OnStep(&rec)
+	if len(e.observers) > 0 {
+		rec := StepRecord{Time: t, Moves: e.moves}
+		for _, o := range e.observers {
+			o.OnStep(&rec)
+		}
 	}
 
 	if e.livelockable && e.live > 0 {
@@ -748,38 +860,43 @@ func (e *Engine) Step() error {
 	return nil
 }
 
+// mix64 folds v into the running hash h with the SplitMix64 finalizer, a
+// full-avalanche bijection: one multiply-xorshift round per word instead of
+// the old byte-at-a-time FNV writes.
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
 // stateHash digests the full routing-relevant configuration: for each live
-// packet its position, entry arc and history flags. Two equal configurations
-// under a deterministic policy evolve identically, so a repeated hash marks
-// a livelock (up to the negligible 64-bit collision probability, documented
-// in the Options).
+// packet its identity, position, entry arc and history flags, visited in
+// queue order over the (sorted) active nodes. Two equal configurations under
+// a deterministic policy evolve identically, so a repeated hash marks a
+// livelock (up to the negligible 64-bit collision probability, documented in
+// the Options). Only the live packets are walked — finalized ones can never
+// differ between two occurrences of the same live configuration, because a
+// deterministic run never resurrects them — so the per-step cost tracks the
+// packets in flight, not the total ever injected.
 func (e *Engine) stateHash() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v int) {
-		buf[0] = byte(v)
-		buf[1] = byte(v >> 8)
-		buf[2] = byte(v >> 16)
-		buf[3] = byte(v >> 24)
-		_, _ = h.Write(buf[:4])
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, node := range e.active {
+		for _, p := range e.byNode[node] {
+			flags := uint64(p.EnteredVia) + 1
+			if p.AdvancedPrev {
+				flags |= 1 << 8
+			}
+			if p.RestrictedPrev {
+				flags |= 1 << 9
+			}
+			flags |= uint64(p.GoodPrev) << 10
+			h = mix64(h, uint64(p.ID))
+			h = mix64(h, uint64(p.Node)<<32|flags)
+		}
 	}
-	for _, p := range e.packets {
-		if p.Arrived() || p.Dropped() {
-			put(-1)
-			continue
-		}
-		put(int(p.Node))
-		flags := int(p.EnteredVia) + 1
-		if p.AdvancedPrev {
-			flags |= 1 << 8
-		}
-		if p.RestrictedPrev {
-			flags |= 1 << 9
-		}
-		flags |= p.GoodPrev << 10
-		put(flags)
-	}
-	return h.Sum64()
+	return h
 }
 
 // Run steps the engine until every packet arrives (or is removed by fault

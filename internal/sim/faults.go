@@ -109,6 +109,7 @@ func (e *Engine) SetFaults(model FaultModel, fate PacketFate) {
 	e.fate = fate
 	e.overlay = mesh.NewOverlay(e.mesh)
 	e.topo = e.overlay
+	e.fast = nil // faults installed: every lookup must see the overlay
 	e.faultVersion = e.overlay.Version()
 	e.faultRng = rand.New(rand.NewSource(rng.Mix(e.opts.Seed, faultStreamSalt)))
 	e.livelockable = false
@@ -142,6 +143,7 @@ func (e *Engine) applyFaults() {
 func (e *Engine) markDropped(p *Packet, cause DropCause) {
 	p.DroppedAt = e.time
 	p.Cause = cause
+	delete(e.ids, p.ID) // finalized; the nextID watermark covers it
 	if cause == DropCrash && e.fate == FateAbsorb {
 		e.absorbed++
 		return

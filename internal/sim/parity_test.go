@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"hotpotato/internal/mesh"
+)
+
+// noFaultModel installs a failure overlay that never fails anything. It
+// exists to force the engine off the devirtualized table fast path and onto
+// the mesh.Topology interface path while keeping the routed topology
+// semantically identical — the two paths must then produce bit-identical
+// runs.
+type noFaultModel struct{}
+
+func (noFaultModel) Advance(t int, o *mesh.Overlay, rng *rand.Rand) {}
+
+// moveRec is the comparable projection of a Move used to assert that two
+// runs took exactly the same per-step move sequence.
+type moveRec struct {
+	t        int
+	id       int
+	from, to mesh.NodeID
+	dir      mesh.Dir
+	adv      bool
+}
+
+// recordRun executes a full run and returns the result plus the flattened
+// move log.
+func recordRun(t *testing.T, m *mesh.Mesh, policy Policy, packets []*Packet, opts Options, interfacePath bool) (Result, []moveRec) {
+	t.Helper()
+	e, err := New(m, policy, packets, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if interfacePath {
+		e.SetFaults(noFaultModel{}, FateDrop)
+		if e.fast != nil {
+			t.Fatal("fault overlay did not disable the fast path")
+		}
+	}
+	var log []moveRec
+	e.AddObserver(ObserverFunc(func(rec *StepRecord) {
+		for i := range rec.Moves {
+			mv := &rec.Moves[i]
+			log = append(log, moveRec{
+				t:    rec.Time,
+				id:   mv.Packet.ID,
+				from: mv.From,
+				to:   mv.To,
+				dir:  mv.Dir,
+				adv:  mv.Advanced,
+			})
+		}
+	}))
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *res, log
+}
+
+// parityPackets builds a deterministic instance: k packets at distinct-ish
+// sources (respecting out-degree capacity) with random destinations.
+func parityPackets(m *mesh.Mesh, k int, seed int64) []*Packet {
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[mesh.NodeID]int)
+	var packets []*Packet
+	for i := 0; len(packets) < k && i < 4*k; i++ {
+		src := mesh.NodeID(rng.Intn(m.Size()))
+		if used[src] >= m.Degree(src) {
+			continue
+		}
+		used[src]++
+		packets = append(packets, NewPacket(len(packets), src, mesh.NodeID(rng.Intn(m.Size()))))
+	}
+	return packets
+}
+
+func clonePackets(packets []*Packet) []*Packet {
+	out := make([]*Packet, len(packets))
+	for i, p := range packets {
+		out[i] = NewPacket(p.ID, p.Src, p.Dst)
+	}
+	return out
+}
+
+// TestFastPathParity runs identical (mesh, policy, seed, workload) problems
+// through the devirtualized fast path, the interface path (forced by a
+// never-failing fault overlay), and — for the deterministic policy — the
+// serial and Workers>1 paths, asserting bit-identical Results and per-step
+// move sequences. Torus shapes are included: their wrap-split good sets are
+// where the table layer is easiest to get wrong.
+func TestFastPathParity(t *testing.T) {
+	meshes := []*mesh.Mesh{
+		mesh.MustNew(1, 9),
+		mesh.MustNew(2, 8),
+		mesh.MustNew(3, 4),
+		mesh.MustNewTorus(2, 6),
+		mesh.MustNewTorus(2, 7),
+		mesh.MustNewTorus(3, 4),
+	}
+	for _, m := range meshes {
+		for _, seed := range []int64{1, 42} {
+			packets := parityPackets(m, m.Size()/2+1, seed)
+			opts := Options{Seed: seed, Validation: ValidateBasic, MaxSteps: 2000}
+
+			// Deterministic policy: every path must agree exactly.
+			pol := func() Policy { return cloneableFirstGood{firstGoodPolicy()} }
+			resFast, logFast := recordRun(t, m, pol(), clonePackets(packets), opts, false)
+			resIface, logIface := recordRun(t, m, pol(), clonePackets(packets), opts, true)
+			if resFast != resIface || !slices.Equal(logFast, logIface) {
+				t.Errorf("%v seed %d: interface path diverged from fast path (fast %+v, iface %+v)",
+					m, seed, resFast, resIface)
+			}
+			for _, workers := range []int{2, 4} {
+				po := opts
+				po.Workers = workers
+				resPar, logPar := recordRun(t, m, pol(), clonePackets(packets), po, false)
+				if resFast != resPar || !slices.Equal(logFast, logPar) {
+					t.Errorf("%v seed %d: workers=%d diverged from serial (serial %+v, parallel %+v)",
+						m, seed, workers, resFast, resPar)
+				}
+			}
+
+			// Randomized policy: the fast and interface paths share the
+			// serial rng stream, so they too must agree bit-for-bit; the
+			// parallel path derives per-(seed, step, node) streams, so it
+			// must be independent of the worker count.
+			resFastR, logFastR := recordRun(t, m, shuffledPolicy(), clonePackets(packets), opts, false)
+			resIfaceR, logIfaceR := recordRun(t, m, shuffledPolicy(), clonePackets(packets), opts, true)
+			if resFastR != resIfaceR || !slices.Equal(logFastR, logIfaceR) {
+				t.Errorf("%v seed %d: randomized interface path diverged from fast path", m, seed)
+			}
+			po2, po4 := opts, opts
+			po2.Workers, po4.Workers = 2, 4
+			res2, log2 := recordRun(t, m, shuffledPolicy(), clonePackets(packets), po2, false)
+			res4, log4 := recordRun(t, m, shuffledPolicy(), clonePackets(packets), po4, false)
+			if res2 != res4 || !slices.Equal(log2, log4) {
+				t.Errorf("%v seed %d: randomized parallel run depends on worker count", m, seed)
+			}
+		}
+	}
+}
+
+// TestFastPathParityRepeatable re-runs one configuration twice per path to
+// catch scratch-reuse bugs that only corrupt a second run through the same
+// engine-shaped allocations.
+func TestFastPathParityRepeatable(t *testing.T) {
+	m := mesh.MustNewTorus(2, 8)
+	packets := parityPackets(m, m.Size(), 7)
+	opts := Options{Seed: 7, Validation: ValidateBasic, MaxSteps: 2000, Workers: 3}
+	res1, log1 := recordRun(t, m, cloneableFirstGood{firstGoodPolicy()}, clonePackets(packets), opts, false)
+	res2, log2 := recordRun(t, m, cloneableFirstGood{firstGoodPolicy()}, clonePackets(packets), opts, false)
+	if res1 != res2 || !slices.Equal(log1, log2) {
+		t.Errorf("repeat run diverged: %+v vs %+v", res1, res2)
+	}
+}
+
+// soakInjector keeps every node saturated with fresh traffic.
+type soakInjector struct{ stop int }
+
+func (si *soakInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+	if t >= si.stop {
+		return nil
+	}
+	var out []*Packet
+	size := e.Mesh().Size()
+	for id := 0; id < size; id++ {
+		node := mesh.NodeID(id)
+		for c := e.InjectionCapacity(node); c > 0; c-- {
+			dst := mesh.NodeID(rng.Intn(size))
+			out = append(out, NewPacket(e.NextPacketID(), node, dst))
+		}
+	}
+	return out
+}
+
+func (si *soakInjector) Exhausted(t int) bool { return t >= si.stop }
+
+// TestIDsMemorySteadyState soaks the engine with continuous saturating
+// injection and asserts the used-ID record stays proportional to the
+// packets in flight — not to the total ever injected, which grows without
+// bound on long runs. This is the regression test for the old map[int]bool
+// that only ever grew.
+func TestIDsMemorySteadyState(t *testing.T) {
+	const steps = 3000
+	m := mesh.MustNew(2, 4)
+	e, err := New(m, leanGreedyPolicy{}, nil, Options{Seed: 11, Validation: ValidateGreedy, MaxSteps: steps + 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetInjector(&soakInjector{stop: steps})
+	maxIDs := 0
+	for !e.Done() || e.Time() < steps {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if len(e.ids) != e.Live() {
+			t.Fatalf("step %d: ids holds %d entries, %d packets live", e.Time(), len(e.ids), e.Live())
+		}
+		if len(e.ids) > maxIDs {
+			maxIDs = len(e.ids)
+		}
+		if e.Time() > steps+400 {
+			t.Fatalf("soak did not drain: %d live at step %d", e.Live(), e.Time())
+		}
+	}
+	// The network can never hold more packets than arcs, regardless of how
+	// many were injected over the whole run.
+	if maxIDs > m.ArcCount() {
+		t.Errorf("ids peaked at %d entries, above the %d-arc capacity", maxIDs, m.ArcCount())
+	}
+	if e.nextID < 10*m.ArcCount() {
+		t.Fatalf("soak too weak to be meaningful: only %d ids ever issued", e.nextID)
+	}
+}
+
+// leanGreedyPolicy is an allocation-free deterministic test policy: first
+// free good arc, then first free arc, tracked in a fixed array.
+type leanGreedyPolicy struct{}
+
+func (leanGreedyPolicy) Name() string        { return "test-lean-greedy" }
+func (leanGreedyPolicy) Deterministic() bool { return true }
+func (leanGreedyPolicy) Route(ns *NodeState, out []mesh.Dir, rng *rand.Rand) {
+	var taken [2 * mesh.MaxDim]bool
+	for i := range ns.Packets {
+		for _, g := range ns.Info(i).Good() {
+			if !taken[g] {
+				out[i] = g
+				taken[g] = true
+				break
+			}
+		}
+	}
+	dirCount := ns.Mesh.DirCount()
+	for i := range ns.Packets {
+		if out[i] != mesh.NoDir {
+			continue
+		}
+		for d := 0; d < dirCount; d++ {
+			if !taken[d] && ns.HasArc(mesh.Dir(d)) {
+				out[i] = mesh.Dir(d)
+				taken[d] = true
+				break
+			}
+		}
+	}
+}
+
+// TestStepSteadyStateAllocs asserts the tentpole claim directly: once an
+// engine is constructed, stepping it allocates nothing.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	m := mesh.MustNew(2, 16)
+	packets := parityPackets(m, 2*m.Size(), 3)
+	e, err := New(m, leanGreedyPolicy{}, packets, Options{Seed: 3, Validation: ValidateGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(40, func() {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hotpotato/internal/rng"
+)
+
+// workerPool is the persistent goroutine pool behind routeParallel. The
+// goroutines are created once in New and live for the engine's lifetime;
+// each step they claim contiguous chunks of the sorted active list from a
+// shared atomic cursor, so a heavy node delays only the chunks behind it on
+// one worker instead of serializing a static partition. Results are written
+// into per-node segments of the engine's move buffer (precomputed prefix
+// offsets), which makes the output independent of which worker routed which
+// node.
+//
+// The pool deliberately holds no reference to the engine between steps: the
+// engine is passed through the jobs channel per step and dropped when the
+// step's work is done, so an abandoned engine can be collected and its
+// finalizer can close the pool.
+type workerPool struct {
+	jobs      chan *Engine
+	wg        sync.WaitGroup
+	cursor    atomic.Int64
+	stepT     int
+	chunk     int
+	errs      []error
+	closeOnce sync.Once
+}
+
+func newWorkerPool(scratches []*routeScratch) *workerPool {
+	pl := &workerPool{
+		jobs: make(chan *Engine, len(scratches)),
+		errs: make([]error, len(scratches)),
+	}
+	for w := range scratches {
+		go pl.worker(w, scratches[w])
+	}
+	return pl
+}
+
+func (pl *workerPool) worker(w int, sc *routeScratch) {
+	for e := range pl.jobs {
+		pl.runWorker(e, w, sc)
+		pl.wg.Done()
+	}
+}
+
+// runWorker drains chunks of the active list for one step. It exists as a
+// separate function so its deferred recover arms per step: a panicking
+// worker must not kill the process (or deadlock the pool) while the others
+// run.
+func (pl *workerPool) runWorker(e *Engine, w int, sc *routeScratch) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.errs[w] = fmt.Errorf("sim: worker %d panicked at step %d: %v", w, pl.stepT, r)
+		}
+	}()
+	n := int64(len(e.active))
+	t := pl.stepT
+	for {
+		lo := pl.cursor.Add(int64(pl.chunk)) - int64(pl.chunk)
+		if lo >= n {
+			return
+		}
+		hi := min(lo+int64(pl.chunk), n)
+		for i := lo; i < hi; i++ {
+			node := e.active[i]
+			sc.src.Seed(rng.Mix(e.opts.Seed, int64(t), int64(node)))
+			dst := e.moves[e.moveOff[i]:e.moveOff[i+1]]
+			if err := e.routeNode(sc, node, t, sc.rnd, dst); err != nil {
+				pl.errs[w] = err
+				return
+			}
+		}
+	}
+}
+
+// route runs one step's routing across the pool and returns the first error
+// (in worker order) if any worker failed.
+func (pl *workerPool) route(e *Engine, t int) error {
+	nw := cap(pl.jobs)
+	pl.stepT = t
+	// Chunks several times smaller than a static share keep workers busy
+	// when node costs are skewed, without contending on the cursor per node.
+	pl.chunk = max(1, len(e.active)/(nw*4))
+	pl.cursor.Store(0)
+	for i := range pl.errs {
+		pl.errs[i] = nil
+	}
+	pl.wg.Add(nw)
+	for i := 0; i < nw; i++ {
+		pl.jobs <- e
+	}
+	pl.wg.Wait()
+	for _, err := range pl.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close shuts the pool's goroutines down. Idempotent.
+func (pl *workerPool) close() {
+	pl.closeOnce.Do(func() { close(pl.jobs) })
+}

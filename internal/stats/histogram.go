@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -159,7 +159,7 @@ func (h *IntHistogram) Write(w io.Writer, barWidth int) error {
 			maxCount = c
 		}
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	var b strings.Builder
 	for _, k := range keys {
 		c := h.counts[k]

@@ -7,7 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Summary describes a sample of float64 observations.
@@ -26,7 +26,7 @@ func Summarize(xs []float64) Summary {
 	}
 	s := Summary{N: len(xs)}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
 	s.Median = Percentile(sorted, 50)
