@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt bench bench-json bench-smoke experiments experiments-quick figures cover clean
+.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-smoke experiments experiments-quick figures cover sweep-resume-demo clean
 
 # Output file for the committed benchmark record (see bench-json).
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 
 all: build vet test
 
@@ -25,6 +25,11 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Short fuzz pass over the untrusted-input parsers (CI runs this on every
+# push; `go test -fuzz` with a longer -fuzztime digs deeper locally).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParseBench -fuzztime 15s ./internal/benchfmt/
 
 fmt:
 	gofmt -w .
@@ -50,6 +55,21 @@ experiments-quick:
 
 figures:
 	$(GO) run ./cmd/figures
+
+# Demonstrate crash-safe sweeps: start a journaled grid, kill it partway
+# through with SIGTERM, then finish it with -resume. The resumed run reruns
+# only the cells missing from the journal.
+sweep-resume-demo:
+	rm -f /tmp/sweep-demo.jsonl
+	@echo "--- starting sweep, killing it after 3 seconds ---"
+	-$(GO) run ./cmd/sweep -n 32 -k 2048,3000 -policy restricted,random,dest-order \
+		-workload uniform,hotspot -trials 20 -journal /tmp/sweep-demo.jsonl & \
+		pid=$$!; sleep 3; kill -TERM $$pid; wait $$pid || true
+	@echo "--- journal after the kill ---"
+	cat /tmp/sweep-demo.jsonl
+	@echo "--- resuming ---"
+	$(GO) run ./cmd/sweep -n 32 -k 2048,3000 -policy restricted,random,dest-order \
+		-workload uniform,hotspot -trials 20 -journal /tmp/sweep-demo.jsonl -resume
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

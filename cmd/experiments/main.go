@@ -2,6 +2,12 @@
 // DESIGN.md: one table (or table group) per claim of the paper, printed as
 // aligned text or CSV.
 //
+// Experiments run under the internal/run supervisor: a failing experiment
+// is retried and then recorded without sinking the others, and with
+// -journal each finished experiment is persisted so an interrupted batch
+// (SIGINT/SIGTERM, crash, OOM) can be continued with -resume, rerunning
+// only the experiments that are missing.
+//
 // Usage:
 //
 //	experiments                 # run everything, full size
@@ -9,42 +15,73 @@
 //	experiments -exp E1,E5      # a subset
 //	experiments -csv            # CSV instead of text
 //	experiments -list           # list experiments and claims
+//	experiments -journal e.jsonl          # record fates; interrupted...
+//	experiments -journal e.jsonl -resume  # ...finish the remainder
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"hotpotato/internal/analysis"
 	"hotpotato/internal/profiling"
+	runner "hotpotato/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// First SIGINT/SIGTERM: stop dispatching experiments, finish in-flight
+	// ones, flush the journal. Second signal: default disposition (kill).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run keeps the historical signature for tests and non-interruptible use.
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+// expPayload is one experiment's journaled result: the exact bytes for
+// stdout in the selected format, plus the text dump for -out files. A
+// resumed experiment replays both without recomputation.
+type expPayload struct {
+	Stdout string `json:"stdout"`
+	File   string `json:"file"`
+}
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "smaller meshes and fewer trials")
-		exp      = fs.String("exp", "all", "comma-separated experiment ids (e.g. E1,E7) or 'all'")
-		seed     = fs.Int64("seed", 1, "base seed for all trials")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
-		list     = fs.Bool("list", false, "list available experiments and exit")
-		outDir   = fs.String("out", "", "also write one file per experiment into this directory")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		quick       = fs.Bool("quick", false, "smaller meshes and fewer trials")
+		exp         = fs.String("exp", "all", "comma-separated experiment ids (e.g. E1,E7) or 'all'")
+		seed        = fs.Int64("seed", 1, "base seed for all trials")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		markdown    = fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		list        = fs.Bool("list", false, "list available experiments and exit")
+		outDir      = fs.String("out", "", "also write one file per experiment into this directory")
+		journalPath = fs.String("journal", "", "record finished experiments to this JSONL journal")
+		resume      = fs.Bool("resume", false, "with -journal, replay experiments the journal already records")
+		parallel    = fs.Int("parallel", 1, "experiments run concurrently")
+		retries     = fs.Int("retries", 1, "retries per failing experiment (attempts = retries + 1)")
+		cellTimeout = fs.Duration("cell-timeout", 0, "per-attempt wall-clock budget per experiment (0 = unlimited)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *journalPath == "" {
+		return errors.New("-resume needs -journal")
 	}
 	if *cpuProf != "" || *memProf != "" {
 		stopProf, err := profiling.Start(*cpuProf, *memProf)
@@ -86,44 +123,108 @@ func run(args []string) error {
 	}
 
 	cfg := analysis.Config{Quick: *quick, SeedBase: *seed}
-	for _, e := range selected {
-		start := time.Now()
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		fmt.Printf("claim: %s\n\n", e.Claim)
-		tables, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		var fileBuf strings.Builder
-		fmt.Fprintf(&fileBuf, "%s: %s\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
-		for _, tb := range tables {
-			var werr error
-			switch {
-			case *csv:
-				werr = tb.WriteCSV(os.Stdout)
-			case *markdown:
-				werr = tb.WriteMarkdown(os.Stdout)
-			default:
-				werr = tb.WriteText(os.Stdout)
-			}
-			if werr != nil {
-				return werr
-			}
-			fmt.Println()
-			if *outDir != "" {
-				if err := tb.WriteText(&fileBuf); err != nil {
-					return err
+	cells := make([]runner.Cell, len(selected))
+	for i, e := range selected {
+		e := e
+		cells[i] = runner.Cell{
+			Key: e.ID,
+			Work: func(context.Context) (json.RawMessage, error) {
+				start := time.Now()
+				tables, err := e.Run(cfg)
+				if err != nil {
+					return nil, err
 				}
-				fileBuf.WriteByte('\n')
-			}
+				var stdout, file strings.Builder
+				fmt.Fprintf(&stdout, "=== %s: %s ===\n", e.ID, e.Title)
+				fmt.Fprintf(&stdout, "claim: %s\n\n", e.Claim)
+				fmt.Fprintf(&file, "%s: %s\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+				for _, tb := range tables {
+					var werr error
+					switch {
+					case *csv:
+						werr = tb.WriteCSV(&stdout)
+					case *markdown:
+						werr = tb.WriteMarkdown(&stdout)
+					default:
+						werr = tb.WriteText(&stdout)
+					}
+					if werr != nil {
+						return nil, werr
+					}
+					stdout.WriteByte('\n')
+					if err := tb.WriteText(&file); err != nil {
+						return nil, err
+					}
+					file.WriteByte('\n')
+				}
+				fmt.Fprintf(&stdout, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+				return json.Marshal(expPayload{Stdout: stdout.String(), File: file.String()})
+			},
 		}
+	}
+
+	// Tie the journal to every flag that shapes an experiment's output, so
+	// -resume cannot replay tables computed under different settings.
+	label := fmt.Sprintf("experiments quick=%t seed=%d csv=%t markdown=%t", *quick, *seed, *csv, *markdown)
+
+	opts := runner.Options{
+		Workers:     *parallel,
+		CellTimeout: *cellTimeout,
+		MaxAttempts: *retries + 1,
+		Seed:        *seed,
+		Log:         os.Stderr,
+	}
+	if *journalPath != "" {
+		var (
+			j   *runner.Journal
+			err error
+		)
+		if *resume {
+			j, err = runner.ResumeJournal(*journalPath, label)
+		} else {
+			j, err = runner.OpenJournal(*journalPath, label)
+		}
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
+
+	report, execErr := runner.Execute(ctx, cells, opts)
+	if report == nil {
+		return execErr
+	}
+
+	for i, c := range report.Cells {
+		if c == nil || c.Status != runner.StatusOK {
+			continue
+		}
+		var p expPayload
+		if err := json.Unmarshal(c.Result, &p); err != nil {
+			return fmt.Errorf("%s: corrupt payload: %w", c.Key, err)
+		}
+		os.Stdout.WriteString(p.Stdout)
 		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+".txt")
-			if err := os.WriteFile(path, []byte(fileBuf.String()), 0o644); err != nil {
+			path := filepath.Join(*outDir, selected[i].ID+".txt")
+			if err := os.WriteFile(path, []byte(p.File), 0o644); err != nil {
 				return err
 			}
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, f := range report.Failures() {
+		fmt.Fprintf(os.Stderr, "experiments: %s FAILED after %d attempt(s): %s\n", f.Key, f.Attempts, f.Err)
+	}
+	if execErr != nil {
+		if errors.Is(execErr, runner.ErrInterrupted) && *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted with %d/%d done; journal flushed — rerun with -resume to finish\n",
+				report.OK, len(cells))
+		}
+		return execErr
+	}
+	if n := report.Failed; n > 0 {
+		return fmt.Errorf("%d of %d experiments failed", n, len(cells))
 	}
 	return nil
 }

@@ -106,3 +106,35 @@ func TestMarkdownOutput(t *testing.T) {
 		t.Errorf("markdown header missing:\n%s", out)
 	}
 }
+
+// TestJournalResume: a journaled experiment replays on resume without
+// recomputation, and experiments missing from the journal still run.
+func TestJournalResume(t *testing.T) {
+	journal := t.TempDir() + "/exp.jsonl"
+	out, err := capture(t, func() error {
+		return run([]string{"-quick", "-exp", "E7", "-journal", journal})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== E7") {
+		t.Fatalf("first run missing E7:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"-quick", "-exp", "E7, E3", "-journal", journal, "-resume"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== E7") || !strings.Contains(out, "=== E3") {
+		t.Errorf("resumed run should replay E7 and compute E3:\n%s", out)
+	}
+
+	// A journal recorded under different output settings must be refused.
+	if _, err := capture(t, func() error {
+		return run([]string{"-quick", "-exp", "E7", "-journal", journal, "-resume", "-csv"})
+	}); err == nil {
+		t.Error("format mismatch accepted on resume")
+	}
+}

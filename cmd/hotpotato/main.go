@@ -13,13 +13,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hotpotato/internal/analysis"
 	"hotpotato/internal/bound"
+	"hotpotato/internal/checkpoint"
 	"hotpotato/internal/core"
 	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
@@ -52,11 +57,19 @@ func verifyTrace(path string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// First SIGINT/SIGTERM: stop stepping and, with -checkpoint set, save a
+	// final snapshot so the run continues later with -resume. Second
+	// signal: default disposition (kill).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hotpotato:", err)
 		os.Exit(1)
 	}
 }
+
+// run keeps the historical signature for tests and non-interruptible use.
+func run(args []string) error { return runCtx(context.Background(), args) }
 
 func newPolicy(name string) (sim.Policy, error) {
 	switch name {
@@ -154,7 +167,7 @@ func buildFaults(m *mesh.Mesh, rate, repair float64, maxDown int, crash float64,
 	}
 }
 
-func run(args []string) error {
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hotpotato", flag.ContinueOnError)
 	var (
 		dim      = fs.Int("d", 2, "mesh dimension")
@@ -181,6 +194,11 @@ func run(args []string) error {
 		faultScript  = fs.String("fault-script", "", "scripted fault events file (lines: <step> <link-down|link-up|node-down|node-up> <node> [dir])")
 		faultFate    = fs.String("fault-fate", "drop", "fate of packets inside a crashing node: drop or absorb")
 		maxWall      = fs.Duration("max-wall", 0, "wall-clock budget for the run (0 = unlimited)")
+
+		ckptPath   = fs.String("checkpoint", "", "checkpoint file: saved periodically (-checkpoint-every) and on SIGINT/SIGTERM")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "with -checkpoint, save every N steps (0 = only on interrupt)")
+		ckptFormat = fs.String("checkpoint-format", "binary", "checkpoint encoding: binary or json")
+		resume     = fs.Bool("resume", false, "restore state from -checkpoint before running (pass the same flags as the original run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -188,6 +206,23 @@ func run(args []string) error {
 
 	if *verify != "" {
 		return verifyTrace(*verify)
+	}
+	var format checkpoint.Format
+	switch *ckptFormat {
+	case "binary":
+		format = checkpoint.Binary
+	case "json":
+		format = checkpoint.JSON
+	default:
+		return fmt.Errorf("unknown checkpoint format %q (want binary or json)", *ckptFormat)
+	}
+	if (*ckptEvery != 0 || *resume) && *ckptPath == "" {
+		return fmt.Errorf("-checkpoint-every and -resume need -checkpoint")
+	}
+	if *resume && (*track || *traceOut != "" || *heatmap || *animate > 0) {
+		// These observers reconstruct per-packet state from the initial
+		// configuration, which a mid-run snapshot no longer has.
+		return fmt.Errorf("-resume cannot be combined with -track, -trace-out, -heatmap or -animate")
 	}
 
 	m, err := mesh.New(*dim, *side)
@@ -198,10 +233,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	packets, err := newWorkload(*wl, m, *k, rng)
-	if err != nil {
-		return err
+	var packets []*sim.Packet
+	if !*resume { // a resumed run takes its packets from the snapshot
+		rng := rand.New(rand.NewSource(*seed))
+		packets, err = newWorkload(*wl, m, *k, rng)
+		if err != nil {
+			return err
+		}
 	}
 	var lvl sim.ValidationLevel
 	switch *validate {
@@ -270,12 +308,26 @@ func run(args []string) error {
 		}
 		e.AddObserver(animator)
 	}
-	res, err := e.Run()
-	if err == nil && animator != nil && animator.Err() != nil {
-		err = animator.Err()
+	if *resume {
+		snap, err := checkpoint.Load(*ckptPath)
+		if err != nil {
+			return err
+		}
+		if err := e.Restore(snap); err != nil {
+			return fmt.Errorf("resume from %s: %w (pass the same flags as the original run)", *ckptPath, err)
+		}
+		fmt.Printf("resumed:     %s at step %d, %d packets in flight\n", *ckptPath, snap.Time, len(snap.Packets))
 	}
-	if err != nil {
-		return err
+	var save func(*sim.Snapshot) error
+	if *ckptPath != "" {
+		save = func(s *sim.Snapshot) error { return checkpoint.Save(*ckptPath, s, format) }
+	}
+	res, runErr := e.RunCheckpointed(ctx, *ckptEvery, save)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return runErr
+	}
+	if runErr == nil && animator != nil && animator.Err() != nil {
+		return animator.Err()
 	}
 	if recorder != nil {
 		f, err := os.Create(*traceOut)
@@ -294,8 +346,15 @@ func run(args []string) error {
 
 	fmt.Printf("mesh:        %v (diameter %d)\n", m, m.Diameter())
 	fmt.Printf("policy:      %s\n", pol.Name())
-	fmt.Printf("workload:    %s, k=%d, dmax=%d\n", *wl, res.Total, workload.MaxDistance(m, packets))
-	fmt.Printf("steps:       %d (instance lower bound %d)\n", res.Steps, bound.Instance(m, packets))
+	if *resume {
+		// The initial configuration is gone; distance-derived statistics
+		// would be relative to the restore point, not the original run.
+		fmt.Printf("workload:    %s (resumed), k=%d\n", *wl, res.Total)
+		fmt.Printf("steps:       %d\n", res.Steps)
+	} else {
+		fmt.Printf("workload:    %s, k=%d, dmax=%d\n", *wl, res.Total, workload.MaxDistance(m, packets))
+		fmt.Printf("steps:       %d (instance lower bound %d)\n", res.Steps, bound.Instance(m, packets))
+	}
 	fmt.Printf("delivered:   %d/%d\n", res.Delivered, res.Total)
 	fmt.Printf("deflections: %d (of %d hops)\n", res.TotalDeflections, res.TotalHops)
 	fmt.Printf("max load:    %d packets in one node\n", res.MaxNodeLoad)
@@ -315,6 +374,13 @@ func run(args []string) error {
 	}
 	if res.DeadlineExceeded {
 		fmt.Println("wall-clock budget exhausted before completion")
+	}
+	if runErr != nil { // context cancelled: a signal stopped the run
+		if *ckptPath != "" {
+			fmt.Printf("interrupted at step %d; state saved to %s — rerun with -resume to continue\n", res.Steps, *ckptPath)
+		} else {
+			fmt.Printf("interrupted at step %d (no -checkpoint set, progress not saved)\n", res.Steps)
+		}
 	}
 	if *dim == 2 {
 		bound := analysis.Theorem20Bound(*side, res.Total)
@@ -344,5 +410,5 @@ func run(args []string) error {
 		}
 		fmt.Print(out)
 	}
-	return nil
+	return runErr // non-nil exactly when a signal interrupted the run
 }

@@ -195,3 +195,99 @@ func TestRunWorkers(t *testing.T) {
 		t.Errorf("parallel run wrong:\n%s", out)
 	}
 }
+
+// TestCheckpointResume proves the CLI kill-and-resume round trip: a run
+// checkpointed periodically, then a second invocation restored from the
+// last checkpoint, must finish with the identical outcome.
+func TestCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	base := []string{"-n", "8", "-k", "48", "-seed", "5", "-policy", "restricted"}
+
+	full, err := capture(t, func() error {
+		return run(append([]string{"-checkpoint", ckpt, "-checkpoint-every", "4"}, base...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("periodic checkpoint missing: %v", err)
+	}
+
+	resumed, err := capture(t, func() error {
+		return run(append([]string{"-resume", "-checkpoint", ckpt, "-checkpoint-every", "4"}, base...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed, "resumed:") {
+		t.Fatalf("resume did not restore from the checkpoint:\n%s", resumed)
+	}
+	// The resumed remainder must land on the same totals as the full run.
+	for _, line := range []string{"delivered:", "deflections:", "max load:"} {
+		want := lineWith(t, full, line)
+		got := lineWith(t, resumed, line)
+		if want != got {
+			t.Errorf("%s differs after resume:\nfull:    %s\nresumed: %s", line, want, got)
+		}
+	}
+}
+
+// TestCheckpointJSONFormat exercises the human-readable encoding end to end.
+func TestCheckpointJSONFormat(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	args := []string{"-n", "6", "-k", "16", "-seed", "2",
+		"-checkpoint", ckpt, "-checkpoint-every", "2", "-checkpoint-format", "json"}
+	if _, err := capture(t, func() error { return run(args) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"packets"`) {
+		t.Errorf("JSON checkpoint not human-readable:\n%.200s", data)
+	}
+}
+
+// TestCheckpointFlagErrors: inconsistent checkpoint flags fail fast.
+func TestCheckpointFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-resume"},                // -resume without -checkpoint
+		{"-checkpoint-every", "5"}, // periodic saves with nowhere to go
+		{"-checkpoint", "x", "-checkpoint-format", "xml"},
+		{"-resume", "-checkpoint", "nope.ckpt", "-track"}, // observers need t=0
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestResumeRejectsFlagMismatch: restoring under different engine flags
+// must fail with the snapshot guard, not silently diverge.
+func TestResumeRejectsFlagMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "48", "-seed", "5", "-checkpoint", ckpt, "-checkpoint-every", "4"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "48", "-seed", "6", "-resume", "-checkpoint", ckpt})
+	}); err == nil || !strings.Contains(err.Error(), "pass the same flags") {
+		t.Errorf("seed mismatch on resume: err = %v", err)
+	}
+}
+
+// lineWith returns the first output line containing substr.
+func lineWith(t *testing.T, out, substr string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	t.Fatalf("output has no line containing %q:\n%s", substr, out)
+	return ""
+}

@@ -4,18 +4,31 @@
 // where experiments regenerates the fixed tables of EXPERIMENTS.md, sweep
 // lets you explore any slice of the parameter space.
 //
+// Grids run under the internal/run supervisor: each cell is retried on
+// failure, a panicking or failing cell is recorded and skipped rather than
+// aborting the grid, and with -journal every finished cell is persisted as
+// one JSONL line. A sweep interrupted by SIGINT/SIGTERM (or a crash) can
+// then be continued with -resume, rerunning only the missing cells.
+//
 // Example:
 //
 //	sweep -d 2 -n 8,16 -k 64,256 -policy restricted,random -workload uniform,permutation -trials 5
+//	sweep -n 32 -k 1024 -trials 20 -journal sweep.jsonl   # interrupted...
+//	sweep -n 32 -k 1024 -trials 20 -journal sweep.jsonl -resume
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hotpotato/internal/analysis"
 	"hotpotato/internal/core"
@@ -23,17 +36,27 @@ import (
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/profiling"
 	"hotpotato/internal/routing"
+	runner "hotpotato/internal/run"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/stats"
 	"hotpotato/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// The first SIGINT/SIGTERM cancels the context: the supervisor stops
+	// dispatching, finishes in-flight cells, and flushes the journal. A
+	// second signal restores the default disposition and kills immediately
+	// — safe, because every completed cell is already on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
+
+// run keeps the historical signature for tests and non-interruptible use.
+func run(args []string) error { return runCtx(context.Background(), args) }
 
 func parseInts(s string) ([]int, error) {
 	var out []int
@@ -113,7 +136,27 @@ func workloadByName(name string, m *mesh.Mesh, k int) (func(rng *rand.Rand) ([]*
 	}
 }
 
-func run(args []string) error {
+// cellRow is the JSON payload one grid cell produces: everything needed to
+// print its table row. It round-trips through the journal, so resumed cells
+// render identically to freshly computed ones.
+type cellRow struct {
+	Network    string  `json:"network"`
+	N          int     `json:"n"`
+	K          int     `json:"k"`
+	Workload   string  `json:"workload"`
+	Policy     string  `json:"policy"`
+	FaultRate  float64 `json:"fault_rate"`
+	Delivered  int     `json:"delivered"`
+	Dropped    int     `json:"dropped"`
+	StepsMean  float64 `json:"steps_mean"`
+	StepsStd   float64 `json:"steps_std"`
+	StepsMax   int     `json:"steps_max"`
+	DeflMean   float64 `json:"defl_mean"`
+	Bound      float64 `json:"bound"`
+	Violations string  `json:"violations"`
+}
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		dim           = fs.Int("d", 2, "mesh dimension")
@@ -132,11 +175,20 @@ func run(args []string) error {
 		frFlag        = fs.String("fault-rate", "0", "comma-separated per-link per-step failure probabilities (0 = intact mesh)")
 		faultRepair   = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
 		faultMaxDown  = fs.Int("fault-max-down", 0, "cap on concurrently failed links (0 = unlimited)")
+		journalPath   = fs.String("journal", "", "record finished cells to this JSONL journal")
+		resume        = fs.Bool("resume", false, "with -journal, skip cells the journal already records")
+		cellsParallel = fs.Int("cells-parallel", 1, "grid cells run concurrently")
+		retries       = fs.Int("retries", 1, "retries per failing cell (attempts = retries + 1)")
+		cellTimeout   = fs.Duration("cell-timeout", 0, "per-attempt wall-clock budget per cell (0 = unlimited)")
+		quietCells    = fs.Bool("quiet-cells", false, "suppress per-cell progress lines on stderr")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *journalPath == "" {
+		return errors.New("-resume needs -journal")
 	}
 	if *cpuProfile != "" || *memProfile != "" {
 		stopProf, err := profiling.Start(*cpuProfile, *memProfile)
@@ -167,10 +219,9 @@ func run(args []string) error {
 		lvl = sim.ValidateRestricted
 	}
 
-	tb := stats.NewTable(
-		fmt.Sprintf("sweep: d=%d, %d trials per cell", *dim, *trials),
-		"network", "n", "k", "workload", "policy", "fault_rate", "delivered", "dropped",
-		"steps_mean", "steps_std", "steps_max", "defl_mean", "bound", "max/bound", "violations")
+	// Build the grid eagerly so bad flags fail before anything runs, and so
+	// cells carry everything they need without touching shared state.
+	var cells []runner.Cell
 	for _, n := range ns {
 		var m *mesh.Mesh
 		if *torus {
@@ -216,39 +267,124 @@ func run(args []string) error {
 								return f
 							}
 						}
-						results, err := analysis.RunTrialsParallel(spec, *trials, *seed, *workers)
-						if err != nil {
-							return fmt.Errorf("cell n=%d k=%d %s/%s fr=%g: %w", n, k, wlName, polName, frate, err)
-						}
-						sm := stats.SummarizeInts(analysis.Steps(results))
-						var deflSum float64
-						kAct, delivered, dropped := 0, 0, 0
-						for _, r := range results {
-							deflSum += float64(r.Result.TotalDeflections)
-							kAct = r.Result.Total
-							delivered += r.Result.Delivered
-							dropped += r.Result.Dropped + r.Result.Absorbed
-						}
-						var bound float64
-						if *dim == 2 && !*torus {
-							bound = analysis.Theorem20Bound(n, kAct)
-						} else {
-							bound = analysis.Section5Bound(*dim, n, kAct)
-						}
-						viol := "-"
-						if *track {
-							viol = analysis.TotalViolations(results).String()
-						}
-						tb.AddRow(m.String(), n, kAct, wlName, polName, frate, delivered, dropped,
-							sm.Mean, sm.Std, int(sm.Max), deflSum/float64(len(results)),
-							bound, sm.Max/bound, viol)
+						m, n, k, wlName, polName, frate := m, n, k, wlName, polName, frate
+						cells = append(cells, runner.Cell{
+							Key: fmt.Sprintf("n=%d/k=%d/%s/%s/fr=%g", n, k, wlName, polName, frate),
+							Work: func(context.Context) (json.RawMessage, error) {
+								results, err := analysis.RunTrialsParallel(spec, *trials, *seed, *workers)
+								if err != nil {
+									return nil, err
+								}
+								sm := stats.SummarizeInts(analysis.Steps(results))
+								var deflSum float64
+								kAct, delivered, dropped := 0, 0, 0
+								for _, r := range results {
+									deflSum += float64(r.Result.TotalDeflections)
+									kAct = r.Result.Total
+									delivered += r.Result.Delivered
+									dropped += r.Result.Dropped + r.Result.Absorbed
+								}
+								var bound float64
+								if *dim == 2 && !*torus {
+									bound = analysis.Theorem20Bound(n, kAct)
+								} else {
+									bound = analysis.Section5Bound(*dim, n, kAct)
+								}
+								viol := "-"
+								if *track {
+									viol = analysis.TotalViolations(results).String()
+								}
+								return json.Marshal(cellRow{
+									Network: m.String(), N: n, K: kAct, Workload: wlName,
+									Policy: polName, FaultRate: frate, Delivered: delivered,
+									Dropped: dropped, StepsMean: sm.Mean, StepsStd: sm.Std,
+									StepsMax: int(sm.Max), DeflMean: deflSum / float64(len(results)),
+									Bound: bound, Violations: viol,
+								})
+							},
+						})
 					}
 				}
 			}
 		}
 	}
-	if *csvOut {
-		return tb.WriteCSV(os.Stdout)
+
+	// The label ties a journal to one exact grid: every flag that shapes
+	// cell keys or results is part of it, so -resume against the journal of
+	// a different sweep fails loudly instead of mixing data.
+	label := fmt.Sprintf("sweep d=%d n=%s k=%s policy=%s workload=%s fault-rate=%s fault-repair=%g fault-max-down=%d trials=%d seed=%d torus=%t track=%t strict=%t workers=%d",
+		*dim, *nsFlag, *ksFlag, *polFlag, *wlFlag, *frFlag, *faultRepair, *faultMaxDown,
+		*trials, *seed, *torus, *track, *validate, *engineWorkers)
+
+	opts := runner.Options{
+		Workers:     *cellsParallel,
+		CellTimeout: *cellTimeout,
+		MaxAttempts: *retries + 1,
+		Seed:        *seed,
 	}
-	return tb.WriteText(os.Stdout)
+	if !*quietCells {
+		opts.Log = os.Stderr
+	}
+	if *journalPath != "" {
+		var j *runner.Journal
+		if *resume {
+			j, err = runner.ResumeJournal(*journalPath, label)
+		} else {
+			j, err = runner.OpenJournal(*journalPath, label)
+		}
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
+
+	report, execErr := runner.Execute(ctx, cells, opts)
+	if report == nil {
+		return execErr
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("sweep: d=%d, %d trials per cell", *dim, *trials),
+		"network", "n", "k", "workload", "policy", "fault_rate", "delivered", "dropped",
+		"steps_mean", "steps_std", "steps_max", "defl_mean", "bound", "max/bound", "violations")
+	for _, c := range report.Cells {
+		if c == nil || c.Status != runner.StatusOK {
+			continue
+		}
+		var row cellRow
+		if err := json.Unmarshal(c.Result, &row); err != nil {
+			return fmt.Errorf("cell %s: corrupt payload: %w", c.Key, err)
+		}
+		tb.AddRow(row.Network, row.N, row.K, row.Workload, row.Policy, row.FaultRate,
+			row.Delivered, row.Dropped, row.StepsMean, row.StepsStd, row.StepsMax,
+			row.DeflMean, row.Bound, float64(row.StepsMax)/row.Bound, row.Violations)
+	}
+	if *csvOut {
+		err = tb.WriteCSV(os.Stdout)
+	} else {
+		err = tb.WriteText(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+
+	for _, f := range report.Failures() {
+		fmt.Fprintf(os.Stderr, "sweep: cell %s FAILED after %d attempt(s): %s\n", f.Key, f.Attempts, f.Err)
+	}
+	if execErr != nil {
+		if errors.Is(execErr, runner.ErrInterrupted) && *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "sweep: interrupted with %d/%d cells done; journal flushed — rerun with -resume to finish\n",
+				report.OK, len(cells))
+		}
+		return execErr
+	}
+	if n := report.Failed; n > 0 {
+		return fmt.Errorf("%d of %d cells failed", n, len(cells))
+	}
+	if report.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells replayed from %s\n",
+			report.Resumed, len(cells), *journalPath)
+	}
+	return nil
 }

@@ -1,9 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	runner "hotpotato/internal/run"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -112,4 +120,92 @@ func TestSweepEngineWorkers(t *testing.T) {
 	if !strings.Contains(out, "mesh(d=2, n=8)") {
 		t.Errorf("workers sweep output wrong:\n%s", out)
 	}
+}
+
+// TestSweepSIGTERMJournalResume is the end-to-end crash-safety check: a
+// journaled sweep receives SIGTERM mid-grid, must exit with the journal
+// flushed (every finished cell on disk, in-flight cells completed), and a
+// second invocation with -resume must produce the full table while
+// rerunning only the missing cells.
+func TestSweepSIGTERMJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	grid := []string{"-n", "32", "-k", "2048,3000",
+		"-policy", "restricted,random,dest-order,fewest-good",
+		"-workload", "uniform,hotspot", "-trials", "20",
+		"-journal", journal, "-quiet-cells"}
+	const cellCount = 2 * 4 * 2
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	// Fire SIGTERM at ourselves once the journal shows real progress, so
+	// the interrupt always lands mid-grid regardless of machine speed.
+	watcherDone := make(chan struct{})
+	runDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			select {
+			case <-runDone:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			if countLines(journal) >= 3 { // header + two finished cells
+				break
+			}
+		}
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}()
+
+	_, err := capture(t, func() error { return runCtx(ctx, grid) })
+	close(runDone)
+	<-watcherDone
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("interrupted sweep err = %v, want ErrInterrupted", err)
+	}
+	entries := countLines(journal) - 1
+	if entries < 1 || entries >= cellCount {
+		t.Fatalf("journal has %d entries after SIGTERM, want partial progress", entries)
+	}
+
+	out, err := capture(t, func() error {
+		return runCtx(context.Background(), append(grid, "-resume"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(out, "mesh(d=2"); rows != cellCount {
+		t.Errorf("resumed sweep printed %d rows, want %d:\n%s", rows, cellCount, out)
+	}
+	if got := countLines(journal) - 1; got < cellCount {
+		t.Errorf("journal has %d entries after resume, want >= %d", got, cellCount)
+	}
+}
+
+// TestSweepResumeRejectsDifferentGrid: -resume against the journal of a
+// different sweep must fail instead of mixing results.
+func TestSweepResumeRejectsDifferentGrid(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	if _, err := capture(t, func() error {
+		return run([]string{"-n", "6", "-k", "10", "-trials", "1", "-journal", journal, "-quiet-cells"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "10", "-trials", "1", "-journal", journal, "-resume", "-quiet-cells"})
+	})
+	if !errors.Is(err, runner.ErrBadJournal) {
+		t.Errorf("grid mismatch err = %v, want ErrBadJournal", err)
+	}
+}
+
+// countLines returns the number of newline-terminated lines in path, or 0
+// if the file does not exist yet.
+func countLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return strings.Count(string(data), "\n")
 }

@@ -29,6 +29,15 @@ func (s *SplitMix64) Int63() int64 {
 	return int64(s.Uint64() >> 1)
 }
 
+// State returns the generator's full internal state. Together with SetState
+// it makes the stream checkpointable: the state is one word, so capturing
+// and restoring it is exact and costs nothing.
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// SetState restores a state previously returned by State; the subsequent
+// output sequence continues exactly where the captured stream left off.
+func (s *SplitMix64) SetState(state uint64) { s.state = state }
+
 // Mix folds several values into one well-spread 64-bit seed (splitmix64
 // finalizer over a running combination).
 func Mix(values ...int64) int64 {
