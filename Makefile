@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-smoke experiments experiments-quick figures cover sweep-resume-demo clean
+.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-smoke experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke clean
 
 # Output file for the committed benchmark record (see bench-json).
 BENCH_JSON ?= BENCH_PR3.json
@@ -70,6 +70,25 @@ sweep-resume-demo:
 	@echo "--- resuming ---"
 	$(GO) run ./cmd/sweep -n 32 -k 2048,3000 -policy restricted,random,dest-order \
 		-workload uniform,hotspot -trials 20 -journal /tmp/sweep-demo.jsonl -resume
+
+# Run the simulation service locally (SIGINT/SIGTERM drains gracefully;
+# interrupted jobs checkpoint under /tmp and resume via "resume_from").
+serve:
+	$(GO) run ./cmd/hotpotatod -addr :8080 -checkpoint-dir /tmp/hotpotato-checkpoints
+
+# CI smoke for the service: boot hotpotatod on a small queue, drive it with
+# the example load generator (submit with backpressure retries, follow one
+# NDJSON stream, poll every job to completion, scrape /metrics), then
+# SIGTERM the daemon and require a clean drain and exit code 0.
+serve-smoke:
+	$(GO) build -o /tmp/hotpotatod-smoke ./cmd/hotpotatod
+	rm -rf /tmp/hotpotato-smoke-ckpt
+	/tmp/hotpotatod-smoke -addr 127.0.0.1:18098 -workers 1 -queue 2 \
+		-checkpoint-dir /tmp/hotpotato-smoke-ckpt & \
+	pid=$$!; sleep 1; \
+	$(GO) run ./examples/service -addr http://127.0.0.1:18098 \
+		-submitters 4 -jobs 2 || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

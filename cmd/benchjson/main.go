@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"hotpotato/internal/benchfmt"
+	"hotpotato/internal/version"
 )
 
 func main() {
@@ -32,9 +33,14 @@ func run(args []string) error {
 		out      = fs.String("o", "", "write JSON here instead of stdout")
 		baseline = fs.String("baseline", "", "committed report to compare ns/op against")
 		tol      = fs.Float64("tolerance", 1.30, "fail when ns/op exceeds baseline by this factor")
+		ver      = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ver {
+		fmt.Println(version.String("benchjson"))
+		return nil
 	}
 
 	rep, err := benchfmt.Parse(os.Stdin)

@@ -35,6 +35,7 @@ import (
 	"hotpotato/internal/analysis"
 	"hotpotato/internal/profiling"
 	runner "hotpotato/internal/run"
+	"hotpotato/internal/version"
 )
 
 func main() {
@@ -76,9 +77,14 @@ func runCtx(ctx context.Context, args []string) error {
 		cellTimeout = fs.Duration("cell-timeout", 0, "per-attempt wall-clock budget per experiment (0 = unlimited)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		showVer     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Println(version.String("experiments"))
+		return nil
 	}
 	if *resume && *journalPath == "" {
 		return errors.New("-resume needs -journal")

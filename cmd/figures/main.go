@@ -18,6 +18,7 @@ import (
 	"hotpotato/internal/core"
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/sim"
+	"hotpotato/internal/version"
 	"hotpotato/internal/viz"
 	"hotpotato/internal/workload"
 )
@@ -35,9 +36,14 @@ func run(args []string) error {
 		fig  = fs.Int("fig", 0, "figure number 1-6 (0 = all)")
 		n    = fs.Int("n", 8, "mesh side for figures 1-4")
 		seed = fs.Int64("seed", 3, "seed for the live snapshot of figures 3-4")
+		ver  = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ver {
+		fmt.Println(version.String("figures"))
+		return nil
 	}
 	want := func(i int) bool { return *fig == 0 || *fig == i }
 

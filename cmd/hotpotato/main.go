@@ -7,7 +7,7 @@
 //	hotpotato -d 2 -n 16 -workload uniform -k 128 -policy restricted -seed 1 -track
 //
 // Policies: restricted, restricted-det, restricted-bfirst, fewest-good,
-// random, fixed, dest-order, farthest, nearest.
+// random, fixed, dest-order, oldest, farthest, nearest.
 // Workloads: uniform, permutation, partial-perm, transpose, bit-reversal,
 // single-target, hotspot, local, full-load, corner-rush.
 package main
@@ -26,11 +26,11 @@ import (
 	"hotpotato/internal/bound"
 	"hotpotato/internal/checkpoint"
 	"hotpotato/internal/core"
-	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
-	"hotpotato/internal/routing"
 	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
 	"hotpotato/internal/trace"
+	"hotpotato/internal/version"
 	"hotpotato/internal/viz"
 	"hotpotato/internal/workload"
 )
@@ -71,100 +71,22 @@ func main() {
 // run keeps the historical signature for tests and non-interruptible use.
 func run(args []string) error { return runCtx(context.Background(), args) }
 
-func newPolicy(name string) (sim.Policy, error) {
-	switch name {
-	case "restricted":
-		return core.NewRestrictedPriority(), nil
-	case "restricted-det":
-		return core.NewRestrictedPriorityDeterministic(), nil
-	case "restricted-bfirst":
-		return core.NewRestrictedPriorityTypeBFirst(), nil
-	case "fewest-good":
-		return core.NewFewestGoodFirst(), nil
-	case "random":
-		return routing.NewRandomGreedy(), nil
-	case "fixed":
-		return routing.NewFixedPriority(), nil
-	case "dest-order":
-		return routing.NewDestOrderGreedy(), nil
-	case "farthest":
-		return routing.NewFarthestFirst(), nil
-	case "nearest":
-		return routing.NewNearestFirst(), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
-}
-
-func newWorkload(name string, m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
-	switch name {
-	case "uniform":
-		return workload.UniformRandom(m, k, rng)
-	case "permutation":
-		return workload.Permutation(m, rng), nil
-	case "partial-perm":
-		return workload.PartialPermutation(m, k, rng)
-	case "transpose":
-		return workload.Transpose(m)
-	case "bit-reversal":
-		return workload.BitReversal(m)
-	case "single-target":
-		return workload.SingleTarget(m, k, mesh.NodeID(m.Size()/2), rng)
-	case "hotspot":
-		return workload.HotSpot(m, k, 0.5, rng)
-	case "local":
-		return workload.LocalRandom(m, k, 4, rng)
-	case "full-load":
-		return workload.FullLoad(m, 2, rng)
-	case "corner-rush":
-		return workload.CornerRush(m, k, rng)
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-}
-
-// buildFaults assembles the fault model from the command-line knobs: any
-// combination of probabilistic link flaps, probabilistic node crashes and a
-// scripted event schedule, composed in that order. Returns nil when no fault
-// source is requested.
+// buildFaults assembles the fault model from the command-line knobs via the
+// shared spec registry, reading the scripted schedule (if any) from disk.
 func buildFaults(m *mesh.Mesh, rate, repair float64, maxDown int, crash float64, script string) (sim.FaultModel, error) {
-	var models []fault.Model
-	if rate != 0 { // negative rates fall through to the constructor's error
-		f, err := fault.NewLinkFlaps(rate, repair)
-		if err != nil {
-			return nil, err
-		}
-		f.MaxDown = maxDown
-		models = append(models, f)
-	}
-	if crash != 0 {
-		c, err := fault.NewNodeCrashes(crash, repair)
-		if err != nil {
-			return nil, err
-		}
-		c.MaxDown = maxDown
-		models = append(models, c)
-	}
+	cfg := spec.FaultConfig{Rate: rate, Repair: repair, MaxDown: maxDown, CrashRate: crash}
 	if script != "" {
-		f, err := os.Open(script)
+		text, err := os.ReadFile(script)
 		if err != nil {
 			return nil, err
 		}
-		sched, err := fault.ParseScript(f, m)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("fault script %s: %w", script, err)
-		}
-		models = append(models, sched)
+		cfg.Script = string(text)
 	}
-	switch len(models) {
-	case 0:
-		return nil, nil
-	case 1:
-		return models[0], nil
-	default:
-		return fault.Compose(models...), nil
+	model, err := spec.NewFaults(m, cfg)
+	if err != nil && script != "" {
+		return nil, fmt.Errorf("fault script %s: %w", script, err)
 	}
+	return model, err
 }
 
 func runCtx(ctx context.Context, args []string) error {
@@ -199,11 +121,16 @@ func runCtx(ctx context.Context, args []string) error {
 		ckptEvery  = fs.Int("checkpoint-every", 0, "with -checkpoint, save every N steps (0 = only on interrupt)")
 		ckptFormat = fs.String("checkpoint-format", "binary", "checkpoint encoding: binary or json")
 		resume     = fs.Bool("resume", false, "restore state from -checkpoint before running (pass the same flags as the original run)")
+		showVer    = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *showVer {
+		fmt.Println(version.String("hotpotato"))
+		return nil
+	}
 	if *verify != "" {
 		return verifyTrace(*verify)
 	}
@@ -229,30 +156,21 @@ func runCtx(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	pol, err := newPolicy(*policy)
+	pol, err := spec.NewPolicy(*policy)
 	if err != nil {
 		return err
 	}
 	var packets []*sim.Packet
 	if !*resume { // a resumed run takes its packets from the snapshot
 		rng := rand.New(rand.NewSource(*seed))
-		packets, err = newWorkload(*wl, m, *k, rng)
+		packets, err = spec.NewWorkload(*wl, m, *k, rng)
 		if err != nil {
 			return err
 		}
 	}
-	var lvl sim.ValidationLevel
-	switch *validate {
-	case "off":
-		lvl = sim.ValidateOff
-	case "basic":
-		lvl = sim.ValidateBasic
-	case "greedy":
-		lvl = sim.ValidateGreedy
-	case "restricted":
-		lvl = sim.ValidateRestricted
-	default:
-		return fmt.Errorf("unknown validation level %q", *validate)
+	lvl, err := spec.ParseValidation(*validate)
+	if err != nil {
+		return err
 	}
 
 	e, err := sim.New(m, pol, packets, sim.Options{
@@ -271,14 +189,9 @@ func runCtx(ctx context.Context, args []string) error {
 		return err
 	}
 	if faults != nil {
-		var fate sim.PacketFate
-		switch *faultFate {
-		case "drop":
-			fate = sim.FateDrop
-		case "absorb":
-			fate = sim.FateAbsorb
-		default:
-			return fmt.Errorf("unknown fault fate %q (want drop or absorb)", *faultFate)
+		fate, err := spec.ParseFate(*faultFate)
+		if err != nil {
+			return err
 		}
 		e.SetFaults(faults, fate)
 	}

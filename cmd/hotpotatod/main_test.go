@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "hotpotatod ") {
+		t.Errorf("-version output = %q", buf.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	// ContinueOnError writes usage to the flag set's default output
+	// (stderr); the error return is what matters here.
+	if err := run(context.Background(), []string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}
+
+// TestSignalDrain is the daemon-level shutdown test: serve, accept a long
+// job, cancel the signal context mid-run, and expect a clean exit with the
+// job's state checkpointed on disk.
+func TestSignalDrain(t *testing.T) {
+	dir := t.TempDir()
+	addrCh := make(chan net.Addr, 1)
+	notifyListen = func(a net.Addr) { addrCh <- a }
+	defer func() { notifyListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-checkpoint-dir", dir,
+			"-drain-grace", "30ms",
+			"-drain-timeout", "30s",
+		}, io.Discard)
+	}()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+
+	spec := `{"side": 6, "k": 24, "seed": 9, "progress_every": 1, "step_delay": "5ms", "max_steps": 100000}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("POST = %d, id %q", resp.StatusCode, st.ID)
+	}
+
+	// Wait until the job is stepping so the drain interrupts real work.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started making progress")
+		}
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status struct {
+			State    string `json:"state"`
+			Progress *struct {
+				Time int `json:"time"`
+			} `json:"progress"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&status)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State == "running" && status.Progress != nil && status.Progress.Time > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cancel() // stands in for SIGTERM: same context path as the signal handler
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited with %v, want clean drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+
+	ckpt := filepath.Join(dir, st.ID+".hpck")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("drained job left no checkpoint: %v", err)
+	}
+}
+
+// TestListenFailure covers an unusable address.
+func TestListenFailure(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard)
+	if err == nil {
+		t.Fatal("bad listen address did not error")
+	}
+}

@@ -31,15 +31,14 @@ import (
 	"syscall"
 
 	"hotpotato/internal/analysis"
-	"hotpotato/internal/core"
 	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/profiling"
-	"hotpotato/internal/routing"
 	runner "hotpotato/internal/run"
 	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
 	"hotpotato/internal/stats"
-	"hotpotato/internal/workload"
+	"hotpotato/internal/version"
 )
 
 func main() {
@@ -82,58 +81,13 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func policyByName(name string) (func() sim.Policy, error) {
-	switch name {
-	case "restricted":
-		return core.NewRestrictedPriority, nil
-	case "restricted-det":
-		return core.NewRestrictedPriorityDeterministic, nil
-	case "restricted-bfirst":
-		return core.NewRestrictedPriorityTypeBFirst, nil
-	case "fewest-good":
-		return core.NewFewestGoodFirst, nil
-	case "random":
-		return routing.NewRandomGreedy, nil
-	case "fixed":
-		return routing.NewFixedPriority, nil
-	case "dest-order":
-		return routing.NewDestOrderGreedy, nil
-	case "oldest":
-		return routing.NewOldestFirst, nil
-	case "farthest":
-		return routing.NewFarthestFirst, nil
-	case "nearest":
-		return routing.NewNearestFirst, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
-}
-
+// workloadByName adapts the shared spec registry to the trial runner's
+// generator shape, binding the mesh and packet count once per cell.
 func workloadByName(name string, m *mesh.Mesh, k int) (func(rng *rand.Rand) ([]*sim.Packet, error), error) {
-	switch name {
-	case "uniform":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.UniformRandom(m, k, rng) }, nil
-	case "permutation":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.Permutation(m, rng), nil }, nil
-	case "partial-perm":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.PartialPermutation(m, k, rng) }, nil
-	case "hotspot":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.HotSpot(m, k, 0.5, rng) }, nil
-	case "single-target":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) {
-			return workload.SingleTarget(m, k, mesh.NodeID(m.Size()/2), rng)
-		}, nil
-	case "local":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.LocalRandom(m, k, 4, rng) }, nil
-	case "full-load":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.FullLoad(m, 2, rng) }, nil
-	case "corner-rush":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.CornerRush(m, k, rng) }, nil
-	case "transpose":
-		return func(rng *rand.Rand) ([]*sim.Packet, error) { return workload.Transpose(m) }, nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
+	if err := spec.CheckWorkload(name); err != nil {
+		return nil, err
 	}
+	return func(rng *rand.Rand) ([]*sim.Packet, error) { return spec.NewWorkload(name, m, k, rng) }, nil
 }
 
 // cellRow is the JSON payload one grid cell produces: everything needed to
@@ -183,9 +137,14 @@ func runCtx(ctx context.Context, args []string) error {
 		quietCells    = fs.Bool("quiet-cells", false, "suppress per-cell progress lines on stderr")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		showVer       = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Println(version.String("sweep"))
+		return nil
 	}
 	if *resume && *journalPath == "" {
 		return errors.New("-resume needs -journal")
@@ -241,7 +200,7 @@ func runCtx(ctx context.Context, args []string) error {
 				}
 				for _, polName := range strings.Split(*polFlag, ",") {
 					polName = strings.TrimSpace(polName)
-					mkPol, err := policyByName(polName)
+					mkPol, err := spec.PolicyFactory(polName)
 					if err != nil {
 						return err
 					}

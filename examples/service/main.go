@@ -1,0 +1,232 @@
+// Command service is a load generator for hotpotatod: N concurrent
+// submitters push jobs at the daemon, honour its 429 backpressure
+// (Retry-After), follow one job's NDJSON stream, poll every accepted job
+// to a terminal state, and finish by scraping /metrics. It exits non-zero
+// if any accepted job is lost or fails — which makes it double as the CI
+// smoke client.
+//
+// Demonstrating backpressure needs a small queue on the daemon side:
+//
+//	hotpotatod -addr :8080 -workers 1 -queue 2 &
+//	go run ./examples/service -addr http://localhost:8080 -submitters 8 -jobs 4
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8080", "hotpotatod base URL")
+		submitters = flag.Int("submitters", 4, "concurrent submitter goroutines")
+		jobs       = flag.Int("jobs", 3, "jobs per submitter")
+		spec       = flag.String("spec", `{"side": 6, "k": 24, "progress_every": 10}`, "job spec template (seed is filled per job)")
+		retries    = flag.Int("retries", 100, "429 retries per job before giving up")
+		follow     = flag.Bool("follow", true, "print the first accepted job's NDJSON stream")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "overall budget for all jobs to finish")
+	)
+	flag.Parse()
+	if err := loadgen(*addr, *submitters, *jobs, *spec, *retries, *follow, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+}
+
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// submit POSTs one job, retrying on 429 as the Retry-After header asks.
+// It returns the job ID and how many times it was pushed back.
+func submit(addr, spec string, retries int) (id string, backoffs int, err error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(addr+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return "", backoffs, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st jobStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				return "", backoffs, err
+			}
+			return st.ID, backoffs, nil
+		case http.StatusTooManyRequests:
+			if attempt >= retries {
+				return "", backoffs, fmt.Errorf("gave up after %d backpressure rejections", attempt)
+			}
+			backoffs++
+			wait := time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if d, err := time.ParseDuration(ra + "s"); err == nil {
+					wait = d
+				}
+			}
+			// Jitter below the advertised wait keeps N submitters from
+			// stampeding the queue in lockstep.
+			time.Sleep(wait / time.Duration(2+attempt%3))
+		default:
+			return "", backoffs, fmt.Errorf("POST /v1/jobs: %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// stream tails one job's NDJSON to stdout, line-counted.
+func stream(addr, id string) (lines int, err error) {
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lines++
+		fmt.Printf("stream %s: %s\n", id, sc.Text())
+	}
+	return lines, sc.Err()
+}
+
+func loadgen(addr string, submitters, jobs int, specTemplate string, retries int, follow bool, timeout time.Duration) error {
+	var (
+		mu       sync.Mutex
+		accepted []string
+		rejected atomic.Int64
+		firstID  = make(chan string, 1)
+		errs     = make(chan error, submitters)
+		wg       sync.WaitGroup
+	)
+
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for j := 0; j < jobs; j++ {
+				// Distinct seeds keep the runs distinct; everything else
+				// comes from the template.
+				var spec map[string]any
+				if err := json.Unmarshal([]byte(specTemplate), &spec); err != nil {
+					errs <- err
+					return
+				}
+				spec["seed"] = s*1000 + j + 1
+				body, _ := json.Marshal(spec)
+				id, backoffs, err := submit(addr, string(body), retries)
+				rejected.Add(int64(backoffs))
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d: %w", s, err)
+					return
+				}
+				select {
+				case firstID <- id:
+				default:
+				}
+				mu.Lock()
+				accepted = append(accepted, id)
+				mu.Unlock()
+			}
+		}(s)
+	}
+
+	var (
+		swg       sync.WaitGroup
+		followed  string
+		streamed  int
+		streamErr error
+	)
+	if follow {
+		// Tail the first accepted job while the rest of the load runs. An
+		// empty id is the sentinel for "nothing was ever accepted".
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			id := <-firstID
+			if id == "" {
+				return
+			}
+			followed = id
+			streamed, streamErr = stream(addr, id)
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// Poll every accepted job to a terminal state.
+	deadline := time.Now().Add(timeout)
+	states := make(map[string]string)
+	for _, id := range accepted {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s still %q at the deadline", id, states[id])
+			}
+			resp, err := http.Get(addr + "/v1/jobs/" + id)
+			if err != nil {
+				return err
+			}
+			var st jobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			states[id] = st.State
+			if st.State == "done" || st.State == "checkpointed" {
+				break
+			}
+			if st.State == "failed" {
+				return fmt.Errorf("job %s failed: %s", id, st.Error)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	fmt.Printf("submitted %d jobs from %d submitters in %s: %d accepted, %d backpressure rejections absorbed\n",
+		submitters*jobs, submitters, time.Since(start).Round(time.Millisecond), len(accepted), rejected.Load())
+	if follow {
+		select {
+		case firstID <- "": // unblock the tail goroutine if it never got a job
+		default:
+		}
+		swg.Wait()
+		if streamErr != nil {
+			return fmt.Errorf("stream: %w", streamErr)
+		}
+		if followed != "" {
+			fmt.Printf("streamed %d NDJSON events from job %s\n", streamed, followed)
+		}
+	}
+
+	// Final scrape: the daemon's own accounting of what just happened.
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "hotpotatod_jobs_") || strings.HasPrefix(line, "hotpotatod_queue_") {
+			fmt.Println("metrics:", line)
+		}
+	}
+	return sc.Err()
+}

@@ -229,6 +229,27 @@ dispatch:
 	return report, nil
 }
 
+// Single executes one cell under the supervision policy in opts — panic
+// isolation, per-attempt timeout, retry with jittered backoff — without the
+// grid bookkeeping of Execute. It is the building block for callers that
+// receive work continuously instead of as a batch (cmd/hotpotatod's job
+// workers): each arriving job becomes one supervised cell. The context is
+// consulted between attempts only; cancelling it suppresses retries but
+// lets the attempt in flight finish (bounded by CellTimeout). Journal and
+// Log options are ignored. The result is never nil.
+func Single(ctx context.Context, c Cell, opts Options) *CellResult {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 1
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 100 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Second
+	}
+	return runCell(ctx, c, opts)
+}
+
 // runCell executes one cell: attempts with panic isolation, timeout, and
 // jittered exponential backoff between attempts. The supervisor context is
 // only consulted between attempts — an interrupt lets the current attempt

@@ -1,0 +1,82 @@
+package run
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSingleSuccess(t *testing.T) {
+	res := Single(context.Background(), Cell{
+		Key:  "ok",
+		Work: func(context.Context) (json.RawMessage, error) { return json.RawMessage(`{"x":1}`), nil },
+	}, Options{})
+	if res.Status != StatusOK || res.Attempts != 1 {
+		t.Fatalf("got %+v, want ok in 1 attempt", res)
+	}
+	if string(res.Result) != `{"x":1}` {
+		t.Fatalf("payload %q", res.Result)
+	}
+}
+
+func TestSingleRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	res := Single(context.Background(), Cell{
+		Key: "flaky",
+		Work: func(context.Context) (json.RawMessage, error) {
+			calls++
+			if calls < 3 {
+				return nil, errors.New("transient")
+			}
+			return json.RawMessage(`1`), nil
+		},
+	}, Options{MaxAttempts: 5, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if res.Status != StatusOK || res.Attempts != 3 {
+		t.Fatalf("got %+v, want ok in 3 attempts", res)
+	}
+}
+
+func TestSingleIsolatesPanic(t *testing.T) {
+	res := Single(context.Background(), Cell{
+		Key:  "boom",
+		Work: func(context.Context) (json.RawMessage, error) { panic("kaboom") },
+	}, Options{})
+	if res.Status != StatusFailed || !strings.Contains(res.Err, "kaboom") {
+		t.Fatalf("got %+v, want contained panic", res)
+	}
+}
+
+func TestSingleTimeout(t *testing.T) {
+	res := Single(context.Background(), Cell{
+		Key: "slow",
+		Work: func(ctx context.Context) (json.RawMessage, error) {
+			<-ctx.Done() // honour the attempt deadline
+			return nil, ctx.Err()
+		},
+	}, Options{CellTimeout: 10 * time.Millisecond})
+	if res.Status != StatusFailed {
+		t.Fatalf("got %+v, want timeout failure", res)
+	}
+}
+
+func TestSingleCancelSuppressesRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	res := Single(ctx, Cell{
+		Key: "once",
+		Work: func(context.Context) (json.RawMessage, error) {
+			calls++
+			return nil, errors.New("nope")
+		},
+	}, Options{MaxAttempts: 10, BackoffBase: time.Millisecond})
+	if calls != 1 {
+		t.Fatalf("work ran %d times under a cancelled supervisor, want 1", calls)
+	}
+	if res.Status != StatusFailed || !strings.Contains(res.Err, "retries abandoned") {
+		t.Fatalf("got %+v, want abandoned retries", res)
+	}
+}

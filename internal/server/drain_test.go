@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// longJobSpec is a job that runs for many seconds unless stopped: the
+// per-step delay turns a sub-second batch run into an observable one.
+const longJobSpec = `{"side": 6, "k": 24, "seed": 9, "progress_every": 1, "step_delay": "5ms", "max_steps": 100000}`
+
+// drainQuiet drains a server with a generous bound, failing the test on
+// error — for tests where the drain itself is not the subject.
+func drainQuiet(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// waitRunning polls until the job is executing and has made progress.
+func waitRunning(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == JobRunning && st.Progress != nil && st.Progress.Time > 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started making progress", id)
+}
+
+// TestDrainCheckpointsRunningJob is the core graceful-shutdown scenario:
+// a long job is interrupted by Drain, its state lands in a checkpoint
+// file, and resubmitting with resume_from finishes the routing problem.
+func TestDrainCheckpointsRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, CheckpointDir: dir, DrainGrace: 30 * time.Millisecond})
+
+	_, st := postJob(t, ts, longJobSpec)
+	if st.ID == "" {
+		t.Fatal("job not accepted")
+	}
+	waitRunning(t, ts, st.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	final := getStatus(t, ts, st.ID)
+	if final.State != JobCheckpointed {
+		t.Fatalf("drained job state = %q (err %q), want checkpointed", final.State, final.Error)
+	}
+	if final.Checkpoint == "" {
+		t.Fatal("checkpointed job has no checkpoint path")
+	}
+	if _, err := os.Stat(final.Checkpoint); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	if final.Progress == nil || final.Progress.Time == 0 {
+		t.Fatalf("checkpointed with no recorded progress: %+v", final.Progress)
+	}
+
+	// The stream of a checkpointed job must still end with a summary.
+	events := readStream(t, ts, st.ID)
+	if len(events) == 0 || events[len(events)-1].Type != "summary" {
+		t.Fatalf("drained job's stream did not close with a summary")
+	}
+
+	// Resume on a fresh server: same problem, no step delay, run to the end.
+	s2, ts2 := newTestServer(t, Config{Workers: 1})
+	resume := fmt.Sprintf(`{"side": 6, "k": 24, "seed": 9, "max_steps": 100000, "resume_from": %q}`, final.Checkpoint)
+	_, st2 := postJob(t, ts2, resume)
+	if st2.ID == "" {
+		t.Fatal("resume job not accepted")
+	}
+	done := waitTerminal(t, ts2, st2.ID)
+	if done.State != JobDone {
+		t.Fatalf("resumed job finished %q (err %q), want done", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Delivered != done.Result.Total {
+		t.Fatalf("resumed result %+v, want all delivered", done.Result)
+	}
+	// The resumed run continues the clock, it does not restart it.
+	if done.Result.Steps <= final.Progress.Time {
+		t.Errorf("resumed run's final step %d not beyond checkpoint step %d", done.Result.Steps, final.Progress.Time)
+	}
+	drainQuiet(t, s2)
+}
+
+// TestDrainLosesNoAcceptedJob submits a batch (some running, some queued),
+// drains, and checks every accepted job reached a terminal state.
+func TestDrainLosesNoAcceptedJob(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8, CheckpointDir: dir, DrainGrace: 30 * time.Millisecond})
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		resp, st := postJob(t, ts, longJobSpec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d = %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	for _, id := range ids {
+		st := getStatus(t, ts, id)
+		if !st.State.Terminal() {
+			t.Errorf("job %s left in state %q after drain", id, st.State)
+		}
+		if st.State == JobFailed {
+			t.Errorf("job %s failed during drain: %s", id, st.Error)
+		}
+		if st.State == JobCheckpointed {
+			if _, err := os.Stat(st.Checkpoint); err != nil {
+				t.Errorf("job %s checkpoint missing: %v", id, err)
+			}
+		}
+	}
+}
+
+// TestDrainStopsAdmission checks POST answers 503 once draining.
+func TestDrainStopsAdmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	drainQuiet(t, s)
+	resp, _ := postJob(t, ts, `{"side": 4, "k": 4}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining = %d, want 503", resp.StatusCode)
+	}
+	if _, err := s.Submit(JobSpec{}); err == nil {
+		t.Fatal("Submit while draining did not error")
+	}
+}
+
+// TestDrainWithoutCheckpointDir: with nowhere to save state, an
+// interrupted job is reported failed, not silently dropped.
+func TestDrainWithoutCheckpointDir(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, DrainGrace: 30 * time.Millisecond})
+	_, st := postJob(t, ts, longJobSpec)
+	waitRunning(t, ts, st.ID)
+	drainQuiet(t, s)
+	final := getStatus(t, ts, st.ID)
+	if final.State != JobFailed {
+		t.Fatalf("state = %q, want failed (no checkpoint dir)", final.State)
+	}
+	if !strings.Contains(final.Error, "no checkpoint dir") {
+		t.Errorf("error %q does not explain the missing checkpoint dir", final.Error)
+	}
+}
+
+// TestDrainTwiceErrors guards against double shutdown paths.
+func TestDrainTwiceErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	drainQuiet(t, s)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("second Drain did not error")
+	}
+}
+
+// TestJobTimeoutCheckpoints: a job over its wall-time budget checkpoints
+// (when a dir is configured) instead of losing its work.
+func TestJobTimeoutCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		Workers:       1,
+		CheckpointDir: dir,
+		JobTimeout:    100 * time.Millisecond,
+	})
+	// 20ms per step caps the run at ~5 steps before the budget, far short
+	// of what 48 packets on an 8x8 mesh need.
+	_, st := postJob(t, ts, `{"side": 8, "k": 48, "seed": 9, "progress_every": 1, "step_delay": "20ms", "max_steps": 100000}`)
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != JobCheckpointed {
+		t.Fatalf("timed-out job state = %q (err %q), want checkpointed", final.State, final.Error)
+	}
+	if _, err := os.Stat(final.Checkpoint); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	drainQuiet(t, s)
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"hotpotato/internal/checkpoint"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("250ms") and unmarshals from either a string or a nanosecond number, so
+// job specs read naturally as JSON.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("duration must be a string like %q or a nanosecond count", "250ms")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// JobSpec is the JSON body of POST /v1/jobs: one routing problem, described
+// with the same names every CLI accepts (the shared internal/spec
+// registry). Zero values take the documented defaults.
+type JobSpec struct {
+	// Dim and Side describe the mesh (default 2 and 16); Torus selects
+	// wraparound edges.
+	Dim   int  `json:"dim,omitempty"`
+	Side  int  `json:"side,omitempty"`
+	Torus bool `json:"torus,omitempty"`
+	// K is the packet count for workloads that take one (default 64).
+	K int `json:"k,omitempty"`
+	// Policy and Workload are registry names (defaults "restricted" and
+	// "uniform").
+	Policy   string `json:"policy,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Seed makes the job deterministic (default 1). The workload is drawn
+	// from Seed and the engine runs with Seed+1, exactly like cmd/hotpotato.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxSteps bounds the simulation length (0 = engine default).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Validation is the per-step checking level (default "greedy").
+	Validation string `json:"validation,omitempty"`
+	// Workers > 1 routes nodes concurrently inside the engine.
+	Workers int `json:"workers,omitempty"`
+	// NoLivelockDetect disables configuration hashing (detection is on by
+	// default, so a deterministic livelock terminates the job).
+	NoLivelockDetect bool `json:"no_livelock_detect,omitempty"`
+	// Fault optionally installs a fault model (see spec.FaultConfig).
+	Fault *spec.FaultConfig `json:"fault,omitempty"`
+	// ProgressEvery is the stream epoch: a progress event every N steps
+	// (default 100).
+	ProgressEvery int `json:"progress_every,omitempty"`
+	// StepDelay slows the engine down by sleeping this long after every
+	// step. It exists for demos, load tests and drain tests — a sub-second
+	// batch job becomes an observable long-running one.
+	StepDelay Duration `json:"step_delay,omitempty"`
+	// ResumeFrom names a checkpoint file on the server (as reported by a
+	// drained job's status) to restore instead of generating the workload.
+	// The rest of the spec must match the checkpointed run.
+	ResumeFrom string `json:"resume_from,omitempty"`
+}
+
+// withDefaults returns the spec with zero values replaced by defaults.
+func (js JobSpec) withDefaults() JobSpec {
+	if js.Dim == 0 {
+		js.Dim = 2
+	}
+	if js.Side == 0 {
+		js.Side = 16
+	}
+	if js.K == 0 {
+		js.K = 64
+	}
+	if js.Policy == "" {
+		js.Policy = "restricted"
+	}
+	if js.Workload == "" {
+		js.Workload = "uniform"
+	}
+	if js.Seed == 0 {
+		js.Seed = 1
+	}
+	if js.ProgressEvery == 0 {
+		js.ProgressEvery = 100
+	}
+	return js
+}
+
+// validate rejects a spec that can never build, so admission fails with a
+// 400 instead of accepting a job doomed to fail. It is deliberately cheap:
+// no mesh or workload is materialized (a fault script referencing an
+// off-mesh node, for example, still surfaces at execution).
+func (js JobSpec) validate(maxNodes, maxK int) error {
+	if js.Dim < 1 {
+		return fmt.Errorf("dim must be >= 1, got %d", js.Dim)
+	}
+	if js.Side < 2 {
+		return fmt.Errorf("side must be >= 2, got %d", js.Side)
+	}
+	nodes := 1
+	for i := 0; i < js.Dim; i++ {
+		nodes *= js.Side
+		if nodes > maxNodes || nodes < 0 {
+			return fmt.Errorf("mesh %d^%d exceeds the server's node limit %d", js.Side, js.Dim, maxNodes)
+		}
+	}
+	if js.K < 1 || js.K > maxK {
+		return fmt.Errorf("k must be in [1, %d], got %d", maxK, js.K)
+	}
+	if js.MaxSteps < 0 {
+		return fmt.Errorf("max_steps must be >= 0, got %d", js.MaxSteps)
+	}
+	if js.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", js.Workers)
+	}
+	if js.ProgressEvery < 1 {
+		return fmt.Errorf("progress_every must be >= 1, got %d", js.ProgressEvery)
+	}
+	if js.StepDelay < 0 {
+		return fmt.Errorf("step_delay must be >= 0")
+	}
+	if _, err := spec.PolicyFactory(js.Policy); err != nil {
+		return err
+	}
+	if err := spec.CheckWorkload(js.Workload); err != nil {
+		return err
+	}
+	if _, err := spec.ParseValidation(js.Validation); err != nil {
+		return err
+	}
+	if js.Fault != nil {
+		if _, err := spec.ParseFate(js.Fault.Fate); err != nil {
+			return err
+		}
+		if js.Fault.Rate < 0 || js.Fault.CrashRate < 0 {
+			return fmt.Errorf("fault rates must be >= 0")
+		}
+	}
+	return nil
+}
+
+// buildEngine materializes the spec into a ready-to-run engine. Each call
+// builds a fresh engine (retried attempts must not share mutable state).
+func (js JobSpec) buildEngine(jobTimeout time.Duration) (*sim.Engine, error) {
+	var m *mesh.Mesh
+	var err error
+	if js.Torus {
+		m, err = mesh.NewTorus(js.Dim, js.Side)
+	} else {
+		m, err = mesh.New(js.Dim, js.Side)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pol, err := spec.NewPolicy(js.Policy)
+	if err != nil {
+		return nil, err
+	}
+	lvl, err := spec.ParseValidation(js.Validation)
+	if err != nil {
+		return nil, err
+	}
+	var packets []*sim.Packet
+	if js.ResumeFrom == "" { // a resumed job takes its packets from the snapshot
+		packets, err = spec.NewWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	e, err := sim.New(m, pol, packets, sim.Options{
+		Seed:           js.Seed + 1,
+		MaxSteps:       js.MaxSteps,
+		Validation:     lvl,
+		DetectLivelock: !js.NoLivelockDetect,
+		Workers:        js.Workers,
+		MaxWallTime:    jobTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if js.Fault != nil && js.Fault.Enabled() {
+		model, err := spec.NewFaults(m, *js.Fault)
+		if err != nil {
+			return nil, err
+		}
+		fate, err := spec.ParseFate(js.Fault.Fate)
+		if err != nil {
+			return nil, err
+		}
+		e.SetFaults(model, fate)
+	}
+	if js.ResumeFrom != "" {
+		snap, err := checkpoint.Load(js.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Restore(snap); err != nil {
+			return nil, fmt.Errorf("resume from %s: %w (the spec must match the checkpointed run)", js.ResumeFrom, err)
+		}
+	}
+	return e, nil
+}
+
+// JobState is the lifecycle position of a job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: executing on a worker.
+	JobRunning JobState = "running"
+	// JobDone: ran to its natural end (delivered, livelocked, or budget
+	// exhausted — see the result for which).
+	JobDone JobState = "done"
+	// JobFailed: every attempt errored (bad spec deep-failure, policy
+	// panic, timeout without checkpointing).
+	JobFailed JobState = "failed"
+	// JobCheckpointed: stopped early by drain or timeout with its state
+	// saved; resubmit the same spec with resume_from to continue.
+	JobCheckpointed JobState = "checkpointed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCheckpointed
+}
+
+// Job is one accepted simulation job. All mutable fields are guarded by mu;
+// the stream handlers follow appends to events via the notify channel,
+// which is closed and replaced on every change.
+type Job struct {
+	// ID is the server-assigned identifier ("j000001", ...).
+	ID string
+	// Spec is the normalized job spec (defaults applied).
+	Spec JobSpec
+
+	mu         sync.Mutex
+	state      JobState
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	attempts   int
+	progress   sim.Progress
+	hasProg    bool
+	result     *sim.Result
+	errMsg     string
+	checkpoint string
+	events     [][]byte
+	streamDone bool
+	notify     chan struct{}
+}
+
+func newJob(id string, js JobSpec) *Job {
+	return &Job{
+		ID:      id,
+		Spec:    js,
+		state:   JobQueued,
+		created: time.Now(),
+		notify:  make(chan struct{}),
+	}
+}
+
+// changeLocked wakes every follower; callers hold mu.
+func (j *Job) changeLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// publish appends one NDJSON event line and wakes followers.
+func (j *Job) publish(line []byte) {
+	j.mu.Lock()
+	j.events = append(j.events, line)
+	j.changeLocked()
+	j.mu.Unlock()
+}
+
+// publishFinal appends the last event line (the summary) and marks the
+// stream complete in the same critical section, so a follower that sees
+// done=true has necessarily been handed every line.
+func (j *Job) publishFinal(line []byte) {
+	j.mu.Lock()
+	j.events = append(j.events, line)
+	j.streamDone = true
+	j.changeLocked()
+	j.mu.Unlock()
+}
+
+// eventsFrom returns the event lines at index >= i, whether the stream is
+// complete (the summary line is included), and a channel closed on the
+// next change.
+func (j *Job) eventsFrom(i int) (lines [][]byte, done bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		lines = j.events[i:]
+	}
+	return lines, j.streamDone, j.notify
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Checkpoint returns the checkpoint path recorded for the job ("" if none).
+func (j *Job) Checkpoint() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint
+}
+
+// Result returns the job's result summary, or nil before completion.
+func (j *Job) Result() *sim.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func (j *Job) setRunning(attempt int) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.attempts = attempt
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.changeLocked()
+	j.mu.Unlock()
+}
+
+func (j *Job) setProgress(p sim.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.hasProg = true
+	j.mu.Unlock()
+}
+
+func (j *Job) setCheckpoint(path string) {
+	j.mu.Lock()
+	j.checkpoint = path
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state. The caller emits the summary
+// stream event separately (via publish) so followers see state first.
+func (j *Job) finish(state JobState, res *sim.Result, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	j.errMsg = errMsg
+	j.changeLocked()
+	j.mu.Unlock()
+}
+
+// jobStatus is the JSON rendering of GET /v1/jobs/{id}.
+type jobStatus struct {
+	ID         string        `json:"id"`
+	State      JobState      `json:"state"`
+	Spec       JobSpec       `json:"spec"`
+	Created    time.Time     `json:"created"`
+	Started    *time.Time    `json:"started,omitempty"`
+	Finished   *time.Time    `json:"finished,omitempty"`
+	Attempts   int           `json:"attempts,omitempty"`
+	Progress   *sim.Progress `json:"progress,omitempty"`
+	Result     *sim.Result   `json:"result,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Checkpoint string        `json:"checkpoint,omitempty"`
+}
+
+// status snapshots the job for the API.
+func (j *Job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:         j.ID,
+		State:      j.state,
+		Spec:       j.Spec,
+		Created:    j.created,
+		Attempts:   j.attempts,
+		Result:     j.result,
+		Error:      j.errMsg,
+		Checkpoint: j.checkpoint,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.hasProg {
+		p := j.progress
+		st.Progress = &p
+	}
+	return st
+}
+
+// jobID renders sequence numbers as stable, sortable IDs.
+func jobID(n int64) string { return "j" + leftPad(strconv.FormatInt(n, 10), 6) }
+
+func leftPad(s string, width int) string {
+	for len(s) < width {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+// Package metrics is a minimal, stdlib-only metrics registry with
+// Prometheus text-format exposition (the format any Prometheus-compatible
+// scraper understands). It exists so hotpotatod can expose queue and
+// engine counters without pulling a client library into a dependency-free
+// module: counters and gauges are atomics, histograms wrap
+// stats.Histogram behind a mutex, and WritePrometheus renders everything
+// in sorted name order so the output is deterministic and testable
+// against a golden file.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"hotpotato/internal/stats"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. It stores a float64 as bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a concurrency-safe cumulative histogram over a
+// stats.Histogram, rendered in the Prometheus bucket/sum/count form.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// snapshot copies the underlying state for rendering.
+func (h *Histogram) snapshot() (bounds []float64, counts []int, under, over, n int, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds, counts = h.h.Buckets()
+	return bounds, counts, h.h.Under(), h.h.Over(), h.h.N(), h.h.Sum()
+}
+
+// metric is one registered name: exactly one of the value fields is set.
+type metric struct {
+	name, help string
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+func (m *metric) typ() string {
+	switch {
+	case m.counter != nil:
+		return "counter"
+	case m.hist != nil:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// Registry holds named metrics and renders them. Registration is expected
+// at setup time; rendering and metric updates are safe concurrently.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register adds m under its name, panicking on duplicates — a duplicate
+// registration is a programming error worth failing fast on.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", m.name))
+	}
+	r.metrics[m.name] = m
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, counter: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time (for
+// values the owner already tracks, like queue depth).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram with `buckets` equal-width
+// buckets over [lo, hi); observations outside the range land in the first
+// and +Inf cumulative buckets respectively.
+func (r *Registry) Histogram(name, help string, lo, hi float64, buckets int) (*Histogram, error) {
+	sh, err := stats.NewHistogram(lo, hi, buckets)
+	if err != nil {
+		return nil, err
+	}
+	h := &Histogram{h: sh}
+	r.register(&metric{name: name, help: help, hist: h})
+	return h, nil
+}
+
+// fmtFloat renders a float the way Prometheus expects: integers without a
+// decimal point, everything else in shortest form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in text exposition
+// format, sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ()); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.gauge.Value()))
+		case m.gaugeFn != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.gaugeFn()))
+		case m.hist != nil:
+			err = writeHistogram(w, m.name, m.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative bucket series. Values below the
+// range are ≤ every bound, so they seed the running total; values at or
+// above the range count only toward +Inf.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	bounds, counts, under, over, n, sum := h.snapshot()
+	cum := under
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += over
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, n)
+	return err
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	accepted := r.Counter("hotpotato_jobs_accepted_total", "Jobs accepted into the queue.")
+	rejected := r.Counter("hotpotato_jobs_rejected_total", "Jobs rejected because the queue was full.")
+	running := r.Gauge("hotpotato_jobs_running", "Jobs currently executing.")
+	r.GaugeFunc("hotpotato_queue_depth", "Jobs waiting in the admission queue.", func() float64 { return 3 })
+	lat, err := r.Histogram("hotpotato_step_latency_seconds", "Engine step latency.", 0, 0.001, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accepted.Add(7)
+	rejected.Inc()
+	running.Set(2)
+	for _, v := range []float64{0.0001, 0.0003, 0.0003, 0.00099, 0.5} {
+		lat.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestHistogramCumulativeInvariant(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Histogram("h", "", 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-5, 0, 3, 7, 9.99, 10, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// +Inf bucket equals the total count.
+	if !strings.Contains(out, `h_bucket{le="+Inf"} 7`) || !strings.Contains(out, "h_count 7") {
+		t.Errorf("cumulative +Inf bucket or count wrong:\n%s", out)
+	}
+	// Out-of-range-low lands in the first bucket.
+	if !strings.Contains(out, `h_bucket{le="2"} 2`) {
+		t.Errorf("under-range observation missing from first bucket:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "")
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h, err := r.Histogram("h", "", 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}

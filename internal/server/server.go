@@ -1,0 +1,613 @@
+// Package server turns the simulation engine into a long-running service:
+// cmd/hotpotatod's job queue, worker pool, streaming results and metrics
+// all live here, behind a plain net/http handler.
+//
+// The lifecycle is: New validates the config, Start launches the worker
+// pool, Handler serves the API, and Drain shuts down gracefully — admission
+// stops, queued and running jobs finish or checkpoint (via
+// internal/checkpoint), and the pool exits. Jobs execute under the
+// internal/run supervisor, so a panicking policy or a hung attempt is
+// contained the same way a sweep cell is.
+//
+// API surface:
+//
+//	POST /v1/jobs            submit a JobSpec; 202 + id, or 429 when the queue is full
+//	GET  /v1/jobs            list job statuses
+//	GET  /v1/jobs/{id}       one job's status
+//	GET  /v1/jobs/{id}/stream NDJSON: per-epoch progress, then a final summary
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz            liveness (always ok while the process serves)
+//	GET  /readyz             readiness (503 once draining)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotpotato/internal/checkpoint"
+	"hotpotato/internal/run"
+	"hotpotato/internal/server/metrics"
+	"hotpotato/internal/sim"
+)
+
+// Config configures a Server. Zero values take the documented defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue; a full queue answers 429 with
+	// Retry-After (backpressure). Default 16.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently. Default 2.
+	Workers int
+	// JobTimeout bounds one job attempt's wall clock. It is enforced as the
+	// engine's MaxWallTime, so a timed-out job stops between steps and
+	// checkpoints like a drained one; a job stuck inside a single policy
+	// call is abandoned by the supervisor at 2x this budget. 0 = unlimited.
+	JobTimeout time.Duration
+	// MaxAttempts caps attempts per job (retry on failure). Default 1.
+	MaxAttempts int
+	// CheckpointDir, when set, is where drained or timed-out jobs save
+	// their engine state ("<dir>/<jobID>.hpck"). Empty disables
+	// checkpointing: a drained job is then recorded as failed.
+	CheckpointDir string
+	// DrainGrace is how long Drain lets in-flight jobs run to natural
+	// completion before cancelling them into checkpoints. Default 5s.
+	DrainGrace time.Duration
+	// MaxNodes and MaxK bound accepted specs (admission-time validation).
+	// Defaults 1<<20.
+	MaxNodes, MaxK int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+	// OnJobStart, when non-nil, runs on the worker goroutine right before a
+	// job executes. It exists for tests (it may block to hold a worker
+	// busy); production configs leave it nil.
+	OnJobStart func(*Job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 20
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1 << 20
+	}
+	return c
+}
+
+// Server is the simulation service: an admission queue feeding a worker
+// pool, a job table, and the metrics registry.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int64
+	draining bool
+	queue    chan *Job
+
+	// jobCtx is cancelled when drain wants running engines to stop (after
+	// the grace period); its cancellation makes every engine checkpoint.
+	jobCtx  context.Context
+	stopJob context.CancelFunc
+	wg      sync.WaitGroup
+	started atomic.Bool
+
+	reg          *metrics.Registry
+	accepted     *metrics.Counter
+	rejected     *metrics.Counter
+	completed    *metrics.Counter
+	failed       *metrics.Counter
+	checkpointed *metrics.Counter
+	stepsTotal   *metrics.Counter
+	runningCount atomic.Int64
+	stepLatency  *metrics.Histogram
+	stepsPerSec  *metrics.Histogram
+}
+
+// New builds a server (workers not yet running; call Start).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	jobCtx, stopJob := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobCtx:  jobCtx,
+		stopJob: stopJob,
+		reg:     metrics.NewRegistry(),
+	}
+	s.accepted = s.reg.Counter("hotpotatod_jobs_accepted_total", "Jobs admitted into the queue.")
+	s.rejected = s.reg.Counter("hotpotatod_jobs_rejected_total", "Jobs rejected with 429 because the queue was full.")
+	s.completed = s.reg.Counter("hotpotatod_jobs_completed_total", "Jobs that ran to their natural end.")
+	s.failed = s.reg.Counter("hotpotatod_jobs_failed_total", "Jobs whose every attempt errored.")
+	s.checkpointed = s.reg.Counter("hotpotatod_jobs_checkpointed_total", "Jobs stopped early with their state saved.")
+	s.stepsTotal = s.reg.Counter("hotpotatod_engine_steps_total", "Engine steps executed across all jobs.")
+	s.reg.GaugeFunc("hotpotatod_jobs_running", "Jobs currently executing.", func() float64 {
+		return float64(s.runningCount.Load())
+	})
+	s.reg.GaugeFunc("hotpotatod_queue_depth", "Jobs waiting in the admission queue.", func() float64 {
+		return float64(len(s.queue))
+	})
+	s.reg.GaugeFunc("hotpotatod_queue_capacity", "Admission queue capacity.", func() float64 {
+		return float64(cfg.QueueDepth)
+	})
+	var err error
+	s.stepLatency, err = s.reg.Histogram("hotpotatod_step_latency_seconds",
+		"Wall-clock latency of one engine step.", 0, 0.005, 50)
+	if err != nil {
+		return nil, err
+	}
+	s.stepsPerSec, err = s.reg.Histogram("hotpotatod_job_steps_per_second",
+		"Per-job engine throughput at completion.", 0, 2e6, 40)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Start launches the worker pool. It may be called once.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.logf("serving with %d workers, queue depth %d", s.cfg.Workers, s.cfg.QueueDepth)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Drain shuts the service down gracefully: admission stops (readyz goes
+// 503, POST answers 503), in-flight and queued jobs get DrainGrace to
+// finish naturally, then running engines are cancelled so they checkpoint,
+// and the worker pool exits. The context bounds the whole wait; on
+// expiry Drain returns its error with workers still draining.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already draining")
+	}
+	s.draining = true
+	close(s.queue) // admission is refused before enqueue once draining is set
+	s.mu.Unlock()
+	s.logf("draining: admission stopped, %d queued, %d running", len(s.queue), s.runningCount.Load())
+
+	// Give jobs the grace period to finish on their own, then cancel the
+	// stragglers into checkpoints.
+	grace := time.AfterFunc(s.cfg.DrainGrace, s.stopJob)
+	defer grace.Stop()
+	defer s.stopJob()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("drained: all workers exited")
+		return nil
+	case <-ctx.Done():
+		s.stopJob() // too late for grace; force the checkpoints now
+		select {
+		case <-done:
+			return nil
+		case <-time.After(2 * time.Second):
+			return fmt.Errorf("server: drain cut short: %w", context.Cause(ctx))
+		}
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Submit validates and admits a job, returning the created Job or an
+// admission error: errDraining when the server no longer accepts work,
+// errQueueFull for backpressure, or a spec validation error.
+var (
+	errDraining  = errors.New("server is draining; not accepting jobs")
+	errQueueFull = errors.New("admission queue is full; retry later")
+)
+
+func (s *Server) Submit(js JobSpec) (*Job, error) {
+	js = js.withDefaults()
+	if err := js.validate(s.cfg.MaxNodes, s.cfg.MaxK); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	s.nextID++
+	j := newJob(jobID(s.nextID), js)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // not admitted; reuse the sequence number
+		s.rejected.Inc()
+		return nil, errQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.accepted.Inc()
+	return j, nil
+}
+
+// worker executes jobs until the queue is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.cfg.OnJobStart != nil {
+			s.cfg.OnJobStart(j)
+		}
+		s.execute(j)
+	}
+}
+
+// jobOutcome is the payload a successful supervised attempt returns: the
+// run summary plus how the run ended.
+type jobOutcome struct {
+	Result       *sim.Result `json:"result"`
+	Steps        int         `json:"steps"`
+	Checkpointed bool        `json:"checkpointed"`
+	Checkpoint   string      `json:"checkpoint,omitempty"`
+	Canceled     bool        `json:"canceled"`
+	TimedOut     bool        `json:"timed_out"`
+}
+
+// execute runs one job under the internal/run supervisor and moves it to
+// its terminal state.
+func (s *Server) execute(j *Job) {
+	s.runningCount.Add(1)
+	defer s.runningCount.Add(-1)
+
+	attempt := 0
+	cell := run.Cell{
+		Key: j.ID,
+		Work: func(actx context.Context) (json.RawMessage, error) {
+			attempt++
+			j.setRunning(attempt)
+			return s.runJob(actx, j, attempt)
+		},
+	}
+	opts := run.Options{
+		MaxAttempts: s.cfg.MaxAttempts,
+		Seed:        j.Spec.Seed,
+	}
+	if s.cfg.JobTimeout > 0 {
+		// The engine's MaxWallTime (set in runJob) is the graceful bound;
+		// the supervisor's attempt timeout is the backstop for a job stuck
+		// inside a single policy call.
+		opts.CellTimeout = 2 * s.cfg.JobTimeout
+	}
+	res := run.Single(s.jobCtx, cell, opts)
+
+	if res.Status != run.StatusOK {
+		s.failed.Inc()
+		j.finish(JobFailed, nil, res.Err)
+		s.publishSummary(j)
+		s.logf("job %s failed after %d attempt(s): %s", j.ID, res.Attempts, res.Err)
+		return
+	}
+	var out jobOutcome
+	if err := json.Unmarshal(res.Result, &out); err != nil {
+		s.failed.Inc()
+		j.finish(JobFailed, nil, "corrupt job payload: "+err.Error())
+		s.publishSummary(j)
+		return
+	}
+	switch {
+	case out.Checkpointed:
+		s.checkpointed.Inc()
+		j.setCheckpoint(out.Checkpoint)
+		reason := "drained"
+		if out.TimedOut {
+			reason = "timed out"
+		}
+		j.finish(JobCheckpointed, out.Result, "")
+		s.publishSummary(j)
+		s.logf("job %s checkpointed (%s) at step %d -> %s", j.ID, reason, out.Steps, out.Checkpoint)
+	case out.Canceled || out.TimedOut:
+		// Stopped early with nowhere to save state.
+		s.failed.Inc()
+		reason := "canceled at drain"
+		if out.TimedOut {
+			reason = "job timeout exceeded"
+		}
+		j.finish(JobFailed, out.Result, reason+" (no checkpoint dir configured)")
+		s.publishSummary(j)
+	default:
+		s.completed.Inc()
+		j.finish(JobDone, out.Result, "")
+		s.publishSummary(j)
+		s.logf("job %s done: %d/%d delivered in %d steps",
+			j.ID, out.Result.Delivered, out.Result.Total, out.Result.Steps)
+	}
+}
+
+// runJob is one supervised attempt: build the engine, wire observers,
+// run until completion, drain-cancel, or deadline.
+func (s *Server) runJob(actx context.Context, j *Job, attempt int) (json.RawMessage, error) {
+	e, err := j.Spec.buildEngine(s.cfg.JobTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	// The run stops on whichever fires first: the attempt's backstop
+	// deadline (actx), or drain deciding that running jobs must checkpoint.
+	ctx, cancel := context.WithCancel(actx)
+	defer cancel()
+	stop := context.AfterFunc(s.jobCtx, cancel)
+	defer stop()
+
+	// Progress epochs: publish to stream followers, update status and the
+	// shared step counters. Step latency is sampled per step.
+	last := time.Now()
+	e.AddObserver(sim.ObserverFunc(func(*sim.StepRecord) {
+		now := time.Now()
+		s.stepLatency.Observe(now.Sub(last).Seconds())
+		last = now
+		s.stepsTotal.Inc()
+	}))
+	e.AddObserver(sim.NewProgressSampler(e, j.Spec.ProgressEvery, func(p sim.Progress) {
+		j.setProgress(p)
+		s.publishProgress(j, attempt, p)
+	}))
+	if d := time.Duration(j.Spec.StepDelay); d > 0 {
+		e.AddObserver(sim.ObserverFunc(func(*sim.StepRecord) { time.Sleep(d) }))
+	}
+
+	// Checkpoint sink: only used when the run stops early (every=0).
+	saved := ""
+	var save func(*sim.Snapshot) error
+	if s.cfg.CheckpointDir != "" {
+		path := filepath.Join(s.cfg.CheckpointDir, j.ID+".hpck")
+		save = func(snap *sim.Snapshot) error {
+			if err := checkpoint.Save(path, snap, checkpoint.Binary); err != nil {
+				return err
+			}
+			saved = path
+			return nil
+		}
+	}
+
+	started := time.Now()
+	res, runErr := e.RunCheckpointed(ctx, 0, save)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return nil, runErr // validation failure, policy panic, checkpoint I/O
+	}
+	elapsed := time.Since(started)
+
+	final := e.Progress()
+	j.setProgress(final)
+	s.publishProgress(j, attempt, final)
+	if elapsed > 0 && final.Time > 0 {
+		s.stepsPerSec.Observe(float64(final.Time) / elapsed.Seconds())
+	}
+
+	out := jobOutcome{Result: res, Steps: final.Time}
+	switch {
+	case runErr != nil: // context.Canceled: drain or backstop
+		out.Canceled = true
+		if save != nil && saved == "" {
+			// Cancelled before the first step: RunCheckpointed had no
+			// unsaved progress to flush, but the initial state is still
+			// worth keeping — it is the job itself.
+			snap, err := e.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			if err := save(snap); err != nil {
+				return nil, err
+			}
+		}
+	case res.DeadlineExceeded:
+		out.TimedOut = true
+	}
+	out.Checkpointed = saved != "" && (out.Canceled || out.TimedOut)
+	out.Checkpoint = saved
+	return json.Marshal(out)
+}
+
+// publishProgress emits one NDJSON progress event.
+func (s *Server) publishProgress(j *Job, attempt int, p sim.Progress) {
+	line, err := json.Marshal(struct {
+		Type    string `json:"type"`
+		JobID   string `json:"job_id"`
+		Attempt int    `json:"attempt"`
+		sim.Progress
+	}{"progress", j.ID, attempt, p})
+	if err != nil {
+		return
+	}
+	j.publish(line)
+}
+
+// publishSummary emits the final NDJSON event after the job reached its
+// terminal state.
+func (s *Server) publishSummary(j *Job) {
+	st := j.status()
+	line, err := json.Marshal(struct {
+		Type       string      `json:"type"`
+		JobID      string      `json:"job_id"`
+		State      JobState    `json:"state"`
+		Result     *sim.Result `json:"result,omitempty"`
+		Error      string      `json:"error,omitempty"`
+		Checkpoint string      `json:"checkpoint,omitempty"`
+	}{"summary", j.ID, st.State, st.Result, st.Error, st.Checkpoint})
+	if err != nil {
+		return
+	}
+	j.publishFinal(line)
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var js JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad job spec: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(js)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+		return
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStream serves the job's NDJSON event stream: everything emitted so
+// far is replayed, then the connection follows live until the job reaches
+// a terminal state (the final summary line) or the client goes away.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if canFlush {
+		fl.Flush()
+	}
+	i := 0
+	for {
+		lines, done, changed := j.eventsFrom(i)
+		for _, line := range lines {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		i += len(lines)
+		if len(lines) > 0 && canFlush {
+			fl.Flush()
+		}
+		if done {
+			// The summary was in this batch (or an earlier one): the
+			// stream is complete.
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // the connection owns delivery
+}
+
+// Metrics exposes the registry (the daemon adds process-level gauges).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }

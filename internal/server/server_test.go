@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a started server plus its HTTP frontend.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJob submits a spec and returns the response and decoded status.
+func postJob(t *testing.T, ts *httptest.Server, spec string) (*http.Response, jobStatus) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding 202 body: %v", err)
+		}
+	}
+	return resp, st
+}
+
+// getStatus fetches one job's status.
+func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobStatus{}
+}
+
+// streamEvent is the decoded shape of one NDJSON line.
+type streamEvent struct {
+	Type      string `json:"type"`
+	JobID     string `json:"job_id"`
+	Time      int    `json:"time"`
+	Delivered int    `json:"delivered"`
+	State     JobState
+	Result    *json.RawMessage `json:"result"`
+}
+
+// readStream consumes a job's NDJSON stream to the end.
+func readStream(t *testing.T, ts *httptest.Server, id string) []streamEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	var events []streamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return events
+}
+
+// TestJobLifecycle is the package's end-to-end: submit over HTTP, watch
+// the stream, confirm status and metrics afterwards.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, st := postJob(t, ts, `{"side": 4, "k": 8, "seed": 3, "progress_every": 1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d, want 202", resp.StatusCode)
+	}
+	if st.ID == "" || st.State != JobQueued {
+		t.Fatalf("202 body = %+v", st)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	events := readStream(t, ts, st.ID)
+	if len(events) < 2 {
+		t.Fatalf("stream had %d events, want progress + summary", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "summary" {
+		t.Fatalf("stream did not end with a summary: %+v", last)
+	}
+	prevTime := -1
+	for _, ev := range events[:len(events)-1] {
+		if ev.Type != "progress" {
+			t.Fatalf("non-progress event before summary: %+v", ev)
+		}
+		if ev.Time < prevTime {
+			t.Fatalf("stream time went backwards: %d after %d", ev.Time, prevTime)
+		}
+		prevTime = ev.Time
+	}
+
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("job finished %q (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Delivered != final.Result.Total {
+		t.Fatalf("result %+v, want all delivered", final.Result)
+	}
+	if final.Progress == nil || final.Progress.Delivered != final.Result.Delivered {
+		t.Fatalf("progress %+v disagrees with result", final.Progress)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"hotpotatod_jobs_accepted_total 1",
+		"hotpotatod_jobs_completed_total 1",
+		"hotpotatod_jobs_rejected_total 0",
+		"hotpotatod_jobs_running 0",
+		"hotpotatod_engine_steps_total",
+		"hotpotatod_step_latency_seconds_bucket",
+		"hotpotatod_job_steps_per_second_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestStreamAfterCompletion replays a finished job's whole history.
+func TestStreamAfterCompletion(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, st := postJob(t, ts, `{"side": 4, "k": 6, "seed": 5, "progress_every": 1}`)
+	waitTerminal(t, ts, st.ID)
+
+	events := readStream(t, ts, st.ID)
+	if len(events) == 0 || events[len(events)-1].Type != "summary" {
+		t.Fatalf("replayed stream malformed: %d events", len(events))
+	}
+}
+
+// TestBackpressure fills the queue behind a deliberately stuck worker and
+// expects 429 + Retry-After.
+func TestBackpressure(t *testing.T) {
+	started := make(chan *Job)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		OnJobStart: func(j *Job) {
+			started <- j
+			<-release
+		},
+	})
+	defer close(release)
+
+	spec := `{"side": 4, "k": 4}`
+	if resp, _ := postJob(t, ts, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d", resp.StatusCode)
+	}
+	<-started // the worker holds job 1; the queue is now empty
+
+	if resp, _ := postJob(t, ts, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST = %d, want 202 (queued)", resp.StatusCode)
+	}
+	resp, _ := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third POST = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.rejected.Value(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	go func() { <-started }() // let the queued job start once released
+}
+
+// TestSpecValidation exercises admission-time 400s.
+func TestSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxNodes: 1024})
+	for _, tc := range []struct{ name, spec string }{
+		{"unknown policy", `{"policy": "psychic"}`},
+		{"unknown workload", `{"workload": "chaos"}`},
+		{"bad side", `{"side": 1}`},
+		{"too many nodes", `{"dim": 3, "side": 32}`},
+		{"unknown field", `{"sides": 8}`},
+		{"bad duration", `{"step_delay": "fast"}`},
+		{"negative fault rate", `{"fault": {"rate": -1}}`},
+	} {
+		resp, _ := postJob(t, ts, tc.spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: POST = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestNotFound covers unknown job IDs on both endpoints.
+func TestNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/jobs/j999999", "/v1/jobs/j999999/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestListJobs checks the collection endpoint preserves submission order.
+func TestListJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, st := postJob(t, ts, fmt.Sprintf(`{"side": 4, "k": 4, "seed": %d}`, i+1))
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitTerminal(t, ts, id)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("list has %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+	}
+}
+
+// TestHealthEndpoints checks liveness and readiness.
+func TestHealthEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobFailure routes a spec that validates shallowly but dies at
+// execution (fault script naming an off-mesh node) into the failed state.
+func TestJobFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, st := postJob(t, ts, `{"side": 4, "k": 4, "fault": {"script": "1 node-down 9999\n"}}`)
+	if st.ID == "" {
+		t.Fatal("job was not accepted")
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != JobFailed || final.Error == "" {
+		t.Fatalf("job finished %q (err %q), want failed with message", final.State, final.Error)
+	}
+}
+
+// TestDeterministicResults runs the same seed twice and expects identical
+// summaries — the service must preserve the engine's determinism.
+func TestDeterministicResults(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	spec := `{"side": 6, "k": 24, "seed": 42}`
+	_, st1 := postJob(t, ts, spec)
+	_, st2 := postJob(t, ts, spec)
+	r1 := waitTerminal(t, ts, st1.ID).Result
+	r2 := waitTerminal(t, ts, st2.ID).Result
+	if r1 == nil || r2 == nil {
+		t.Fatal("missing results")
+	}
+	if r1.Steps != r2.Steps || r1.Delivered != r2.Delivered || r1.TotalHops != r2.TotalHops {
+		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
+	}
+}

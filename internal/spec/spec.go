@@ -1,0 +1,209 @@
+// Package spec resolves the user-facing names of policies, workloads,
+// validation levels, packet fates and fault models into the constructors
+// the engine needs. It is the single registry behind every entry point —
+// cmd/hotpotato, cmd/sweep and the hotpotatod job API all accept the same
+// names with the same semantics, and a name added here becomes available
+// everywhere at once.
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/fault"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// policies maps every routing-policy name to its constructor.
+var policies = map[string]func() sim.Policy{
+	"restricted":        core.NewRestrictedPriority,
+	"restricted-det":    core.NewRestrictedPriorityDeterministic,
+	"restricted-bfirst": core.NewRestrictedPriorityTypeBFirst,
+	"fewest-good":       core.NewFewestGoodFirst,
+	"random":            routing.NewRandomGreedy,
+	"fixed":             routing.NewFixedPriority,
+	"dest-order":        routing.NewDestOrderGreedy,
+	"oldest":            routing.NewOldestFirst,
+	"farthest":          routing.NewFarthestFirst,
+	"nearest":           routing.NewNearestFirst,
+}
+
+// workloads maps every workload name to its generator.
+var workloads = map[string]func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error){
+	"uniform": workload.UniformRandom,
+	"permutation": func(m *mesh.Mesh, _ int, rng *rand.Rand) ([]*sim.Packet, error) {
+		return workload.Permutation(m, rng), nil
+	},
+	"partial-perm": workload.PartialPermutation,
+	"transpose": func(m *mesh.Mesh, _ int, _ *rand.Rand) ([]*sim.Packet, error) {
+		return workload.Transpose(m)
+	},
+	"bit-reversal": func(m *mesh.Mesh, _ int, _ *rand.Rand) ([]*sim.Packet, error) {
+		return workload.BitReversal(m)
+	},
+	"single-target": func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+		return workload.SingleTarget(m, k, mesh.NodeID(m.Size()/2), rng)
+	},
+	"hotspot": func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+		return workload.HotSpot(m, k, 0.5, rng)
+	},
+	"local": func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+		return workload.LocalRandom(m, k, 4, rng)
+	},
+	"full-load": func(m *mesh.Mesh, _ int, rng *rand.Rand) ([]*sim.Packet, error) {
+		return workload.FullLoad(m, 2, rng)
+	},
+	"corner-rush": workload.CornerRush,
+}
+
+// names returns the sorted keys of a registry, for error messages and docs.
+func names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolicyNames lists every accepted policy name, sorted.
+func PolicyNames() []string { return names(policies) }
+
+// WorkloadNames lists every accepted workload name, sorted.
+func WorkloadNames() []string { return names(workloads) }
+
+// PolicyFactory returns a constructor for the named policy, for callers
+// that build many independent instances (one per trial or per job).
+func PolicyFactory(name string) (func() sim.Policy, error) {
+	mk, ok := policies[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown policy %q (have: %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+	return mk, nil
+}
+
+// NewPolicy constructs the named routing policy.
+func NewPolicy(name string) (sim.Policy, error) {
+	mk, err := PolicyFactory(name)
+	if err != nil {
+		return nil, err
+	}
+	return mk(), nil
+}
+
+// CheckWorkload validates a workload name without generating anything, so
+// callers can reject bad input before committing to a run.
+func CheckWorkload(name string) error {
+	if _, ok := workloads[name]; !ok {
+		return fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(WorkloadNames(), ", "))
+	}
+	return nil
+}
+
+// NewWorkload generates the named workload's packets on m. k is ignored by
+// the workloads whose size is fixed by the mesh (permutation, transpose,
+// bit-reversal, full-load).
+func NewWorkload(name string, m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+	gen, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(WorkloadNames(), ", "))
+	}
+	return gen(m, k, rng)
+}
+
+// ParseValidation resolves a validation-level name.
+func ParseValidation(name string) (sim.ValidationLevel, error) {
+	switch name {
+	case "off":
+		return sim.ValidateOff, nil
+	case "basic":
+		return sim.ValidateBasic, nil
+	case "greedy", "":
+		return sim.ValidateGreedy, nil
+	case "restricted":
+		return sim.ValidateRestricted, nil
+	default:
+		return 0, fmt.Errorf("unknown validation level %q (want off, basic, greedy or restricted)", name)
+	}
+}
+
+// ParseFate resolves a crash-fate name.
+func ParseFate(name string) (sim.PacketFate, error) {
+	switch name {
+	case "drop", "":
+		return sim.FateDrop, nil
+	case "absorb":
+		return sim.FateAbsorb, nil
+	default:
+		return 0, fmt.Errorf("unknown fault fate %q (want drop or absorb)", name)
+	}
+}
+
+// FaultConfig describes a composite fault model by value, so it can ride
+// in flags and JSON job specs alike.
+type FaultConfig struct {
+	// Rate is the per-link per-step failure probability (0 = no link flaps).
+	Rate float64 `json:"rate,omitempty"`
+	// Repair is the per-step repair probability for downed links/nodes.
+	Repair float64 `json:"repair,omitempty"`
+	// MaxDown caps concurrently failed links/nodes (0 = unlimited).
+	MaxDown int `json:"max_down,omitempty"`
+	// CrashRate is the per-node per-step crash probability (0 = no crashes).
+	CrashRate float64 `json:"crash_rate,omitempty"`
+	// Script holds a scripted fault schedule as text (the fault.ParseScript
+	// line format: "<step> <link-down|link-up|node-down|node-up> <node> [dir]").
+	Script string `json:"script,omitempty"`
+	// Fate selects what happens to packets inside a crashing node: "drop"
+	// (default) or "absorb".
+	Fate string `json:"fate,omitempty"`
+}
+
+// Enabled reports whether the config describes any fault source at all.
+func (c FaultConfig) Enabled() bool {
+	return c.Rate != 0 || c.CrashRate != 0 || c.Script != ""
+}
+
+// NewFaults assembles the fault model described by the config: any
+// combination of probabilistic link flaps, probabilistic node crashes and
+// a scripted event schedule, composed in that order. Returns nil when no
+// fault source is requested.
+func NewFaults(m *mesh.Mesh, c FaultConfig) (sim.FaultModel, error) {
+	var models []fault.Model
+	if c.Rate != 0 { // negative rates fall through to the constructor's error
+		f, err := fault.NewLinkFlaps(c.Rate, c.Repair)
+		if err != nil {
+			return nil, err
+		}
+		f.MaxDown = c.MaxDown
+		models = append(models, f)
+	}
+	if c.CrashRate != 0 {
+		f, err := fault.NewNodeCrashes(c.CrashRate, c.Repair)
+		if err != nil {
+			return nil, err
+		}
+		f.MaxDown = c.MaxDown
+		models = append(models, f)
+	}
+	if c.Script != "" {
+		sched, err := fault.ParseScript(strings.NewReader(c.Script), m)
+		if err != nil {
+			return nil, fmt.Errorf("fault script: %w", err)
+		}
+		models = append(models, sched)
+	}
+	switch len(models) {
+	case 0:
+		return nil, nil
+	case 1:
+		return models[0], nil
+	default:
+		return fault.Compose(models...), nil
+	}
+}

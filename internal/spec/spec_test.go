@@ -1,0 +1,97 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+)
+
+// TestEveryPolicyRoutes builds every registered policy and runs a small
+// instance under strict validation, so a registry entry wired to the wrong
+// constructor fails here rather than in a user's hands.
+func TestEveryPolicyRoutes(t *testing.T) {
+	m, err := mesh.New(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := NewPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts, err := NewWorkload("uniform", m, 24, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := sim.New(m, pol, pkts, sim.Options{Seed: 7, Validation: sim.ValidateGreedy, DetectLivelock: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Delivered+res.Dropped+res.Absorbed == 0 && !res.Livelocked && !res.HitMaxSteps {
+				t.Fatalf("policy %s: nothing happened: %+v", name, res)
+			}
+		})
+	}
+}
+
+func TestEveryWorkloadGenerates(t *testing.T) {
+	m, err := mesh.New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range WorkloadNames() {
+		pkts, err := NewWorkload(name, m, 16, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		if len(pkts) == 0 {
+			t.Fatalf("workload %s generated no packets", name)
+		}
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	if _, err := NewPolicy("nope"); err == nil {
+		t.Error("NewPolicy accepted an unknown name")
+	}
+	if _, err := NewWorkload("nope", nil, 0, nil); err == nil {
+		t.Error("NewWorkload accepted an unknown name")
+	}
+	if _, err := ParseValidation("nope"); err == nil {
+		t.Error("ParseValidation accepted an unknown name")
+	}
+	if _, err := ParseFate("nope"); err == nil {
+		t.Error("ParseFate accepted an unknown name")
+	}
+}
+
+func TestNewFaults(t *testing.T) {
+	m, err := mesh.New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, err := NewFaults(m, FaultConfig{}); err != nil || f != nil {
+		t.Fatalf("empty config: got model %v, err %v", f, err)
+	}
+	f, err := NewFaults(m, FaultConfig{Rate: 0.01, Repair: 0.1, CrashRate: 0.001, Script: "3 node-down 5\n9 node-up 5\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("composite config produced no model")
+	}
+	if _, err := NewFaults(m, FaultConfig{Script: "bogus line"}); err == nil {
+		t.Error("bad script accepted")
+	}
+	if _, err := NewFaults(m, FaultConfig{Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

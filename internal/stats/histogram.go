@@ -18,6 +18,7 @@ type Histogram struct {
 	under   int
 	over    int
 	n       int
+	sum     float64
 }
 
 // NewHistogram builds a histogram with `buckets` equal-width buckets
@@ -40,6 +41,7 @@ func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
 // Add records one observation.
 func (h *Histogram) Add(v float64) {
 	h.n++
+	h.sum += v
 	switch {
 	case v < h.lo:
 		h.under++
@@ -63,6 +65,29 @@ func (h *Histogram) AddInts(vs []int) {
 
 // N returns the number of observations.
 func (h *Histogram) N() int { return h.n }
+
+// Sum returns the sum of all observations, including out-of-range ones.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Under and Over return the observation counts below lo and at or above hi.
+func (h *Histogram) Under() int { return h.under }
+func (h *Histogram) Over() int  { return h.over }
+
+// Buckets returns the in-range bucket upper bounds and counts: counts[i]
+// observations fell in [bounds[i]-width, bounds[i]). Both slices are fresh
+// copies. Together with Under/Over/Sum/N this is everything an exporter
+// needs to re-encode the histogram (e.g. as Prometheus cumulative buckets).
+func (h *Histogram) Buckets() (bounds []float64, counts []int) {
+	bounds = make([]float64, len(h.buckets))
+	counts = make([]int, len(h.buckets))
+	for i, c := range h.buckets {
+		bounds[i] = h.lo + float64(i+1)*h.width
+		counts[i] = c
+	}
+	// The last bound is exactly hi, not lo + n*width with float error.
+	bounds[len(bounds)-1] = h.hi
+	return bounds, counts
+}
 
 // Quantile returns an approximate quantile (0..1) from the bucket
 // midpoints; out-of-range mass is clamped to the bounds.

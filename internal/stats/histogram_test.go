@@ -120,3 +120,41 @@ func TestTableMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramExportAccessors(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.5, 2, 4, 9.9, 10, 42} {
+		h.Add(v)
+	}
+	if got, want := h.N(), 8; got != want {
+		t.Errorf("N = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), -1+0+1.5+2+4+9.9+10+42.0; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if h.Under() != 1 || h.Over() != 2 {
+		t.Errorf("Under/Over = %d/%d, want 1/2", h.Under(), h.Over())
+	}
+	bounds, counts := h.Buckets()
+	wantBounds := []float64{2, 4, 6, 8, 10}
+	// [0,2): 0, 1.5   [2,4): 2   [4,6): 4   [6,8): —   [8,10): 9.9
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] {
+			t.Errorf("bounds[%d] = %v, want %v", i, bounds[i], wantBounds[i])
+		}
+		if counts[i] != wantCounts[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, counts[i], wantCounts[i])
+		}
+	}
+	total := h.Under() + h.Over()
+	for _, c := range counts {
+		total += c
+	}
+	if total != h.N() {
+		t.Errorf("counts sum to %d, want N = %d", total, h.N())
+	}
+}

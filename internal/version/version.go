@@ -1,0 +1,61 @@
+// Package version derives a build identification string from the
+// information the Go toolchain embeds into every binary, so all commands
+// can answer -version without a linker-flag build step: module version
+// when built from a tagged module, VCS revision and dirty flag when built
+// from a checkout, and the Go toolchain version either way.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line build description for the named command, e.g.
+//
+//	hotpotatod (devel) rev 1a2b3c4d (dirty) go1.24.0
+//
+// Binaries built without module/VCS metadata (go test binaries, plain
+// `go run` of a file) degrade to whatever pieces are available.
+func String(cmd string) string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return cmd + " (build info unavailable)"
+	}
+	return buildString(cmd, info)
+}
+
+// buildString renders the version line from explicit build info (split out
+// so tests can exercise the formatting without controlling the toolchain).
+func buildString(cmd string, info *debug.BuildInfo) string {
+	var b strings.Builder
+	b.WriteString(cmd)
+	ver := info.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	fmt.Fprintf(&b, " %s", ver)
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if dirty {
+			b.WriteString(" (dirty)")
+		}
+	}
+	if info.GoVersion != "" {
+		fmt.Fprintf(&b, " %s", info.GoVersion)
+	}
+	return b.String()
+}

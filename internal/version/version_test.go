@@ -1,0 +1,38 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringHasCommandName(t *testing.T) {
+	s := String("mycmd")
+	if !strings.HasPrefix(s, "mycmd") {
+		t.Fatalf("String() = %q, want prefix %q", s, "mycmd")
+	}
+}
+
+func TestBuildString(t *testing.T) {
+	info := &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	got := buildString("hotpotatod", info)
+	want := "hotpotatod v1.2.3 rev 0123456789ab (dirty) go1.24.0"
+	if got != want {
+		t.Fatalf("buildString = %q, want %q", got, want)
+	}
+}
+
+func TestBuildStringDevel(t *testing.T) {
+	info := &debug.BuildInfo{GoVersion: "go1.24.0"}
+	got := buildString("sweep", info)
+	if want := "sweep (devel) go1.24.0"; got != want {
+		t.Fatalf("buildString = %q, want %q", got, want)
+	}
+}
