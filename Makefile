@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-smoke experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke clean
+.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-smoke experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke clean
 
 # Output file for the committed benchmark record (see bench-json).
 BENCH_JSON ?= BENCH_PR3.json
@@ -27,9 +27,12 @@ vet:
 	$(GO) vet ./...
 
 # Short fuzz pass over the untrusted-input parsers (CI runs this on every
-# push; `go test -fuzz` with a longer -fuzztime digs deeper locally).
+# push; `go test -fuzz` with a longer -fuzztime digs deeper locally). The
+# WAL decoder is fuzzed because it parses whatever a crash left on disk:
+# torn writes, truncation, bit rot.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseBench -fuzztime 15s ./internal/benchfmt/
+	$(GO) test -fuzz FuzzWAL -fuzztime 15s ./internal/server/store/
 
 fmt:
 	gofmt -w .
@@ -71,10 +74,13 @@ sweep-resume-demo:
 	$(GO) run ./cmd/sweep -n 32 -k 2048,3000 -policy restricted,random,dest-order \
 		-workload uniform,hotspot -trials 20 -journal /tmp/sweep-demo.jsonl -resume
 
-# Run the simulation service locally (SIGINT/SIGTERM drains gracefully;
-# interrupted jobs checkpoint under /tmp and resume via "resume_from").
+# Run the simulation service locally with the durable job store: jobs
+# survive kill -9 (the WAL replays on restart and interrupted runs resume
+# from their periodic checkpoints); SIGINT/SIGTERM still drains gracefully.
 serve:
-	$(GO) run ./cmd/hotpotatod -addr :8080 -checkpoint-dir /tmp/hotpotato-checkpoints
+	$(GO) run ./cmd/hotpotatod -addr :8080 \
+		-checkpoint-dir /tmp/hotpotato-checkpoints -checkpoint-every 200 \
+		-wal /tmp/hotpotato-jobs.wal
 
 # CI smoke for the service: boot hotpotatod on a small queue, drive it with
 # the example load generator (submit with backpressure retries, follow one
@@ -82,13 +88,26 @@ serve:
 # SIGTERM the daemon and require a clean drain and exit code 0.
 serve-smoke:
 	$(GO) build -o /tmp/hotpotatod-smoke ./cmd/hotpotatod
-	rm -rf /tmp/hotpotato-smoke-ckpt
+	rm -rf /tmp/hotpotato-smoke-ckpt /tmp/hotpotato-smoke.wal
 	/tmp/hotpotatod-smoke -addr 127.0.0.1:18098 -workers 1 -queue 2 \
-		-checkpoint-dir /tmp/hotpotato-smoke-ckpt & \
+		-checkpoint-dir /tmp/hotpotato-smoke-ckpt -wal /tmp/hotpotato-smoke.wal & \
 	pid=$$!; sleep 1; \
 	$(GO) run ./examples/service -addr http://127.0.0.1:18098 \
 		-submitters 4 -jobs 2 || { kill $$pid; exit 1; }; \
 	kill -TERM $$pid; wait $$pid
+
+# Chaos harness: repeatedly SIGKILL a real hotpotatod mid-work and prove
+# recovery from the WAL — zero lost jobs, recovered runs bit-identical to
+# uninterrupted ones. `chaos` runs a longer bounded session locally;
+# `chaos-smoke` is the CI-sized pass (also exercises the in-process
+# Kill()-based harness in internal/server).
+chaos:
+	HOTPOTATOD_CHAOS_CYCLES=15 $(GO) test -run TestChaosSIGKILLRecovery \
+		-v -count=1 -timeout 10m ./cmd/hotpotatod/
+
+chaos-smoke:
+	HOTPOTATOD_CHAOS_CYCLES=6 $(GO) test -run 'TestChaos' -count=1 -timeout 5m \
+		./cmd/hotpotatod/ ./internal/server/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

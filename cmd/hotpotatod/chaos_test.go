@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestHelperProcess is not a test: it is the daemon body for the SIGKILL
+// chaos harness. The parent re-executes this test binary with
+// HOTPOTATOD_HELPER=1 and the daemon flags after "--", and then kills the
+// process for real — the only way to exercise recovery from an actual
+// kill -9 rather than an in-process simulation.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("HOTPOTATOD_HELPER") != "1" {
+		t.Skip("helper process body; only runs when re-executed by the chaos test")
+	}
+	var args []string
+	for i, a := range os.Args {
+		if a == "--" {
+			args = os.Args[i+1:]
+			break
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "helper daemon:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// chaosDaemon is one life of the re-executed daemon.
+type chaosDaemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	done chan error
+}
+
+// startChaosDaemon re-execs the test binary as a daemon and waits for its
+// "listening on" line.
+func startChaosDaemon(t *testing.T, daemonArgs ...string) *chaosDaemon {
+	t.Helper()
+	args := []string{"-test.run=^TestHelperProcess$", "--"}
+	args = append(args, daemonArgs...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HOTPOTATOD_HELPER=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	d := &chaosDaemon{cmd: cmd, done: make(chan error, 1)}
+	go func() { d.done <- cmd.Wait() }()
+	select {
+	case addr := <-addrCh:
+		d.base = "http://" + addr
+	case err := <-d.done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatal("daemon never announced its listener")
+	}
+	return d
+}
+
+// kill SIGKILLs the daemon — no warning, no flush, no drain.
+func (d *chaosDaemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-d.done // reap; the error is the kill signal, expected
+}
+
+// term SIGTERMs the daemon and expects a clean drain (exit 0).
+func (d *chaosDaemon) term(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill() //nolint:errcheck
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// chaosStatus is the slice of job status the harness cares about.
+type chaosStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Recovered bool   `json:"recovered"`
+	FinalHash string `json:"final_state_hash"`
+}
+
+func submitChaosJob(t *testing.T, base string, seed int64) chaosStatus {
+	t.Helper()
+	spec := fmt.Sprintf(`{"side": 8, "k": 48, "seed": %d, "progress_every": 1, "step_delay": "2ms"}`, seed)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d, want 202", resp.StatusCode)
+	}
+	var st chaosStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getChaosStatus(t *testing.T, base, id string) chaosStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", id, resp.StatusCode)
+	}
+	var st chaosStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestChaosSIGKILLRecovery is the end-to-end durability proof: a real
+// daemon process is SIGKILLed repeatedly while accepting jobs, and after
+// the final restart every accepted job must be present and done, with a
+// final engine-state hash identical to a fresh, uninterrupted run of the
+// same spec. HOTPOTATOD_CHAOS_CYCLES overrides the kill count (default 5);
+// `make chaos` runs this with more cycles.
+func TestChaosSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos harness; skipped in -short")
+	}
+	cycles := 5
+	if v := os.Getenv("HOTPOTATOD_CHAOS_CYCLES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad HOTPOTATOD_CHAOS_CYCLES %q", v)
+		}
+		cycles = n
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	daemonArgs := []string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-queue", "64",
+		"-wal", filepath.Join(dir, "jobs.wal"),
+		"-checkpoint-dir", ckpt,
+		"-checkpoint-every", "3",
+		"-quarantine-after", "-1", // the kills are ours, not the jobs' fault
+		"-drain-grace", "5s",
+		"-drain-timeout", "60s",
+	}
+
+	submitted := make(map[string]int64) // job ID -> seed: the ledger
+	seed := int64(0)
+	for cycle := 0; cycle < cycles; cycle++ {
+		d := startChaosDaemon(t, daemonArgs...)
+		// Every job accepted in any earlier life must have survived.
+		for id := range submitted {
+			if st := getChaosStatus(t, d.base, id); st.ID != id {
+				t.Fatalf("cycle %d: job %s lost across SIGKILL", cycle, id)
+			}
+		}
+		for n := 0; n < 2; n++ {
+			seed++
+			st := submitChaosJob(t, d.base, seed)
+			submitted[st.ID] = seed
+		}
+		// Let a different slice of the work happen each life, then kill -9.
+		time.Sleep(time.Duration(20+40*cycle) * time.Millisecond)
+		d.kill(t)
+	}
+
+	// Final life: everything recovers and runs to completion.
+	d := startChaosDaemon(t, daemonArgs...)
+	deadline := time.Now().Add(120 * time.Second)
+	recoveredHash := make(map[string]string, len(submitted))
+	for id, jobSeed := range submitted {
+		for {
+			st := getChaosStatus(t, d.base, id)
+			if st.State == "done" {
+				if st.FinalHash == "" {
+					t.Fatalf("job %s done without a final state hash", id)
+				}
+				recoveredHash[id] = st.FinalHash
+				break
+			}
+			if st.State != "queued" && st.State != "running" {
+				t.Fatalf("job %s (seed %d) ended %q, want done", id, jobSeed, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %q at deadline", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Bit-identity: a fresh, never-interrupted run of each seed on the same
+	// daemon must report the same final engine-state hash as the recovered,
+	// kill-scarred run of that seed.
+	for id, jobSeed := range submitted {
+		fresh := submitChaosJob(t, d.base, jobSeed)
+		for {
+			st := getChaosStatus(t, d.base, fresh.ID)
+			if st.State == "done" {
+				if st.FinalHash != recoveredHash[id] {
+					t.Errorf("seed %d: recovered run %s hash %s != uninterrupted run %s hash %s",
+						jobSeed, id, recoveredHash[id], fresh.ID, st.FinalHash)
+				}
+				break
+			}
+			if st.State != "queued" && st.State != "running" {
+				t.Fatalf("baseline job %s ended %q", fresh.ID, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("baseline runs did not finish in time")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	d.term(t) // clean exit to finish: SIGTERM drains with nothing pending
+}

@@ -17,6 +17,14 @@
 // SIGINT/SIGTERM drains gracefully: admission stops, in-flight jobs get
 // -drain-grace to finish, stragglers checkpoint into -checkpoint-dir, and
 // the process exits 0 with no accepted job lost.
+//
+// With -wal the job store is durable: every lifecycle transition is fsynced
+// into the write-ahead log before the client sees it, so even kill -9 loses
+// no accepted job — the next start replays the log, re-enqueues unfinished
+// jobs, and (with -checkpoint-dir and -checkpoint-every) resumes them from
+// their last periodic checkpoint. -tenant-rate/-tenant-burst add per-tenant
+// token-bucket admission (429 + Retry-After), and -quarantine-after stops
+// poison jobs that repeatedly panic or take the daemon down.
 package main
 
 import (
@@ -61,6 +69,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobTO    = fs.Duration("job-timeout", 0, "per-job wall-time budget (0 = unlimited); over-budget jobs checkpoint")
 		attempts = fs.Int("max-attempts", 1, "attempts per job before it is reported failed")
 		ckptDir  = fs.String("checkpoint-dir", "", "directory for drained/timed-out job checkpoints (empty = no checkpointing)")
+		ckptEach = fs.Int("checkpoint-every", 0, "also checkpoint running jobs every N engine steps (0 = only on stop; needs -checkpoint-dir)")
+		wal      = fs.String("wal", "", "write-ahead log for the durable job store (empty = jobs do not survive restarts)")
+		tenRate  = fs.Float64("tenant-rate", 0, "per-tenant admission tokens per second (0 = no per-tenant limiting)")
+		tenBurst = fs.Int("tenant-burst", 1, "per-tenant admission burst")
+		quarant  = fs.Int("quarantine-after", 3, "quarantine a job after this many starts without finishing (negative = never)")
 		grace    = fs.Duration("drain-grace", 5*time.Second, "how long a drain lets jobs finish before checkpointing them")
 		drainTO  = fs.Duration("drain-timeout", 60*time.Second, "hard bound on the whole drain")
 		maxNodes = fs.Int("max-nodes", 1<<20, "largest accepted mesh, in nodes")
@@ -82,15 +95,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	srv, err := server.New(server.Config{
-		QueueDepth:    *queue,
-		Workers:       *workers,
-		JobTimeout:    *jobTO,
-		MaxAttempts:   *attempts,
-		CheckpointDir: *ckptDir,
-		DrainGrace:    *grace,
-		MaxNodes:      *maxNodes,
-		MaxK:          *maxK,
-		Logf:          logger.Printf,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		JobTimeout:      *jobTO,
+		MaxAttempts:     *attempts,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEach,
+		WALPath:         *wal,
+		TenantRate:      *tenRate,
+		TenantBurst:     *tenBurst,
+		QuarantineAfter: *quarant,
+		DrainGrace:      *grace,
+		MaxNodes:        *maxNodes,
+		MaxK:            *maxK,
+		Logf:            logger.Printf,
 	})
 	if err != nil {
 		return err

@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,13 +50,18 @@ type jobStatus struct {
 	Error string `json:"error"`
 }
 
-// submit POSTs one job, retrying on 429 as the Retry-After header asks.
-// It returns the job ID and how many times it was pushed back.
-func submit(addr, spec string, retries int) (id string, backoffs int, err error) {
+// submit POSTs one job, retrying on 429. The sleep honours the server's
+// Retry-After header as a floor (the daemon computes the exact token wait
+// for throttled tenants), plus a jittered exponential component so N
+// submitters hitting the same full queue spread out instead of retrying in
+// lockstep. It returns the job ID and how the pushbacks split between
+// queue backpressure and tenant throttling.
+func submit(addr, spec string, retries int, rng *rand.Rand) (id string, queue429, tenant429 int, err error) {
+	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(addr+"/v1/jobs", "application/json", strings.NewReader(spec))
 		if err != nil {
-			return "", backoffs, err
+			return "", queue429, tenant429, err
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -62,25 +69,33 @@ func submit(addr, spec string, retries int) (id string, backoffs int, err error)
 		case http.StatusAccepted:
 			var st jobStatus
 			if err := json.Unmarshal(body, &st); err != nil {
-				return "", backoffs, err
+				return "", queue429, tenant429, err
 			}
-			return st.ID, backoffs, nil
+			return st.ID, queue429, tenant429, nil
 		case http.StatusTooManyRequests:
 			if attempt >= retries {
-				return "", backoffs, fmt.Errorf("gave up after %d backpressure rejections", attempt)
+				return "", queue429, tenant429, fmt.Errorf("gave up after %d backpressure rejections", attempt)
 			}
-			backoffs++
-			wait := time.Second
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if d, err := time.ParseDuration(ra + "s"); err == nil {
-					wait = d
-				}
+			if strings.Contains(string(body), "tenant") {
+				tenant429++
+			} else {
+				queue429++
 			}
-			// Jitter below the advertised wait keeps N submitters from
-			// stampeding the queue in lockstep.
-			time.Sleep(wait / time.Duration(2+attempt%3))
+			// Retry-After is whole seconds; treat it as the floor the server
+			// asked for, never retry sooner.
+			floor := time.Duration(0)
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				floor = time.Duration(secs) * time.Second
+			}
+			// Jittered exponential component on top: 0.5-1.5x of a doubling
+			// backoff, capped so a long queue never strands a submitter.
+			sleep := floor + time.Duration(float64(backoff)*(0.5+rng.Float64()))
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			time.Sleep(sleep)
 		default:
-			return "", backoffs, fmt.Errorf("POST /v1/jobs: %d: %s", resp.StatusCode, body)
+			return "", queue429, tenant429, fmt.Errorf("POST /v1/jobs: %d: %s", resp.StatusCode, body)
 		}
 	}
 }
@@ -103,12 +118,13 @@ func stream(addr, id string) (lines int, err error) {
 
 func loadgen(addr string, submitters, jobs int, specTemplate string, retries int, follow bool, timeout time.Duration) error {
 	var (
-		mu       sync.Mutex
-		accepted []string
-		rejected atomic.Int64
-		firstID  = make(chan string, 1)
-		errs     = make(chan error, submitters)
-		wg       sync.WaitGroup
+		mu        sync.Mutex
+		accepted  []string
+		queuePush atomic.Int64 // queue-full 429 retries absorbed
+		throttled atomic.Int64 // tenant-quota 429 retries absorbed
+		firstID   = make(chan string, 1)
+		errs      = make(chan error, submitters)
+		wg        sync.WaitGroup
 	)
 
 	start := time.Now()
@@ -116,6 +132,7 @@ func loadgen(addr string, submitters, jobs int, specTemplate string, retries int
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s) + 1)) // per-submitter jitter
 			for j := 0; j < jobs; j++ {
 				// Distinct seeds keep the runs distinct; everything else
 				// comes from the template.
@@ -126,8 +143,9 @@ func loadgen(addr string, submitters, jobs int, specTemplate string, retries int
 				}
 				spec["seed"] = s*1000 + j + 1
 				body, _ := json.Marshal(spec)
-				id, backoffs, err := submit(addr, string(body), retries)
-				rejected.Add(int64(backoffs))
+				id, q429, t429, err := submit(addr, string(body), retries, rng)
+				queuePush.Add(int64(q429))
+				throttled.Add(int64(t429))
 				if err != nil {
 					errs <- fmt.Errorf("submitter %d: %w", s, err)
 					return
@@ -192,15 +210,15 @@ func loadgen(addr string, submitters, jobs int, specTemplate string, retries int
 			if st.State == "done" || st.State == "checkpointed" {
 				break
 			}
-			if st.State == "failed" {
-				return fmt.Errorf("job %s failed: %s", id, st.Error)
+			if st.State == "failed" || st.State == "quarantined" {
+				return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
 			}
 			time.Sleep(20 * time.Millisecond)
 		}
 	}
 
-	fmt.Printf("submitted %d jobs from %d submitters in %s: %d accepted, %d backpressure rejections absorbed\n",
-		submitters*jobs, submitters, time.Since(start).Round(time.Millisecond), len(accepted), rejected.Load())
+	fmt.Printf("submitted %d jobs from %d submitters in %s: %d accepted, %d queue-full retries, %d tenant-throttle retries absorbed\n",
+		submitters*jobs, submitters, time.Since(start).Round(time.Millisecond), len(accepted), queuePush.Load(), throttled.Load())
 	if follow {
 		select {
 		case firstID <- "": // unblock the tail goroutine if it never got a job

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// chaosSpec is the deterministic workload every chaos job runs: slow enough
+// (per-step delay) that a kill lands mid-run, deterministic so an
+// uninterrupted baseline exists to compare fingerprints against.
+func chaosSpec(seed int64) JobSpec {
+	return JobSpec{Side: 8, K: 48, Seed: seed, ProgressEvery: 1, StepDelay: Duration(time.Millisecond)}
+}
+
+// waitJobDone polls a job until it reaches a terminal state.
+func waitJobDone(t *testing.T, s *Server, id string) JobState {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished from the table", id)
+		}
+		if st := j.State(); st.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return ""
+}
+
+// TestChaosKillRecover is the durability harness: submit a fixed set of
+// deterministic jobs across repeated hard crashes (Kill closes the WAL
+// first, exactly like kill -9 discarding unflushed state), recover from the
+// WAL each life, and at the end demand a balanced ledger — every accepted
+// job present and done, none lost, none duplicated — with every final
+// engine-state fingerprint equal to an uninterrupted baseline run's.
+func TestChaosKillRecover(t *testing.T) {
+	const (
+		totalJobs  = 12
+		killCycles = 5
+	)
+
+	// Phase 1: the uninterrupted baseline. No WAL, no kills; record each
+	// seed's final fingerprint.
+	baseline := make(map[int64]uint64, totalJobs)
+	{
+		s, err := New(Config{Workers: 2, QueueDepth: totalJobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		ids := make(map[string]int64, totalJobs)
+		for i := 1; i <= totalJobs; i++ {
+			j, err := s.Submit(chaosSpec(int64(i)))
+			if err != nil {
+				t.Fatalf("baseline submit %d: %v", i, err)
+			}
+			ids[j.ID] = int64(i)
+		}
+		for id, seed := range ids {
+			if st := waitJobDone(t, s, id); st != JobDone {
+				t.Fatalf("baseline job %s (seed %d) ended %q", id, seed, st)
+			}
+			j, _ := s.Job(id)
+			h := j.FinalHash()
+			if h == 0 {
+				t.Fatalf("baseline job %s finished without a fingerprint", id)
+			}
+			baseline[seed] = h
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 2: the same specs, submitted a few per daemon life, each life
+	// ended by a hard crash at a different point in the work.
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckpt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workers:         2,
+		QueueDepth:      totalJobs,
+		WALPath:         filepath.Join(dir, "jobs.wal"),
+		CheckpointDir:   ckpt,
+		CheckpointEvery: 3,
+		QuarantineAfter: -1, // kills are the harness's fault, not the jobs'
+		Logf:            t.Logf,
+	}
+	submitted := make(map[string]int64) // job ID -> seed (the ledger)
+	next := int64(0)
+	for cycle := 0; cycle < killCycles; cycle++ {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("cycle %d: recovery failed: %v", cycle, err)
+		}
+		s.Start()
+		// Ledger check: every job ever accepted must have survived the crash.
+		for id := range submitted {
+			if _, ok := s.Job(id); !ok {
+				t.Fatalf("cycle %d: accepted job %s lost in the crash", cycle, id)
+			}
+		}
+		for n := 0; n < totalJobs/killCycles+1 && next < totalJobs; n++ {
+			next++
+			j, err := s.Submit(chaosSpec(next))
+			if err != nil {
+				t.Fatalf("cycle %d: submit seed %d: %v", cycle, next, err)
+			}
+			submitted[j.ID] = next
+		}
+		// Let a different amount of work happen each cycle, then crash.
+		time.Sleep(time.Duration(15+25*cycle) * time.Millisecond)
+		s.Kill()
+	}
+	if next != totalJobs {
+		t.Fatalf("harness submitted %d of %d jobs", next, totalJobs)
+	}
+
+	// Phase 3: the final life runs everything to completion.
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("final recovery failed: %v", err)
+	}
+	s.Start()
+	for id, seed := range submitted {
+		if st := waitJobDone(t, s, id); st != JobDone {
+			j, _ := s.Job(id)
+			t.Errorf("job %s (seed %d) ended %q: %s", id, seed, st, j.status().Error)
+			continue
+		}
+		j, _ := s.Job(id)
+		if got, want := j.FinalHash(), baseline[seed]; got != want {
+			t.Errorf("job %s (seed %d): recovered fingerprint %016x != baseline %016x — recovery was not bit-identical",
+				id, seed, got, want)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ledger must balance exactly: the final table holds every submitted
+	// job and nothing else (plus nothing was double-assigned an ID).
+	if got := len(s.jobs); got != totalJobs {
+		ids := make([]string, 0, got)
+		for id := range s.jobs {
+			ids = append(ids, id)
+		}
+		t.Fatalf("final job table holds %d jobs, want %d: %v", got, totalJobs, ids)
+	}
+}
+
+// TestChaosRecoveredJobsSurviveBackToBackCrashes crashes before any work can
+// happen at all: a job accepted and never started must still be recovered
+// through multiple immediate kills.
+func TestChaosRecoveredJobsSurviveBackToBackCrashes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:         1,
+		WALPath:         filepath.Join(dir, "jobs.wal"),
+		QuarantineAfter: -1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: no workers running, the job sits queued.
+	j, err := s.Submit(JobSpec{Side: 4, K: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+
+	for i := 0; i < 3; i++ {
+		s, err = New(cfg)
+		if err != nil {
+			t.Fatalf("recovery %d: %v", i, err)
+		}
+		got, ok := s.Job(j.ID)
+		if !ok {
+			t.Fatalf("recovery %d: job lost", i)
+		}
+		if st := got.State(); st != JobQueued {
+			t.Fatalf("recovery %d: job state %q, want queued", i, st)
+		}
+		s.Kill()
+	}
+
+	// Last life actually runs it.
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if st := waitJobDone(t, s, j.ID); st != JobDone {
+		t.Fatalf("job ended %q, want done", st)
+	}
+	got, _ := s.Job(j.ID)
+	if !got.recovered {
+		t.Error("job not marked recovered")
+	}
+	if s.recovered.Value() == 0 {
+		t.Error("recovered counter not incremented")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosLedgerAcrossRestartIncludesHistory verifies that terminal fates
+// recorded in one life are visible history in the next — results,
+// fingerprints and errors included — without re-running anything.
+func TestChaosLedgerAcrossRestartIncludesHistory(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, WALPath: filepath.Join(dir, "jobs.wal")}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	j, err := s.Submit(JobSpec{Side: 4, K: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJobDone(t, s, j.ID); st != JobDone {
+		t.Fatalf("job ended %q", st)
+	}
+	wantHash := func() uint64 { jj, _ := s.Job(j.ID); return jj.FinalHash() }()
+	wantSteps := func() int { jj, _ := s.Job(j.ID); return jj.Result().Steps }()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	jj, ok := s2.Job(j.ID)
+	if !ok {
+		t.Fatal("finished job missing after restart")
+	}
+	if st := jj.State(); st != JobDone {
+		t.Fatalf("replayed state %q, want done", st)
+	}
+	if jj.Result() == nil || jj.Result().Steps != wantSteps {
+		t.Errorf("replayed result %+v, want %d steps", jj.Result(), wantSteps)
+	}
+	if got := jj.FinalHash(); got != wantHash {
+		t.Errorf("replayed fingerprint %016x, want %016x", got, wantHash)
+	}
+	if s2.completed.Value() != 0 {
+		t.Error("restart re-counted (or re-ran) an already finished job")
+	}
+}

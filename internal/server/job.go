@@ -54,6 +54,13 @@ type JobSpec struct {
 	Torus bool `json:"torus,omitempty"`
 	// K is the packet count for workloads that take one (default 64).
 	K int `json:"k,omitempty"`
+	// Tenant names the submitting tenant for admission control and
+	// accounting. Empty means the default tenant; the HTTP layer also
+	// fills it from the X-Tenant request header.
+	Tenant string `json:"tenant,omitempty"`
+	// MaxAttempts is this job's retry budget (attempts before it is
+	// reported failed), overriding the server default. 0 = server default.
+	MaxAttempts int `json:"max_attempts,omitempty"`
 	// Policy and Workload are registry names (defaults "restricted" and
 	// "uniform").
 	Policy   string `json:"policy,omitempty"`
@@ -140,6 +147,9 @@ func (js JobSpec) validate(maxNodes, maxK int) error {
 	}
 	if js.ProgressEvery < 1 {
 		return fmt.Errorf("progress_every must be >= 1, got %d", js.ProgressEvery)
+	}
+	if js.MaxAttempts < 0 || js.MaxAttempts > 64 {
+		return fmt.Errorf("max_attempts must be in [0, 64], got %d", js.MaxAttempts)
 	}
 	if js.StepDelay < 0 {
 		return fmt.Errorf("step_delay must be >= 0")
@@ -243,11 +253,14 @@ const (
 	// JobCheckpointed: stopped early by drain or timeout with its state
 	// saved; resubmit the same spec with resume_from to continue.
 	JobCheckpointed JobState = "checkpointed"
+	// JobQuarantined: a poison job, hard-stopped after repeated panics or
+	// repeated crash-interrupted runs. Never retried, never recovered.
+	JobQuarantined JobState = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCheckpointed
+	return s == JobDone || s == JobFailed || s == JobCheckpointed || s == JobQuarantined
 }
 
 // Job is one accepted simulation job. All mutable fields are guarded by mu;
@@ -258,6 +271,12 @@ type Job struct {
 	ID string
 	// Spec is the normalized job spec (defaults applied).
 	Spec JobSpec
+
+	// recovered marks a job re-enqueued from the WAL after a restart;
+	// priorStarts is how many executions earlier daemon lives began for it
+	// (the poison-job evidence the quarantine policy counts).
+	recovered   bool
+	priorStarts int
 
 	mu         sync.Mutex
 	state      JobState
@@ -270,6 +289,7 @@ type Job struct {
 	result     *sim.Result
 	errMsg     string
 	checkpoint string
+	finalHash  uint64
 	events     [][]byte
 	streamDone bool
 	notify     chan struct{}
@@ -367,6 +387,20 @@ func (j *Job) setCheckpoint(path string) {
 	j.mu.Unlock()
 }
 
+func (j *Job) setFinalHash(h uint64) {
+	j.mu.Lock()
+	j.finalHash = h
+	j.mu.Unlock()
+}
+
+// FinalHash returns the engine-state fingerprint recorded at completion
+// (0 before the job is done).
+func (j *Job) FinalHash() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finalHash
+}
+
 // finish moves the job to a terminal state. The caller emits the summary
 // stream event separately (via publish) so followers see state first.
 func (j *Job) finish(state JobState, res *sim.Result, errMsg string) {
@@ -392,6 +426,12 @@ type jobStatus struct {
 	Result     *sim.Result   `json:"result,omitempty"`
 	Error      string        `json:"error,omitempty"`
 	Checkpoint string        `json:"checkpoint,omitempty"`
+	// Recovered marks jobs replayed from the WAL after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+	// FinalHash is the engine-state fingerprint at completion, in hex: two
+	// runs of the same spec — interrupted and recovered or not — must
+	// report the same value (the chaos harness's bit-identity check).
+	FinalHash string `json:"final_state_hash,omitempty"`
 }
 
 // status snapshots the job for the API.
@@ -407,6 +447,10 @@ func (j *Job) status() jobStatus {
 		Result:     j.result,
 		Error:      j.errMsg,
 		Checkpoint: j.checkpoint,
+		Recovered:  j.recovered,
+	}
+	if j.finalHash != 0 {
+		st.FinalHash = fmt.Sprintf("%016x", j.finalHash)
 	}
 	if !j.started.IsZero() {
 		t := j.started

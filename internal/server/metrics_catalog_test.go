@@ -1,0 +1,54 @@
+package server
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsCatalogGolden pins the daemon's full metric catalog — every
+// HELP and TYPE line /metrics exposes — against a golden file, so adding,
+// renaming or dropping a metric (recovery, retry and quarantine counters,
+// the WAL fsync histogram, the degraded gauge, ...) is a reviewed,
+// deliberate act rather than a silent dashboard break.
+func TestMetricsCatalogGolden(t *testing.T) {
+	s, err := New(Config{WALPath: filepath.Join(t.TempDir(), "jobs.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	var buf strings.Builder
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var catalog []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			catalog = append(catalog, line)
+		}
+	}
+	got := strings.Join(catalog, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metrics_catalog.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric catalog drifted from %s (run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}

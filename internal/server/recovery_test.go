@@ -1,0 +1,306 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hotpotato/internal/server/store"
+)
+
+// writeWAL hand-crafts a WAL with the given records (an accepted record is
+// prepended), for tests that need precise crash evidence.
+func writeWAL(t *testing.T, path string, recs ...store.Record) {
+	t.Helper()
+	s, _, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQuarantineAtRecovery: a job whose WAL shows QuarantineAfter starts and
+// no terminal record is a poison job — it must not be re-enqueued.
+func TestQuarantineAtRecovery(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "jobs.wal")
+	spec, _ := json.Marshal(JobSpec{Side: 4, K: 8})
+	writeWAL(t, wal,
+		store.Record{Job: "j000001", Op: store.OpAccepted, Tenant: "default", Spec: spec},
+		store.Record{Job: "j000001", Op: store.OpRunning, Attempt: 1},
+		store.Record{Job: "j000001", Op: store.OpRunning, Attempt: 2},
+		store.Record{Job: "j000001", Op: store.OpRunning, Attempt: 3},
+	)
+	s, err := New(Config{WALPath: wal, QuarantineAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	j, ok := s.Job("j000001")
+	if !ok {
+		t.Fatal("job missing after recovery")
+	}
+	if st := j.State(); st != JobQuarantined {
+		t.Fatalf("job recovered into %q, want quarantined", st)
+	}
+	if s.quarantined.Value() != 1 {
+		t.Errorf("quarantined counter = %d, want 1", s.quarantined.Value())
+	}
+	// The verdict must itself be durable: a second restart replays it.
+	s.Kill()
+	s2, err := New(Config{WALPath: wal, QuarantineAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	j2, _ := s2.Job("j000001")
+	if st := j2.State(); st != JobQuarantined {
+		t.Fatalf("second restart recovered %q, want quarantined (verdict not durable)", st)
+	}
+	if s2.quarantined.Value() != 0 {
+		t.Error("replayed quarantine re-counted as a fresh one")
+	}
+}
+
+// TestQuarantineDisabled: negative QuarantineAfter recovers even a job with
+// heavy crash evidence.
+func TestQuarantineDisabled(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "jobs.wal")
+	spec, _ := json.Marshal(JobSpec{Side: 4, K: 8, Seed: 3})
+	recs := []store.Record{{Job: "j000001", Op: store.OpAccepted, Spec: spec}}
+	for i := 1; i <= 9; i++ {
+		recs = append(recs, store.Record{Job: "j000001", Op: store.OpRunning, Attempt: i})
+	}
+	writeWAL(t, wal, recs...)
+	s, err := New(Config{WALPath: wal, QuarantineAfter: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if st := waitJobDone(t, s, "j000001"); st != JobDone {
+		t.Fatalf("job ended %q, want done", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveQuarantinePanicJob: a job that panics on every attempt within one
+// daemon life is quarantined once its starts hit the threshold.
+func TestLiveQuarantinePanicJob(t *testing.T) {
+	poison := "j000001"
+	s, ts := newTestServer(t, Config{
+		Workers:         1,
+		MaxAttempts:     5,
+		QuarantineAfter: 3,
+		OnJobStart: func(j *Job) {
+			if j.ID == poison {
+				panic("poison job ate the worker")
+			}
+		},
+	})
+	_, st := postJob(t, ts, `{"side": 4, "k": 4, "max_attempts": 5}`)
+	if st.ID != poison {
+		t.Fatalf("job ID = %q, want %q", st.ID, poison)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != JobQuarantined {
+		t.Fatalf("poison job ended %q (err %q), want quarantined", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "3 start(s)") {
+		t.Errorf("quarantine error %q does not cite 3 starts", final.Error)
+	}
+	if s.quarantined.Value() != 1 {
+		t.Errorf("quarantined counter = %d, want 1", s.quarantined.Value())
+	}
+	// A healthy job on the same server still runs fine afterwards.
+	_, st2 := postJob(t, ts, `{"side": 4, "k": 4}`)
+	if got := waitTerminal(t, ts, st2.ID); got.State != JobDone {
+		t.Fatalf("healthy job after quarantine ended %q", got.State)
+	}
+}
+
+// TestRetryBudget: a job that panics once then succeeds consumes a retry
+// and lands done, with the retry counted.
+func TestRetryBudget(t *testing.T) {
+	calls := 0
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		OnJobStart: func(j *Job) {
+			calls++
+			if calls == 1 {
+				panic("flaky first attempt")
+			}
+		},
+	})
+	_, st := postJob(t, ts, `{"side": 4, "k": 4, "max_attempts": 3}`)
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("job ended %q (err %q), want done after retry", final.State, final.Error)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", final.Attempts)
+	}
+	if s.retried.Value() != 1 {
+		t.Errorf("retried counter = %d, want 1", s.retried.Value())
+	}
+}
+
+// TestPerJobMaxAttemptsOverridesDefault: the spec's budget wins over the
+// server's.
+func TestPerJobMaxAttemptsOverridesDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:     1,
+		MaxAttempts: 5,
+		OnJobStart:  func(*Job) { panic("always fails") },
+	})
+	_, st := postJob(t, ts, `{"side": 4, "k": 4, "max_attempts": 2}`)
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != JobFailed {
+		t.Fatalf("job ended %q, want failed", final.State)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("attempts = %d, want the per-job budget of 2", final.Attempts)
+	}
+}
+
+// TestTenantThrottling: a tenant over its bucket gets 429 + Retry-After;
+// other tenants are unaffected.
+func TestTenantThrottling(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		QueueDepth:  16,
+		TenantRate:  0.5, // one token every 2s: impossible to re-earn mid-test
+		TenantBurst: 1,
+	})
+	if resp, _ := postJob(t, ts, `{"side": 4, "k": 4, "tenant": "acme"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first acme POST = %d", resp.StatusCode)
+	}
+	resp, _ := postJob(t, ts, `{"side": 4, "k": 4, "tenant": "acme"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second acme POST = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("throttled Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if s.throttled.Value() != 1 {
+		t.Errorf("throttled counter = %d, want 1", s.throttled.Value())
+	}
+	// A different tenant (set via header) is not throttled.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(`{"side": 4, "k": 4}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "zeta")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("zeta POST = %d, want 202", resp2.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec.Tenant != "zeta" {
+		t.Errorf("X-Tenant header not adopted: spec tenant %q", st.Spec.Tenant)
+	}
+}
+
+// TestDegradedMode: a WAL that stops accepting writes flips the server into
+// degraded mode — admission 503, /readyz 503, gauge raised — without
+// killing running work or reads.
+func TestDegradedMode(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "jobs.wal")
+	s, ts := newTestServer(t, Config{Workers: 1, WALPath: wal})
+	_, st := postJob(t, ts, `{"side": 4, "k": 4}`)
+	waitTerminal(t, ts, st.ID)
+
+	// Simulate the disk going away mid-flight.
+	s.store.Close()
+	resp, _ := postJob(t, ts, `{"side": 4, "k": 4}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while degraded = %d, want 503", resp.StatusCode)
+	}
+	if !s.Degraded() {
+		t.Fatal("server did not enter degraded mode")
+	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while degraded = %d, want 503", rz.StatusCode)
+	}
+	// Reads still work: the finished job's status is served.
+	if got := getStatus(t, ts, st.ID); got.State != JobDone {
+		t.Errorf("degraded read returned %q", got.State)
+	}
+	// Liveness is NOT affected — degraded is an operator problem, not a
+	// restart loop trigger.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz while degraded = %d, want 200", hz.StatusCode)
+	}
+}
+
+// TestRecoveryFailsUnreadableSpec: a WAL record whose spec no longer parses
+// fails the job visibly instead of guessing or dropping it.
+func TestRecoveryFailsUnreadableSpec(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "jobs.wal")
+	writeWAL(t, wal,
+		store.Record{Job: "j000001", Op: store.OpAccepted, Spec: json.RawMessage(`{"side": "not a number"}`)},
+	)
+	s, err := New(Config{WALPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	j, ok := s.Job("j000001")
+	if !ok {
+		t.Fatal("job dropped instead of failed")
+	}
+	if st := j.State(); st != JobFailed {
+		t.Fatalf("unreadable-spec job recovered into %q, want failed", st)
+	}
+}
+
+// TestRecoveryContinuesIDSequence: new admissions after a restart must not
+// reuse recovered jobs' IDs.
+func TestRecoveryContinuesIDSequence(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "jobs.wal")
+	spec, _ := json.Marshal(JobSpec{Side: 4, K: 8})
+	writeWAL(t, wal,
+		store.Record{Job: "j000007", Op: store.OpAccepted, Spec: spec},
+		store.Record{Job: "j000007", Op: store.OpDone},
+	)
+	s, err := New(Config{WALPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	j, err := s.Submit(JobSpec{Side: 4, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "j000008" {
+		t.Fatalf("post-recovery ID = %q, want j000008", j.ID)
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantLimiter is per-tenant token-bucket admission: each tenant owns a
+// bucket refilled at rate tokens/second up to burst, and every accepted job
+// spends one token. A tenant that bursts past its quota is throttled with
+// the exact wait until its next token — the Retry-After the API returns —
+// while other tenants' buckets are untouched, so one bursty client cannot
+// starve the rest (the worst-case-arrival fairness motivation of
+// Even–Medina's bounded-buffer adversary, applied at the serving layer).
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables limiting
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tenantLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is empty it
+// returns false and the wait until one token will have accrued.
+func (l *tenantLimiter) take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
