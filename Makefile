@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-smoke experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke clean
+.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-shard bench-smoke shard-parity experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke clean
 
 # Output file for the committed benchmark record (see bench-json).
 BENCH_JSON ?= BENCH_PR3.json
@@ -18,10 +18,17 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The concurrency-sensitive packages (parallel routing, fault injection)
-# under the race detector.
+# The concurrency-sensitive packages (parallel routing, sharded engine,
+# fault injection) under the race detector.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/fault/...
+	$(GO) test -race ./internal/sim/... ./internal/shard/... ./internal/fault/...
+
+# Bit-identity of the sharded engine: the whole shard package — per-step
+# state-hash parity across grids, seeds, workloads and policies, livelock
+# parity, checkpoint resume across grids, panic recovery — under the race
+# detector. Blocking in CI.
+shard-parity:
+	$(GO) test -race -count=1 ./internal/shard/
 
 vet:
 	$(GO) vet ./...
@@ -45,10 +52,22 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -timeout 30m . | tee bench_output.txt | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
-# CI smoke variant: one iteration per benchmark, compared non-blockingly
-# against the committed record with a generous tolerance.
+# Rerun just the sharded-engine benchmark and refresh its committed record
+# (BENCH_PR7.json). -short in bench-smoke skips the 1024x1024 sizes; this
+# target runs them all.
+bench-shard:
+	$(GO) test -run '^$$' -bench ShardedFullLoad -benchtime 5x -benchmem -timeout 60m . \
+		| tee bench_shard_output.txt | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+
+# CI smoke variant: one iteration per benchmark (-short keeps the sharded
+# benchmark to its 256x256 sizes), then a blocking delta-table comparison
+# against the committed record. The 2.0 threshold (3x) is generous enough
+# to absorb shared-runner noise; benchmarks absent from the old record
+# (e.g. the sharded ones vs BENCH_PR3) are listed as new, never failed.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 10m . | $(GO) run ./cmd/benchjson -o /dev/null -baseline $(BENCH_JSON) -tolerance 3.0
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x -benchmem -timeout 10m . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-smoke.json
+	$(GO) run ./cmd/benchjson -compare -threshold 2.0 $(BENCH_JSON) /tmp/bench-smoke.json
 
 experiments:
 	$(GO) run ./cmd/experiments
@@ -114,4 +133,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_shard_output.txt

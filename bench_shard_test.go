@@ -1,0 +1,97 @@
+package hotpotato_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/shard"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// BenchmarkShardedFullLoad measures per-step cost of the sharded engine on
+// large full-load tori (two packets per node) across shard grids of 1, 2, 4
+// and 8 goroutines, with the single engine's serial step as the 1x1-like
+// reference. One op is one synchronous step of the whole network; engine
+// construction is outside the timer, and an instance that drains mid-run is
+// rebuilt off the clock. On a multi-core machine the grids separate; on one
+// core they collapse onto the barrier overhead, which this benchmark then
+// prices. Validation and livelock hashing are off — this times routing.
+func BenchmarkShardedFullLoad(b *testing.B) {
+	grids := []shard.Grid{{P: 1, Q: 1}, {P: 2, Q: 1}, {P: 2, Q: 2}, {P: 4, Q: 2}}
+	for _, side := range []int{256, 1024} {
+		if side > 256 && testing.Short() {
+			continue // CI smoke times the 256 grid only; the committed record has both
+		}
+		m := mesh.MustNewTorus(2, side)
+		fresh := func(seed int64) []*sim.Packet {
+			pkts, err := workload.FullLoad(m, 2, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pkts
+		}
+		b.Run(fmt.Sprintf("%dx%d/serial", side, side), func(b *testing.B) {
+			seed := int64(1)
+			e, err := sim.New(m, routing.NewFixedPriority(), fresh(seed), sim.Options{Seed: seed, Validation: sim.ValidateOff})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var hops int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e.Done() {
+					b.StopTimer()
+					seed++
+					e, err = sim.New(m, routing.NewFixedPriority(), fresh(seed), sim.Options{Seed: seed, Validation: sim.ValidateOff})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				before := e.Progress().TotalHops
+				if err := e.Step(); err != nil {
+					b.Fatal(err)
+				}
+				hops += e.Progress().TotalHops - before
+			}
+			b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "hops/s")
+		})
+		for _, g := range grids {
+			b.Run(fmt.Sprintf("%dx%d/%s", side, side, g), func(b *testing.B) {
+				seed := int64(1)
+				mk := func(seed int64) *shard.Engine {
+					e, err := shard.New(m, routing.NewFixedPriority(), fresh(seed), shard.Options{Grid: g, Seed: seed, Validation: sim.ValidateOff})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return e
+				}
+				e := mk(seed)
+				defer func() { e.Close() }()
+				var hops int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if e.Done() {
+						b.StopTimer()
+						e.Close()
+						seed++
+						e = mk(seed)
+						b.StartTimer()
+					}
+					before := e.Progress().TotalHops
+					if err := e.Step(); err != nil {
+						b.Fatal(err)
+					}
+					hops += e.Progress().TotalHops - before
+				}
+				b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "hops/s")
+			})
+		}
+	}
+}

@@ -8,13 +8,23 @@
 // With -baseline it additionally compares ns/op against a previously
 // committed report and prints one line per regressed benchmark, exiting
 // nonzero when any exceeds the threshold — that is the CI smoke mode.
+//
+// With -compare it skips stdin entirely and diffs two committed reports:
+//
+//	benchjson -compare -threshold 0.10 BENCH_PR3.json BENCH_PR7.json
+//
+// printing a delta table for every benchmark in both files and exiting
+// nonzero when any ns/op grew by more than the threshold fraction.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"text/tabwriter"
 
 	"hotpotato/internal/benchfmt"
 	"hotpotato/internal/version"
@@ -30,10 +40,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out      = fs.String("o", "", "write JSON here instead of stdout")
-		baseline = fs.String("baseline", "", "committed report to compare ns/op against")
-		tol      = fs.Float64("tolerance", 1.30, "fail when ns/op exceeds baseline by this factor")
-		ver      = fs.Bool("version", false, "print the build version and exit")
+		out       = fs.String("o", "", "write JSON here instead of stdout")
+		baseline  = fs.String("baseline", "", "committed report to compare ns/op against")
+		tol       = fs.Float64("tolerance", 1.30, "fail when ns/op exceeds baseline by this factor")
+		compare   = fs.Bool("compare", false, "diff two committed reports (old.json new.json) instead of parsing stdin")
+		threshold = fs.Float64("threshold", 0.10, "with -compare, fail when ns/op grows by more than this fraction")
+		ver       = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,6 +53,12 @@ func run(args []string) error {
 	if *ver {
 		fmt.Println(version.String("benchjson"))
 		return nil
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare takes exactly two reports (old.json new.json), got %d argument(s)", fs.NArg())
+		}
+		return compareReports(os.Stdout, fs.Arg(0), fs.Arg(1), *threshold)
 	}
 
 	rep, err := benchfmt.Parse(os.Stdin)
@@ -90,6 +108,74 @@ func run(args []string) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", regressed, *tol)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.2fx against %s\n", *tol, *baseline)
+	return nil
+}
+
+// compareReports diffs two committed reports benchmark by benchmark,
+// writing one aligned table row per name. Benchmarks present in only one
+// report are listed but never fail the comparison (benchmark sets drift
+// across PRs); a shared benchmark whose ns/op grew by more than the
+// threshold fraction is a regression and makes the exit status nonzero.
+func compareReports(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(newRep.Benchmarks))
+	seen := make(map[string]bool)
+	for _, b := range newRep.Benchmarks {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	for _, b := range oldRep.Benchmarks {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	regressed := 0
+	for _, name := range names {
+		ob, inOld := oldRep.Lookup(name)
+		nb, inNew := newRep.Lookup(name)
+		switch {
+		case !inOld:
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t\n", name, nb.Metrics["ns/op"])
+		case !inNew:
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t\n", name, ob.Metrics["ns/op"])
+		default:
+			was, now := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+			if was <= 0 {
+				fmt.Fprintf(tw, "%s\t%.0f\t%.0f\tno baseline\t\n", name, was, now)
+				continue
+			}
+			delta := now/was - 1
+			mark := ""
+			if delta > threshold {
+				regressed++
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", name, was, now, delta*100, mark)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed by more than %.0f%% (%s -> %s)",
+			regressed, threshold*100, oldPath, newPath)
+	}
+	fmt.Fprintf(w, "no ns/op regressions beyond %.0f%% (%s -> %s)\n", threshold*100, oldPath, newPath)
 	return nil
 }
 

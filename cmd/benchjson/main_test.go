@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hotpotato/internal/benchfmt"
+)
+
+// writeReport marshals a minimal committed report to disk, in the order
+// the map iterates — compareReports must not depend on report order.
+func writeReport(t *testing.T, dir, name string, benches map[string]float64) string {
+	t.Helper()
+	rep := &benchfmt.Report{}
+	for bn, ns := range benches {
+		rep.Benchmarks = append(rep.Benchmarks, benchfmt.Benchmark{
+			Name: bn, Procs: 1, Iterations: 100, Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{"A": 1000, "B": 2000})
+	newPath := writeReport(t, dir, "new.json", map[string]float64{"A": 1080, "B": 1500})
+
+	var sb strings.Builder
+	if err := compareReports(&sb, oldPath, newPath, 0.10); err != nil {
+		t.Fatalf("compare: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"A", "+8.0%", "B", "-25.0%", "no ns/op regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("no row should be marked REGRESSED:\n%s", out)
+	}
+}
+
+func TestCompareReportsFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{"A": 1000, "B": 2000})
+	newPath := writeReport(t, dir, "new.json", map[string]float64{"A": 1300, "B": 2001})
+
+	var sb strings.Builder
+	err := compareReports(&sb, oldPath, newPath, 0.10)
+	if err == nil {
+		t.Fatalf("want regression error, got nil:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "1 benchmark(s) regressed") {
+		t.Errorf("error = %v, want exactly one regression", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "+30.0%  REGRESSED") {
+		t.Errorf("A's row not marked REGRESSED:\n%s", out)
+	}
+	if strings.Count(out, "REGRESSED") != 1 {
+		t.Errorf("B (+0.05%%) must stay within threshold:\n%s", out)
+	}
+}
+
+// TestCompareReportsSetDrift: benchmarks present in only one report are
+// listed as new/removed but never fail the exit status.
+func TestCompareReportsSetDrift(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{"A": 1000, "Gone": 500})
+	newPath := writeReport(t, dir, "new.json", map[string]float64{"A": 1000, "Added": 700})
+
+	var sb strings.Builder
+	if err := compareReports(&sb, oldPath, newPath, 0.10); err != nil {
+		t.Fatalf("set drift must not fail the comparison: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Gone") || !strings.Contains(out, "removed") {
+		t.Errorf("removed benchmark not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "Added") || !strings.Contains(out, "new") {
+		t.Errorf("new benchmark not reported:\n%s", out)
+	}
+}
+
+func TestCompareReportsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", map[string]float64{"A": 1000})
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := compareReports(&sb, good, bad, 0.10); err == nil {
+		t.Error("malformed new report: want error")
+	}
+	if err := compareReports(&sb, filepath.Join(dir, "missing.json"), good, 0.10); err == nil {
+		t.Error("missing old report: want error")
+	}
+	// Flag-level arity check: -compare demands exactly two paths.
+	if err := run([]string{"-compare", good}); err == nil {
+		t.Error("one path: want error")
+	}
+	if err := run([]string{"-compare", good, good, good}); err == nil {
+		t.Error("three paths: want error")
+	}
+	// And the happy path through run(), self-compare: identical, passes.
+	if err := run([]string{"-compare", good, good}); err != nil {
+		t.Errorf("self-compare: %v", err)
+	}
+}

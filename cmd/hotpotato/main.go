@@ -27,6 +27,7 @@ import (
 	"hotpotato/internal/checkpoint"
 	"hotpotato/internal/core"
 	"hotpotato/internal/mesh"
+	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/spec"
 	"hotpotato/internal/trace"
@@ -89,6 +90,53 @@ func buildFaults(m *mesh.Mesh, rate, repair float64, maxDown int, crash float64,
 	return model, err
 }
 
+// report prints the summary shared by the single-engine and sharded paths.
+// extra, when non-nil, prints additional sections (the fault report) in the
+// middle of the layout.
+func report(m *mesh.Mesh, pol sim.Policy, res *sim.Result, runErr error,
+	resumed bool, wl string, packets []*sim.Packet, ckptPath string, dim, side int, extra func()) {
+	fmt.Printf("mesh:        %v (diameter %d)\n", m, m.Diameter())
+	fmt.Printf("policy:      %s\n", pol.Name())
+	if resumed {
+		// The initial configuration is gone; distance-derived statistics
+		// would be relative to the restore point, not the original run.
+		fmt.Printf("workload:    %s (resumed), k=%d\n", wl, res.Total)
+		fmt.Printf("steps:       %d\n", res.Steps)
+	} else {
+		fmt.Printf("workload:    %s, k=%d, dmax=%d\n", wl, res.Total, workload.MaxDistance(m, packets))
+		fmt.Printf("steps:       %d (instance lower bound %d)\n", res.Steps, bound.Instance(m, packets))
+	}
+	fmt.Printf("delivered:   %d/%d\n", res.Delivered, res.Total)
+	fmt.Printf("deflections: %d (of %d hops)\n", res.TotalDeflections, res.TotalHops)
+	fmt.Printf("max load:    %d packets in one node\n", res.MaxNodeLoad)
+	if extra != nil {
+		extra()
+	}
+	if res.Livelocked {
+		fmt.Println("LIVELOCK detected: the configuration repeated")
+	}
+	if res.HitMaxSteps {
+		fmt.Println("step budget exhausted before completion")
+	}
+	if res.DeadlineExceeded {
+		fmt.Println("wall-clock budget exhausted before completion")
+	}
+	if runErr != nil { // context cancelled: a signal stopped the run
+		if ckptPath != "" {
+			fmt.Printf("interrupted at step %d; state saved to %s — rerun with -resume to continue\n", res.Steps, ckptPath)
+		} else {
+			fmt.Printf("interrupted at step %d (no -checkpoint set, progress not saved)\n", res.Steps)
+		}
+	}
+	if dim == 2 {
+		b := analysis.Theorem20Bound(side, res.Total)
+		fmt.Printf("theorem 20:  bound %.0f, measured/bound = %.4f\n", b, float64(res.Steps)/b)
+	} else {
+		b := analysis.Section5Bound(dim, side, res.Total)
+		fmt.Printf("section 5:   bound %.0f, measured/bound = %.6f\n", b, float64(res.Steps)/b)
+	}
+}
+
 func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hotpotato", flag.ContinueOnError)
 	var (
@@ -108,6 +156,7 @@ func runCtx(ctx context.Context, args []string) error {
 		heatmap  = fs.Bool("heatmap", false, "print a per-node deflection heat map after the run (2-D only)")
 		animate  = fs.Int("animate", 0, "print the first N steps as text frames (2-D only)")
 		workers  = fs.Int("workers", 0, "route nodes concurrently on this many goroutines (0 = serial)")
+		shards   = fs.String("shards", "", "run the sharded engine with a PxQ spatial decomposition, e.g. 4x2 (2-D only; -checkpoint becomes a directory)")
 
 		faultRate    = fs.Float64("fault-rate", 0, "per-link per-step failure probability (0 = no link flaps)")
 		faultRepair  = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
@@ -171,6 +220,55 @@ func runCtx(ctx context.Context, args []string) error {
 	lvl, err := spec.ParseValidation(*validate)
 	if err != nil {
 		return err
+	}
+
+	if *shards != "" {
+		if *track || *traceOut != "" || *heatmap || *animate > 0 {
+			return fmt.Errorf("-shards cannot be combined with -track, -trace-out, -heatmap or -animate (observers see one engine's move stream)")
+		}
+		if *workers > 0 {
+			return fmt.Errorf("-shards and -workers are alternative parallelization schemes; pick one")
+		}
+		if *faultRate > 0 || *crashRate > 0 || *faultScript != "" {
+			return fmt.Errorf("-shards does not support fault injection yet")
+		}
+		grid, err := shard.ParseGrid(*shards)
+		if err != nil {
+			return err
+		}
+		se, err := shard.New(m, pol, packets, shard.Options{
+			Grid:           grid,
+			Seed:           *seed + 1,
+			Validation:     lvl,
+			MaxSteps:       *maxSteps,
+			DetectLivelock: *livelock,
+			MaxWallTime:    *maxWall,
+		})
+		if err != nil {
+			return err
+		}
+		defer se.Close()
+		if *resume {
+			ck, err := shard.LoadDir(*ckptPath)
+			if err != nil {
+				return err
+			}
+			if err := se.Restore(ck); err != nil {
+				return fmt.Errorf("resume from %s: %w (pass the same flags as the original run)", *ckptPath, err)
+			}
+			fmt.Printf("resumed:     %s at step %d, %d packets in flight\n", *ckptPath, ck.Manifest.Time, ck.Manifest.Live)
+		}
+		var save func(*shard.Checkpoint) error
+		if *ckptPath != "" {
+			save = func(ck *shard.Checkpoint) error { return shard.SaveDir(*ckptPath, ck, format) }
+		}
+		res, runErr := se.RunCheckpointed(ctx, *ckptEvery, save)
+		if runErr != nil && !errors.Is(runErr, context.Canceled) {
+			return runErr
+		}
+		fmt.Printf("shards:      %s (%d shard goroutines)\n", grid, grid.Count())
+		report(m, pol, res, runErr, *resume, *wl, packets, *ckptPath, *dim, *side, nil)
+		return runErr
 	}
 
 	e, err := sim.New(m, pol, packets, sim.Options{
@@ -257,50 +355,17 @@ func runCtx(ctx context.Context, args []string) error {
 		fmt.Printf("trace:       written to %s\n", *traceOut)
 	}
 
-	fmt.Printf("mesh:        %v (diameter %d)\n", m, m.Diameter())
-	fmt.Printf("policy:      %s\n", pol.Name())
-	if *resume {
-		// The initial configuration is gone; distance-derived statistics
-		// would be relative to the restore point, not the original run.
-		fmt.Printf("workload:    %s (resumed), k=%d\n", *wl, res.Total)
-		fmt.Printf("steps:       %d\n", res.Steps)
-	} else {
-		fmt.Printf("workload:    %s, k=%d, dmax=%d\n", *wl, res.Total, workload.MaxDistance(m, packets))
-		fmt.Printf("steps:       %d (instance lower bound %d)\n", res.Steps, bound.Instance(m, packets))
-	}
-	fmt.Printf("delivered:   %d/%d\n", res.Delivered, res.Total)
-	fmt.Printf("deflections: %d (of %d hops)\n", res.TotalDeflections, res.TotalHops)
-	fmt.Printf("max load:    %d packets in one node\n", res.MaxNodeLoad)
 	if faults != nil {
-		fmt.Printf("faults:      %d link failures, %d node failures over the run\n",
-			res.LinkFailures, res.NodeFailures)
-		fmt.Printf("degraded:    %d dropped (%d crash, %d unreachable, %d stranded, %d at injection), %d absorbed\n",
-			res.Dropped, res.DroppedCrash, res.DroppedUnreachable, res.DroppedStranded, res.DroppedInject,
-			res.Absorbed)
-		fmt.Printf("reroutes:    %d packet-steps with no surviving good arc\n", res.Reroutes)
-	}
-	if res.Livelocked {
-		fmt.Println("LIVELOCK detected: the configuration repeated")
-	}
-	if res.HitMaxSteps {
-		fmt.Println("step budget exhausted before completion")
-	}
-	if res.DeadlineExceeded {
-		fmt.Println("wall-clock budget exhausted before completion")
-	}
-	if runErr != nil { // context cancelled: a signal stopped the run
-		if *ckptPath != "" {
-			fmt.Printf("interrupted at step %d; state saved to %s — rerun with -resume to continue\n", res.Steps, *ckptPath)
-		} else {
-			fmt.Printf("interrupted at step %d (no -checkpoint set, progress not saved)\n", res.Steps)
-		}
-	}
-	if *dim == 2 {
-		bound := analysis.Theorem20Bound(*side, res.Total)
-		fmt.Printf("theorem 20:  bound %.0f, measured/bound = %.4f\n", bound, float64(res.Steps)/bound)
+		report(m, pol, res, runErr, *resume, *wl, packets, *ckptPath, *dim, *side, func() {
+			fmt.Printf("faults:      %d link failures, %d node failures over the run\n",
+				res.LinkFailures, res.NodeFailures)
+			fmt.Printf("degraded:    %d dropped (%d crash, %d unreachable, %d stranded, %d at injection), %d absorbed\n",
+				res.Dropped, res.DroppedCrash, res.DroppedUnreachable, res.DroppedStranded, res.DroppedInject,
+				res.Absorbed)
+			fmt.Printf("reroutes:    %d packet-steps with no surviving good arc\n", res.Reroutes)
+		})
 	} else {
-		bound := analysis.Section5Bound(*dim, *side, res.Total)
-		fmt.Printf("section 5:   bound %.0f, measured/bound = %.6f\n", bound, float64(res.Steps)/bound)
+		report(m, pol, res, runErr, *resume, *wl, packets, *ckptPath, *dim, *side, nil)
 	}
 	if tracker != nil {
 		v := tracker.Violations()

@@ -35,6 +35,7 @@ import (
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/profiling"
 	runner "hotpotato/internal/run"
+	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/spec"
 	"hotpotato/internal/stats"
@@ -124,6 +125,7 @@ func runCtx(ctx context.Context, args []string) error {
 		track         = fs.Bool("track", false, "attach the potential tracker and report violations")
 		workers       = fs.Int("parallel", 1, "worker goroutines per cell")
 		engineWorkers = fs.Int("workers", 0, "in-engine routing goroutines per run (0 = serial)")
+		shardsFlag    = fs.String("shards", "", "run each trial on the sharded engine with this PxQ grid (2-D only, bit-identical results)")
 		csvOut        = fs.Bool("csv", false, "emit CSV")
 		validate      = fs.Bool("strict", false, "validate Definition 18 (restricted preference) too")
 		frFlag        = fs.String("fault-rate", "0", "comma-separated per-link per-step failure probabilities (0 = intact mesh)")
@@ -172,6 +174,27 @@ func runCtx(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *shardsFlag != "" {
+		// Fail the whole sweep up front rather than erroring every cell: the
+		// sharded engine is 2-D only and does not compose with the tracker,
+		// in-engine workers, or fault injection (see analysis.TrialSpec).
+		if _, err := shard.ParseGrid(*shardsFlag); err != nil {
+			return err
+		}
+		switch {
+		case *dim != 2:
+			return errors.New("-shards needs -d 2 (the sharded engine decomposes 2-D meshes)")
+		case *track:
+			return errors.New("-shards and -track are mutually exclusive")
+		case *engineWorkers != 0:
+			return errors.New("-shards and -workers are alternative parallelization schemes; pick one")
+		}
+		for _, frate := range faultRates {
+			if frate != 0 {
+				return errors.New("-shards does not support fault injection (-fault-rate)")
+			}
+		}
+	}
 
 	lvl := sim.ValidateGreedy
 	if *validate {
@@ -212,6 +235,7 @@ func runCtx(ctx context.Context, args []string) error {
 							Track:       *track,
 							Validation:  lvl,
 							Workers:     *engineWorkers,
+							Shards:      *shardsFlag,
 						}
 						if frate != 0 { // negative rates reach the validator below
 							// Validate the rates here; NewFaults runs inside
@@ -271,9 +295,9 @@ func runCtx(ctx context.Context, args []string) error {
 	// The label ties a journal to one exact grid: every flag that shapes
 	// cell keys or results is part of it, so -resume against the journal of
 	// a different sweep fails loudly instead of mixing data.
-	label := fmt.Sprintf("sweep d=%d n=%s k=%s policy=%s workload=%s fault-rate=%s fault-repair=%g fault-max-down=%d trials=%d seed=%d torus=%t track=%t strict=%t workers=%d",
+	label := fmt.Sprintf("sweep d=%d n=%s k=%s policy=%s workload=%s fault-rate=%s fault-repair=%g fault-max-down=%d trials=%d seed=%d torus=%t track=%t strict=%t workers=%d shards=%s",
 		*dim, *nsFlag, *ksFlag, *polFlag, *wlFlag, *frFlag, *faultRepair, *faultMaxDown,
-		*trials, *seed, *torus, *track, *validate, *engineWorkers)
+		*trials, *seed, *torus, *track, *validate, *engineWorkers, *shardsFlag)
 
 	opts := runner.Options{
 		Workers:     *cellsParallel,

@@ -6,6 +6,7 @@ import (
 
 	"hotpotato/internal/core"
 	"hotpotato/internal/mesh"
+	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
 )
 
@@ -31,6 +32,11 @@ type TrialSpec struct {
 	// Workers routes nodes concurrently inside the engine (see
 	// sim.Options.Workers); the policy must be clonable.
 	Workers int
+	// Shards, when non-empty, runs the trial on the sharded engine with
+	// this PxQ spatial decomposition (2-D meshes only; bit-identical to the
+	// single engine, see internal/shard). Mutually exclusive with Workers,
+	// Track and NewFaults.
+	Shards string
 	// NewFaults constructs a fresh fault model for the trial (models are
 	// stateful, so each engine needs its own). Nil runs on the intact mesh.
 	NewFaults func() sim.FaultModel
@@ -73,6 +79,9 @@ func RunTrial(spec TrialSpec) (*TrialResult, error) {
 	if validation == sim.ValidateOff {
 		validation = sim.ValidateGreedy
 	}
+	if spec.Shards != "" {
+		return runShardedTrial(spec, packets, validation)
+	}
 	e, err := sim.New(spec.Mesh, spec.NewPolicy(), packets, sim.Options{
 		Seed:           spec.Seed + 1,
 		Validation:     validation,
@@ -108,6 +117,47 @@ func RunTrial(spec TrialSpec) (*TrialResult, error) {
 		tr.MinSpare = tracker.MinSpare()
 		tr.MinPhi = tracker.MinPhi()
 		tr.Tracker = tracker
+	}
+	return tr, nil
+}
+
+// runShardedTrial is RunTrial's sharded-engine path: same seeds, same
+// summary, computed by the spatially-decomposed engine. The outcome is
+// bit-identical to the single engine's (internal/shard's parity contract),
+// so sharded sweep cells are directly comparable to unsharded ones.
+func runShardedTrial(spec TrialSpec, packets []*sim.Packet, validation sim.ValidationLevel) (*TrialResult, error) {
+	switch {
+	case spec.Track:
+		return nil, fmt.Errorf("analysis: sharded trials cannot attach the potential tracker (observers see one engine's move stream)")
+	case spec.NewFaults != nil:
+		return nil, fmt.Errorf("analysis: sharded trials do not support fault injection")
+	case spec.Workers != 0:
+		return nil, fmt.Errorf("analysis: Shards and Workers are alternative parallelization schemes; pick one")
+	}
+	grid, err := shard.ParseGrid(spec.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e, err := shard.New(spec.Mesh, spec.NewPolicy(), packets, shard.Options{
+		Grid:           grid,
+		Seed:           spec.Seed + 1,
+		Validation:     validation,
+		MaxSteps:       spec.MaxSteps,
+		DetectLivelock: spec.DetectLivelock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	tr := &TrialResult{Packets: packets, Result: res}
+	for _, p := range packets {
+		if d := spec.Mesh.Dist(p.Src, p.Dst); d > tr.DMax {
+			tr.DMax = d
+		}
 	}
 	return tr, nil
 }

@@ -1,7 +1,10 @@
-// Package checkpoint persists sim.Snapshot values as versioned checkpoint
-// files, so long runs survive crashes and signals: the engine state is
-// captured between steps, written atomically, and restored bit-identically
-// on resume (see sim.Engine.Snapshot/Restore for the parity contract).
+// Package checkpoint persists checkpoint values — engine snapshots
+// (sim.Snapshot) and, via the generic WriteValue/ReadValue pair, any other
+// serializable run state such as the sharded engine's per-shard files — as
+// versioned checkpoint files, so long runs survive crashes and signals: the
+// state is captured between steps, written atomically, and restored
+// bit-identically on resume (see sim.Engine.Snapshot/Restore for the parity
+// contract).
 //
 // The container format is a fixed header — magic "HPCK", one format byte,
 // a little-endian uint32 container version, a little-endian uint32 IEEE
@@ -53,18 +56,22 @@ var magic = [4]byte{'H', 'P', 'C', 'K'}
 // are truncated or corrupt, or come from a future container version.
 var ErrBadFile = errors.New("checkpoint: not a valid checkpoint file")
 
-// Write encodes the snapshot into w in the given format.
-func Write(w io.Writer, s *sim.Snapshot, format Format) error {
+// WriteValue encodes any checkpointable value into w inside the HPCK
+// envelope. The envelope authenticates the container (magic, format byte,
+// container version, payload CRC); any schema versioning of the value
+// itself rides inside the payload and is the caller's contract — exactly
+// how Read enforces sim.SnapshotVersion for engine snapshots.
+func WriteValue(w io.Writer, v any, format Format) error {
 	var payload bytes.Buffer
 	switch format {
 	case JSON:
 		enc := json.NewEncoder(&payload)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s); err != nil {
+		if err := enc.Encode(v); err != nil {
 			return fmt.Errorf("checkpoint: encode: %w", err)
 		}
 	case Binary:
-		if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+		if err := gob.NewEncoder(&payload).Encode(v); err != nil {
 			return fmt.Errorf("checkpoint: encode: %w", err)
 		}
 	default:
@@ -85,59 +92,56 @@ func Write(w io.Writer, s *sim.Snapshot, format Format) error {
 	return nil
 }
 
-// Read decodes a checkpoint produced by Write, sniffing the payload format
-// from the header and verifying the container version and checksum.
-func Read(r io.Reader) (*sim.Snapshot, error) {
+// ReadValue decodes a checkpoint produced by WriteValue into v (a non-nil
+// pointer), sniffing the payload format from the header and verifying the
+// container version and checksum.
+func ReadValue(r io.Reader, v any) error {
 	var hdr [13]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadFile, err)
+		return fmt.Errorf("%w: short header: %v", ErrBadFile, err)
 	}
 	if !bytes.Equal(hdr[:4], magic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFile, hdr[:4])
+		return fmt.Errorf("%w: bad magic %q", ErrBadFile, hdr[:4])
 	}
 	format := Format(hdr[4])
-	if v := binary.LittleEndian.Uint32(hdr[5:9]); v != Version {
-		return nil, fmt.Errorf("%w: container version %d, this build reads %d", ErrBadFile, v, Version)
+	if ver := binary.LittleEndian.Uint32(hdr[5:9]); ver != Version {
+		return fmt.Errorf("%w: container version %d, this build reads %d", ErrBadFile, ver, Version)
 	}
 	payload, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: read payload: %v", ErrBadFile, err)
+		return fmt.Errorf("%w: read payload: %v", ErrBadFile, err)
 	}
 	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(hdr[9:13]) {
-		return nil, fmt.Errorf("%w: payload checksum mismatch (corrupt or truncated)", ErrBadFile)
+		return fmt.Errorf("%w: payload checksum mismatch (corrupt or truncated)", ErrBadFile)
 	}
 
-	s := &sim.Snapshot{}
 	switch format {
 	case JSON:
-		if err := json.Unmarshal(payload, s); err != nil {
-			return nil, fmt.Errorf("%w: decode: %v", ErrBadFile, err)
+		if err := json.Unmarshal(payload, v); err != nil {
+			return fmt.Errorf("%w: decode: %v", ErrBadFile, err)
 		}
 	case Binary:
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(s); err != nil {
-			return nil, fmt.Errorf("%w: decode: %v", ErrBadFile, err)
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+			return fmt.Errorf("%w: decode: %v", ErrBadFile, err)
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown format byte %q", ErrBadFile, byte(format))
+		return fmt.Errorf("%w: unknown format byte %q", ErrBadFile, byte(format))
 	}
-	if s.Version > sim.SnapshotVersion {
-		return nil, fmt.Errorf("%w: snapshot schema v%d, this build reads up to v%d", ErrBadFile, s.Version, sim.SnapshotVersion)
-	}
-	return s, nil
+	return nil
 }
 
-// Save writes the snapshot to path atomically: the bytes go to a temporary
-// file in the same directory, are fsynced, and replace path with a rename.
-// A crash mid-save therefore leaves the previous checkpoint intact — the
-// property periodic checkpointing exists for.
-func Save(path string, s *sim.Snapshot, format Format) error {
+// SaveValue writes any checkpointable value to path atomically: the bytes
+// go to a temporary file in the same directory, are fsynced, and replace
+// path with a rename. A crash mid-save therefore leaves the previous
+// checkpoint intact — the property periodic checkpointing exists for.
+func SaveValue(path string, v any, format Format) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := Write(tmp, s, format); err != nil {
+	if err := WriteValue(tmp, v, format); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -152,6 +156,42 @@ func Save(path string, s *sim.Snapshot, format Format) error {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil
+}
+
+// LoadValue reads a checkpoint file written by SaveValue into v.
+func LoadValue(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := ReadValue(f, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// Write encodes the engine snapshot into w in the given format.
+func Write(w io.Writer, s *sim.Snapshot, format Format) error {
+	return WriteValue(w, s, format)
+}
+
+// Read decodes an engine snapshot produced by Write, additionally enforcing
+// the snapshot's own schema version.
+func Read(r io.Reader) (*sim.Snapshot, error) {
+	s := &sim.Snapshot{}
+	if err := ReadValue(r, s); err != nil {
+		return nil, err
+	}
+	if s.Version > sim.SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot schema v%d, this build reads up to v%d", ErrBadFile, s.Version, sim.SnapshotVersion)
+	}
+	return s, nil
+}
+
+// Save writes the engine snapshot to path atomically (see SaveValue).
+func Save(path string, s *sim.Snapshot, format Format) error {
+	return SaveValue(path, s, format)
 }
 
 // Load reads a checkpoint file written by Save (either format).

@@ -1,0 +1,270 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// subgridCases enumerates rectangle shapes worth exercising on an 8x8 base:
+// interior and corner blocks, non-square slabs, degenerate 1xk and kx1
+// strips, single cells, and the whole mesh.
+var subgridCases = []struct {
+	name         string
+	x0, y0, w, h int
+}{
+	{"interior", 2, 3, 3, 2},
+	{"corner-origin", 0, 0, 4, 4},
+	{"corner-far", 4, 4, 4, 4},
+	{"non-square-wide", 0, 2, 8, 3},
+	{"non-square-tall", 5, 0, 2, 8},
+	{"strip-1xk", 0, 3, 8, 1},
+	{"strip-kx1", 3, 0, 1, 8},
+	{"single-cell-interior", 4, 5, 1, 1},
+	{"single-cell-corner", 7, 7, 1, 1},
+	{"whole-mesh", 0, 0, 8, 8},
+}
+
+func subgridBases(t *testing.T) []*Mesh {
+	t.Helper()
+	return []*Mesh{MustNew(2, 8), MustNewTorus(2, 8), MustNewTorus(2, 9)}
+}
+
+// TestSubgridMatchesBase cross-checks every Topology primitive of every
+// rectangle against the base mesh for all owned nodes (and all destinations
+// for the good-direction primitives on a sampled set).
+func TestSubgridMatchesBase(t *testing.T) {
+	for _, m := range subgridBases(t) {
+		for _, tc := range subgridCases {
+			if tc.x0+tc.w > m.Side() || tc.y0+tc.h > m.Side() {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%s", m, tc.name), func(t *testing.T) {
+				g, err := m.Subgrid(tc.x0, tc.y0, tc.w, tc.h)
+				if err != nil {
+					t.Fatalf("Subgrid: %v", err)
+				}
+				if got := g.Len(); got != tc.w*tc.h {
+					t.Fatalf("Len = %d, want %d", got, tc.w*tc.h)
+				}
+				checkSubgridAgainstBase(t, m, g)
+			})
+		}
+	}
+}
+
+func checkSubgridAgainstBase(t *testing.T, m *Mesh, g *Subgrid) {
+	t.Helper()
+	x0, y0, w, h := g.Bounds()
+	var bufG, bufM [2 * MaxDim]Dir
+	var cbufG, cbufM [MaxDim]int
+	prev := -1
+	for local := 0; local < g.Len(); local++ {
+		id := g.GlobalID(local)
+		// Local row-major order must be monotone in global id within the
+		// rectangle's rows; across a row boundary it jumps but stays
+		// increasing because y dominates the id.
+		if int(id) <= prev {
+			t.Fatalf("GlobalID(%d) = %d not increasing (prev %d)", local, id, prev)
+		}
+		prev = int(id)
+		if !g.Owns(id) {
+			t.Fatalf("Owns(%d) = false for owned node", id)
+		}
+		if got := g.LocalID(id); got != local {
+			t.Fatalf("LocalID(GlobalID(%d)) = %d", local, got)
+		}
+		cg := g.Coord(id, cbufG[:])
+		cm := m.Coord(id, cbufM[:])
+		if cg[0] != cm[0] || cg[1] != cm[1] {
+			t.Fatalf("Coord(%d) = %v, base %v", id, cg, cm)
+		}
+		if cg[0] < x0 || cg[0] >= x0+w || cg[1] < y0 || cg[1] >= y0+h {
+			t.Fatalf("owned node %d coord %v outside rectangle", id, cg)
+		}
+		if got, want := g.Degree(id), m.Degree(id); got != want {
+			t.Fatalf("Degree(%d) = %d, base %d", id, got, want)
+		}
+		if got, want := g.DegreeLocal(local), m.Degree(id); got != want {
+			t.Fatalf("DegreeLocal(%d) = %d, base %d", local, got, want)
+		}
+		for d := 0; d < m.DirCount(); d++ {
+			dir := Dir(d)
+			gTo, gOK := g.Neighbor(id, dir)
+			mTo, mOK := m.Neighbor(id, dir)
+			if gOK != mOK || (gOK && gTo != mTo) {
+				t.Fatalf("Neighbor(%d, %v) = (%d, %v), base (%d, %v)", id, dir, gTo, gOK, mTo, mOK)
+			}
+			if g.HasArc(id, dir) != m.HasArc(id, dir) {
+				t.Fatalf("HasArc(%d, %v) mismatch", id, dir)
+			}
+			lTo, lOwned, lOK := g.NeighborLocal(local, dir)
+			if lOK != mOK {
+				t.Fatalf("NeighborLocal(%d, %v) ok = %v, base %v", local, dir, lOK, mOK)
+			}
+			if lOK {
+				if lTo != mTo {
+					t.Fatalf("NeighborLocal(%d, %v) = %d, base %d", local, dir, lTo, mTo)
+				}
+				if lOwned != g.Owns(mTo) {
+					t.Fatalf("NeighborLocal(%d, %v) owned = %v, Owns(%d) = %v",
+						local, dir, lOwned, mTo, g.Owns(mTo))
+				}
+			}
+			g2, g2OK := g.TwoNeighbor(id, dir)
+			m2, m2OK := m.TwoNeighbor(id, dir)
+			if g2OK != m2OK || (g2OK && g2 != m2) {
+				t.Fatalf("TwoNeighbor(%d, %v) mismatch", id, dir)
+			}
+		}
+		// Good-direction primitives against a sampled destination set:
+		// corners, centre, and a diagonal sweep (covers the torus
+		// exactly-opposite tie for even sides).
+		side := m.Side()
+		for _, dst := range []NodeID{
+			0,
+			NodeID(side - 1),
+			NodeID((side - 1) * side),
+			NodeID(side*side - 1),
+			NodeID((side/2)*side + side/2),
+			id,
+			m.step(m.step(id, DirPlus(0), side/2), DirPlus(1), side/2),
+		} {
+			if !m.Wrap() && dst == m.step(m.step(id, DirPlus(0), side/2), DirPlus(1), side/2) {
+				continue // step() wraps; only meaningful on the torus
+			}
+			ng := g.GoodDirsInto(id, dst, &bufG)
+			nm := m.Tables().GoodDirsInto(id, dst, &bufM)
+			if ng != nm {
+				t.Fatalf("GoodDirsInto(%d, %d) count = %d, tables %d", id, dst, ng, nm)
+			}
+			for i := 0; i < ng; i++ {
+				if bufG[i] != bufM[i] {
+					t.Fatalf("GoodDirsInto(%d, %d)[%d] = %v, tables %v", id, dst, i, bufG[i], bufM[i])
+				}
+			}
+			if gd := g.GoodDirs(id, dst, nil); len(gd) != ng {
+				t.Fatalf("GoodDirs(%d, %d) len = %d, want %d", id, dst, len(gd), ng)
+			}
+			if got, want := g.GoodDirCount(id, dst), m.GoodDirCount(id, dst); got != want {
+				t.Fatalf("GoodDirCount(%d, %d) = %d, base %d", id, dst, got, want)
+			}
+			for d := 0; d < m.DirCount(); d++ {
+				if g.IsGoodDir(id, dst, Dir(d)) != m.IsGoodDir(id, dst, Dir(d)) {
+					t.Fatalf("IsGoodDir(%d, %d, %v) mismatch", id, dst, Dir(d))
+				}
+			}
+			if got, want := g.Dist(id, dst), m.Dist(id, dst); got != want {
+				t.Fatalf("Dist(%d, %d) = %d, base %d", id, dst, got, want)
+			}
+		}
+		if got, want := g.SnakeRank(id), m.SnakeRank(id); got != want {
+			t.Fatalf("SnakeRank(%d) = %d, base %d", id, got, want)
+		}
+		if got, want := g.ParityClass(id), m.ParityClass(id); got != want {
+			t.Fatalf("ParityClass(%d) = %d, base %d", id, got, want)
+		}
+	}
+	// Geometry accessors are those of the base mesh, never the rectangle.
+	if g.Dim() != 2 || g.Side() != m.Side() || g.Size() != m.Size() ||
+		g.Wrap() != m.Wrap() || g.DirCount() != m.DirCount() || g.Diameter() != m.Diameter() {
+		t.Fatalf("geometry accessors diverge from base: %v vs %v", g, m)
+	}
+}
+
+// TestSubgridBoundaryEdges pins the halo semantics down explicitly: on a
+// torus every rectangle-boundary arc wraps to the node on the far side of
+// the *mesh* (not the far side of the rectangle), while on a mesh arcs at
+// the true network edge are clipped (-1 / !ok) and arcs at an interior
+// rectangle boundary lead into halo territory owned by a neighboring shard.
+func TestSubgridBoundaryEdges(t *testing.T) {
+	t.Run("torus-wraps", func(t *testing.T) {
+		m := MustNewTorus(2, 8)
+		// Left column of the mesh: the "-x" neighbor wraps to x=7.
+		g, err := m.Subgrid(0, 2, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from := m.ID([]int{0, 3})
+		to, owned, ok := g.NeighborLocal(g.LocalID(from), DirMinus(0))
+		if !ok {
+			t.Fatalf("torus boundary arc missing")
+		}
+		if want := m.ID([]int{7, 3}); to != want {
+			t.Fatalf("wrap neighbor = %d, want %d", to, want)
+		}
+		if owned {
+			t.Fatalf("wrapped neighbor reported as owned")
+		}
+	})
+	t.Run("torus-wrap-into-self", func(t *testing.T) {
+		// A full-width strip on a torus wraps into itself: the halo node is
+		// owned by the same rectangle. The engine treats that as an internal
+		// move, not a halo crossing.
+		m := MustNewTorus(2, 8)
+		g, err := m.Subgrid(0, 3, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from := m.ID([]int{0, 3})
+		to, owned, ok := g.NeighborLocal(g.LocalID(from), DirMinus(0))
+		if !ok || to != m.ID([]int{7, 3}) {
+			t.Fatalf("self-wrap neighbor = %d, ok %v", to, ok)
+		}
+		if !owned {
+			t.Fatalf("self-wrap neighbor must be owned")
+		}
+	})
+	t.Run("mesh-clips", func(t *testing.T) {
+		m := MustNew(2, 8)
+		// Rectangle touching the true mesh edge: edge arcs are clipped.
+		g, err := m.Subgrid(0, 0, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origin := m.ID([]int{0, 0})
+		if _, _, ok := g.NeighborLocal(g.LocalID(origin), DirMinus(0)); ok {
+			t.Fatalf("mesh edge arc -x not clipped")
+		}
+		if _, _, ok := g.NeighborLocal(g.LocalID(origin), DirMinus(1)); ok {
+			t.Fatalf("mesh edge arc -y not clipped")
+		}
+		// Interior rectangle boundary: the arc exists and leads into the halo.
+		from := m.ID([]int{2, 1})
+		to, owned, ok := g.NeighborLocal(g.LocalID(from), DirPlus(0))
+		if !ok || to != m.ID([]int{3, 1}) {
+			t.Fatalf("interior boundary arc = %d, ok %v", to, ok)
+		}
+		if owned {
+			t.Fatalf("halo neighbor reported as owned")
+		}
+	})
+}
+
+func TestSubgridErrors(t *testing.T) {
+	m2 := MustNew(2, 8)
+	for _, tc := range []struct{ x0, y0, w, h int }{
+		{-1, 0, 2, 2}, {0, -1, 2, 2}, {0, 0, 0, 2}, {0, 0, 2, 0},
+		{7, 0, 2, 2}, {0, 7, 2, 2}, {0, 0, 9, 1}, {0, 0, 1, 9},
+	} {
+		if _, err := m2.Subgrid(tc.x0, tc.y0, tc.w, tc.h); err == nil {
+			t.Errorf("Subgrid(%d, %d, %d, %d): want error", tc.x0, tc.y0, tc.w, tc.h)
+		}
+	}
+	m3 := MustNew(3, 4)
+	if _, err := m3.Subgrid(0, 0, 2, 2); err == nil {
+		t.Errorf("Subgrid on 3-dimensional mesh: want error")
+	}
+}
+
+// TestSubgridStringer keeps the rendered form stable (it appears in shard
+// error messages and logs).
+func TestSubgridStringer(t *testing.T) {
+	m := MustNew(2, 8)
+	g, err := m.Subgrid(2, 0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.String(), "mesh(d=2, n=8)[2,5)x[0,4)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"hotpotato/internal/checkpoint"
 	"hotpotato/internal/mesh"
+	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/spec"
 )
@@ -74,6 +75,12 @@ type JobSpec struct {
 	Validation string `json:"validation,omitempty"`
 	// Workers > 1 routes nodes concurrently inside the engine.
 	Workers int `json:"workers,omitempty"`
+	// Shards, when non-empty ("PxQ"), runs the job on the sharded engine
+	// with that spatial decomposition (2-D meshes only; results are
+	// bit-identical to the single engine's, see internal/shard). Mutually
+	// exclusive with Workers and Fault. A sharded job's checkpoint is a
+	// directory, and resume_from must name such a directory.
+	Shards string `json:"shards,omitempty"`
 	// NoLivelockDetect disables configuration hashing (detection is on by
 	// default, so a deterministic livelock terminates the job).
 	NoLivelockDetect bool `json:"no_livelock_detect,omitempty"`
@@ -144,6 +151,19 @@ func (js JobSpec) validate(maxNodes, maxK int) error {
 	}
 	if js.Workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", js.Workers)
+	}
+	if js.Shards != "" {
+		if _, err := shard.ParseGrid(js.Shards); err != nil {
+			return err
+		}
+		switch {
+		case js.Dim != 2:
+			return fmt.Errorf("shards needs dim 2 (the sharded engine decomposes 2-D meshes), got dim %d", js.Dim)
+		case js.Workers != 0:
+			return fmt.Errorf("shards and workers are alternative parallelization schemes; pick one")
+		case js.Fault != nil && js.Fault.Enabled():
+			return fmt.Errorf("sharded jobs do not support fault injection")
+		}
 	}
 	if js.ProgressEvery < 1 {
 		return fmt.Errorf("progress_every must be >= 1, got %d", js.ProgressEvery)
@@ -230,6 +250,63 @@ func (js JobSpec) buildEngine(jobTimeout time.Duration) (*sim.Engine, error) {
 			return nil, err
 		}
 		if err := e.Restore(snap); err != nil {
+			return nil, fmt.Errorf("resume from %s: %w (the spec must match the checkpointed run)", js.ResumeFrom, err)
+		}
+	}
+	return e, nil
+}
+
+// buildShardEngine is buildEngine's counterpart for sharded jobs: it
+// materializes the spec into a ready-to-run shard.Engine. Validation has
+// already confirmed the spec is 2-D, fault-free and parses as a grid.
+func (js JobSpec) buildShardEngine(jobTimeout time.Duration) (*shard.Engine, error) {
+	var m *mesh.Mesh
+	var err error
+	if js.Torus {
+		m, err = mesh.NewTorus(js.Dim, js.Side)
+	} else {
+		m, err = mesh.New(js.Dim, js.Side)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pol, err := spec.NewPolicy(js.Policy)
+	if err != nil {
+		return nil, err
+	}
+	lvl, err := spec.ParseValidation(js.Validation)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := shard.ParseGrid(js.Shards)
+	if err != nil {
+		return nil, err
+	}
+	var packets []*sim.Packet
+	if js.ResumeFrom == "" { // a resumed job takes its packets from the snapshot
+		packets, err = spec.NewWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	e, err := shard.New(m, pol, packets, shard.Options{
+		Grid:           grid,
+		Seed:           js.Seed + 1,
+		MaxSteps:       js.MaxSteps,
+		Validation:     lvl,
+		DetectLivelock: !js.NoLivelockDetect,
+		MaxWallTime:    jobTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if js.ResumeFrom != "" {
+		ck, err := shard.LoadDir(js.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Restore(ck); err != nil {
+			e.Close()
 			return nil, fmt.Errorf("resume from %s: %w (the spec must match the checkpointed run)", js.ResumeFrom, err)
 		}
 	}

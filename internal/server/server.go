@@ -51,6 +51,7 @@ import (
 	"hotpotato/internal/run"
 	"hotpotato/internal/server/metrics"
 	"hotpotato/internal/server/store"
+	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
 )
 
@@ -304,9 +305,16 @@ func (s *Server) adoptRecovery(rec *store.Recovery) {
 			s.logf("job %s QUARANTINED at recovery (%d prior start(s))", j.ID, jr.Starts)
 		default:
 			if s.cfg.CheckpointDir != "" {
-				path := filepath.Join(s.cfg.CheckpointDir, j.ID+".hpck")
-				if _, err := os.Stat(path); err == nil {
-					j.Spec.ResumeFrom = path
+				if j.Spec.Shards != "" {
+					dir := filepath.Join(s.cfg.CheckpointDir, j.ID+".shards")
+					if shard.HasCheckpoint(dir) {
+						j.Spec.ResumeFrom = dir
+					}
+				} else {
+					path := filepath.Join(s.cfg.CheckpointDir, j.ID+".hpck")
+					if _, err := os.Stat(path); err == nil {
+						j.Spec.ResumeFrom = path
+					}
 				}
 			}
 			s.recovered.Inc()
@@ -588,8 +596,9 @@ type jobOutcome struct {
 // runs of the same spec report equal fingerprints iff they ended in
 // bit-identical engine states having done identical work — which is how
 // the chaos harness proves a crash-recovered run matches an uninterrupted
-// one.
-func resultFingerprint(e *sim.Engine, p sim.Progress) uint64 {
+// one. Both sim.Engine and shard.Engine satisfy the parameter (and hash
+// equal states equally, which is the sharded engine's parity contract).
+func resultFingerprint(e interface{ StateHash() uint64 }, p sim.Progress) uint64 {
 	return uint64(rng.Mix(int64(e.StateHash()), int64(p.Time), int64(p.Delivered),
 		int64(p.Dropped), int64(p.Absorbed), p.TotalHops, p.TotalDeflections, int64(p.MaxNodeLoad)))
 }
@@ -730,6 +739,9 @@ func (s *Server) execute(j *Job) {
 			// A finished job's periodic checkpoint is stale — it must not
 			// shadow a future job or confuse recovery's resume probe.
 			os.Remove(filepath.Join(s.cfg.CheckpointDir, j.ID+".hpck")) //nolint:errcheck
+			if j.Spec.Shards != "" {
+				os.RemoveAll(filepath.Join(s.cfg.CheckpointDir, j.ID+".shards")) //nolint:errcheck
+			}
 		}
 		s.logf("job %s done: %d/%d delivered in %d steps",
 			j.ID, out.Result.Delivered, out.Result.Total, out.Result.Steps)
@@ -739,6 +751,9 @@ func (s *Server) execute(j *Job) {
 // runJob is one supervised attempt: build the engine, wire observers,
 // run until completion, drain-cancel, or deadline.
 func (s *Server) runJob(actx context.Context, j *Job, attempt int) (json.RawMessage, error) {
+	if j.Spec.Shards != "" {
+		return s.runShardedJob(actx, j, attempt)
+	}
 	e, err := j.Spec.buildEngine(s.cfg.JobTimeout)
 	if err != nil {
 		return nil, err
@@ -816,6 +831,93 @@ func (s *Server) runJob(actx context.Context, j *Job, attempt int) (json.RawMess
 				return nil, err
 			}
 			if err := save(snap); err != nil {
+				return nil, err
+			}
+		}
+	case res.DeadlineExceeded:
+		out.TimedOut = true
+	default:
+		out.FinalHash = resultFingerprint(e, final)
+	}
+	out.Checkpointed = saved != "" && (out.Canceled || out.TimedOut)
+	out.Checkpoint = saved
+	return json.Marshal(out)
+}
+
+// runShardedJob is runJob's counterpart for specs with Shards set: the same
+// supervision contract (progress epochs, drain-cancel, periodic
+// checkpoints, final-state fingerprint) driven through the sharded engine,
+// which reports through StepHook instead of observers. A sharded checkpoint
+// is a directory — one part per shard plus a manifest — at
+// CheckpointDir/<id>.shards, and resume_from takes such a directory.
+func (s *Server) runShardedJob(actx context.Context, j *Job, attempt int) (json.RawMessage, error) {
+	e, err := j.Spec.buildShardEngine(s.cfg.JobTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(actx)
+	defer cancel()
+	stop := context.AfterFunc(s.jobCtx, cancel)
+	defer stop()
+
+	last := time.Now()
+	sinceEpoch := 0
+	delay := time.Duration(j.Spec.StepDelay)
+	e.StepHook = func(int, int) {
+		now := time.Now()
+		s.stepLatency.Observe(now.Sub(last).Seconds())
+		last = now
+		s.stepsTotal.Inc()
+		if sinceEpoch++; sinceEpoch >= j.Spec.ProgressEvery {
+			sinceEpoch = 0
+			p := e.Progress()
+			j.setProgress(p)
+			s.publishProgress(j, attempt, p)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+
+	saved := ""
+	every := 0
+	var save func(*shard.Checkpoint) error
+	if s.cfg.CheckpointDir != "" {
+		every = s.cfg.CheckpointEvery
+		dir := filepath.Join(s.cfg.CheckpointDir, j.ID+".shards")
+		save = func(ck *shard.Checkpoint) error {
+			if err := shard.SaveDir(dir, ck, checkpoint.Binary); err != nil {
+				return err
+			}
+			saved = dir
+			return nil
+		}
+	}
+
+	started := time.Now()
+	res, runErr := e.RunCheckpointed(ctx, every, save)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return nil, runErr // validation failure, shard panic, checkpoint I/O
+	}
+	elapsed := time.Since(started)
+
+	final := e.Progress()
+	j.setProgress(final)
+	s.publishProgress(j, attempt, final)
+	if elapsed > 0 && final.Time > 0 {
+		s.stepsPerSec.Observe(float64(final.Time) / elapsed.Seconds())
+	}
+
+	out := jobOutcome{Result: res, Steps: final.Time}
+	switch {
+	case runErr != nil: // context.Canceled: drain or backstop
+		out.Canceled = true
+		if save != nil && saved == "" {
+			// Cancelled before the first step: keep the initial state, it is
+			// the job itself (mirroring the single-engine path).
+			if err := save(e.Checkpoint()); err != nil {
 				return nil, err
 			}
 		}

@@ -641,7 +641,16 @@ func (e *Engine) validate(sc *routeScratch) error {
 		}
 		sc.dirOwner[dir] = i
 	}
-	if e.opts.Validation < ValidateGreedy {
+	return validateGreedy(ns, out, sc.dirOwner, e.opts.Validation)
+}
+
+// validateGreedy checks the greediness condition of Definition 6 and (at
+// ValidateRestricted) the restricted-preference condition of Definition 18
+// for one node's assignment. dirOwner must map each direction to the index
+// of the packet using it (-1 when free). Shared by the engine's validate and
+// the sharded path's NodeRouter so the two enforce identical semantics.
+func validateGreedy(ns *NodeState, out []mesh.Dir, dirOwner []int, level ValidationLevel) error {
+	if level < ValidateGreedy {
 		return nil
 	}
 	for i, dir := range out {
@@ -653,12 +662,12 @@ func (e *Engine) validate(sc *routeScratch) error {
 		// advancing packet (Definition 6), and if packet i is restricted,
 		// that advancing packet must itself be restricted (Definition 18).
 		for _, g := range pi.Good() {
-			j := sc.dirOwner[g]
+			j := dirOwner[g]
 			if j < 0 || !goodContains(ns.Info(j), g) {
 				return fmt.Errorf("%w: step %d node %d packet %d deflected with free good arc %v",
 					ErrNotGreedy, ns.Time, ns.Node, ns.Packets[i].ID, g)
 			}
-			if e.opts.Validation >= ValidateRestricted && pi.Restricted && !ns.Info(j).Restricted {
+			if level >= ValidateRestricted && pi.Restricted && !ns.Info(j).Restricted {
 				return fmt.Errorf("%w: step %d node %d packet %d deflected by non-restricted packet %d",
 					ErrNotRestrictedPreferring, ns.Time, ns.Node, ns.Packets[i].ID, ns.Packets[j].ID)
 			}
@@ -803,7 +812,16 @@ func (e *Engine) Step() error {
 		base := 0
 		for _, node := range e.active {
 			n := len(e.byNode[node])
-			if err := e.routeNode(sc, node, t, e.rng, e.moves[base:base+n]); err != nil {
+			// A parallel engine that falls through here (one active node)
+			// must still draw from the per-(seed, step, node) stream, so
+			// that Workers > 1 means per-node streams always — the property
+			// the sharded engine's parity contract is built on.
+			rnd := e.rng
+			if len(e.workers) > 0 {
+				sc.src.Seed(NodeSeed(e.opts.Seed, t, node))
+				rnd = sc.rnd
+			}
+			if err := e.routeNode(sc, node, t, rnd, e.moves[base:base+n]); err != nil {
 				return err
 			}
 			base += n
@@ -885,19 +903,10 @@ func mix64(h, v uint64) uint64 {
 // deterministic run never resurrects them — so the per-step cost tracks the
 // packets in flight, not the total ever injected.
 func (e *Engine) stateHash() uint64 {
-	h := uint64(0x9e3779b97f4a7c15)
+	h := ConfigHashSeed
 	for _, node := range e.active {
 		for _, p := range e.byNode[node] {
-			flags := uint64(p.EnteredVia) + 1
-			if p.AdvancedPrev {
-				flags |= 1 << 8
-			}
-			if p.RestrictedPrev {
-				flags |= 1 << 9
-			}
-			flags |= uint64(p.GoodPrev) << 10
-			h = mix64(h, uint64(p.ID))
-			h = mix64(h, uint64(p.Node)<<32|flags)
+			h = ConfigHashPacket(h, p)
 		}
 	}
 	return h

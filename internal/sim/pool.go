@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-
-	"hotpotato/internal/rng"
 )
 
 // workerPool is the persistent goroutine pool behind routeParallel. The
@@ -69,7 +67,7 @@ func (pl *workerPool) runWorker(e *Engine, w int, sc *routeScratch) {
 		hi := min(lo+int64(pl.chunk), n)
 		for i := lo; i < hi; i++ {
 			node := e.active[i]
-			sc.src.Seed(rng.Mix(e.opts.Seed, int64(t), int64(node)))
+			sc.src.Seed(NodeSeed(e.opts.Seed, t, node))
 			dst := e.moves[e.moveOff[i]:e.moveOff[i+1]]
 			if err := e.routeNode(sc, node, t, sc.rnd, dst); err != nil {
 				pl.errs[w] = err

@@ -176,14 +176,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	s.Packets = make([]PacketState, len(e.packets))
 	for i, p := range e.packets {
 		idx[p.ID] = i
-		s.Packets[i] = PacketState{
-			ID: p.ID, Src: p.Src, Dst: p.Dst, Node: p.Node,
-			EnteredVia: p.EnteredVia, InjectedAt: p.InjectedAt, Class: p.Class,
-			ArrivedAt: p.ArrivedAt, DroppedAt: p.DroppedAt, Cause: p.Cause,
-			Hops: p.Hops, Deflections: p.Deflections,
-			AdvancedPrev: p.AdvancedPrev, RestrictedPrev: p.RestrictedPrev,
-			GoodPrev: p.GoodPrev,
-		}
+		s.Packets[i] = CapturePacket(p)
 	}
 	s.Queues = make([]QueueState, 0, len(e.active))
 	for _, node := range e.active {
@@ -282,14 +275,7 @@ func (e *Engine) Restore(s *Snapshot) error {
 		if err := e.mesh.CheckID(ps.Dst); err != nil {
 			return fmt.Errorf("%w: packet %d destination: %v", ErrBadSnapshot, ps.ID, err)
 		}
-		packets[i] = &Packet{
-			ID: ps.ID, Src: ps.Src, Dst: ps.Dst, Node: ps.Node,
-			EnteredVia: ps.EnteredVia, InjectedAt: ps.InjectedAt, Class: ps.Class,
-			ArrivedAt: ps.ArrivedAt, DroppedAt: ps.DroppedAt, Cause: ps.Cause,
-			Hops: ps.Hops, Deflections: ps.Deflections,
-			AdvancedPrev: ps.AdvancedPrev, RestrictedPrev: ps.RestrictedPrev,
-			GoodPrev: ps.GoodPrev,
-		}
+		packets[i] = ps.Packet()
 		if !packets[i].Arrived() && !packets[i].Dropped() {
 			live++
 		}
