@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-shard bench-smoke shard-parity experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke clean
+.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-shard bench-dist bench-smoke shard-parity experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke dist-chaos-smoke dist-demo clean
 
 # Output file for the committed benchmark record (see bench-json).
 BENCH_JSON ?= BENCH_PR3.json
@@ -36,10 +36,13 @@ vet:
 # Short fuzz pass over the untrusted-input parsers (CI runs this on every
 # push; `go test -fuzz` with a longer -fuzztime digs deeper locally). The
 # WAL decoder is fuzzed because it parses whatever a crash left on disk:
-# torn writes, truncation, bit rot.
+# torn writes, truncation, bit rot. The halo frame reader and wire decoders
+# are fuzzed because they parse whatever a peer (or a corrupting link) sends
+# over TCP.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParseBench -fuzztime 15s ./internal/benchfmt/
 	$(GO) test -fuzz FuzzWAL -fuzztime 15s ./internal/server/store/
+	$(GO) test -fuzz FuzzHaloFrame -fuzztime 15s ./internal/dshard/
 
 fmt:
 	gofmt -w .
@@ -58,6 +61,14 @@ bench-json:
 bench-shard:
 	$(GO) test -run '^$$' -bench ShardedFullLoad -benchtime 5x -benchmem -timeout 60m . \
 		| tee bench_shard_output.txt | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+
+# Rerun just the distributed benchmark and refresh its committed record
+# (BENCH_PR8.json): one coordinator driving two loopback worker processes
+# vs the in-process 2x1 sharded engine on the same full-load problem — the
+# committed number is the price of the wire.
+bench-dist:
+	$(GO) test -run '^$$' -bench DistributedFullLoad -benchtime 10x -benchmem -timeout 30m . \
+		| tee bench_dist_output.txt | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # CI smoke variant: one iteration per benchmark (-short keeps the sharded
 # benchmark to its 256x256 sizes), then a blocking delta-table comparison
@@ -123,14 +134,39 @@ serve-smoke:
 chaos:
 	HOTPOTATOD_CHAOS_CYCLES=15 $(GO) test -run TestChaosSIGKILLRecovery \
 		-v -count=1 -timeout 10m ./cmd/hotpotatod/
+	SHARDCOORD_CHAOS_KILLS=8 $(GO) test -run TestDistChaosSIGKILL \
+		-v -count=1 -timeout 10m ./cmd/shardcoord/
 
 chaos-smoke:
 	HOTPOTATOD_CHAOS_CYCLES=6 $(GO) test -run 'TestChaos' -count=1 -timeout 5m \
 		./cmd/hotpotatod/ ./internal/server/
+
+# Distributed chaos: a coordinator drives real worker processes over TCP
+# while the harness SIGKILLs them mid-step; the finished run must be
+# bit-identical (every Result field plus the final state hash) to the same
+# problem on the in-process sharded engine with no kills. Runs the whole
+# dshard suite (transport faults, corrupt frames, kill/rejoin, cross-grid
+# resume) plus the process-level harness, under the race detector. Blocking
+# in CI.
+dist-chaos-smoke:
+	SHARDCOORD_CHAOS_KILLS=5 $(GO) test -race -count=1 -timeout 10m \
+		./internal/dshard/ ./cmd/shardcoord/ ./cmd/shardworker/
+
+# Distributed demo: a coordinator spawns two worker processes, one is
+# SIGKILLed mid-run, and the run recovers from the last coordinated
+# checkpoint and finishes — same summary as an uninterrupted run.
+dist-demo:
+	$(GO) build -o /tmp/hp-shardworker ./cmd/shardworker
+	$(GO) build -o /tmp/hp-shardcoord ./cmd/shardcoord
+	@echo "--- distributed run; kill -9 one worker after 2 seconds ---"
+	/tmp/hp-shardcoord -n 24 -workload permutation -policy random -shards 2x2 \
+		-workers 2 -worker-bin /tmp/hp-shardworker -checkpoint-every 8 \
+		-worker-flags "-step-delay 50ms" & \
+	pid=$$!; sleep 2; kill -9 $$(pgrep -x hp-shardworker | head -1); wait $$pid
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_shard_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_shard_output.txt bench_dist_output.txt

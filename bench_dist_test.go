@@ -1,0 +1,90 @@
+package hotpotato_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/dshard"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/shard"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
+	"hotpotato/internal/workload"
+)
+
+// BenchmarkDistributedFullLoad prices the distributed runtime against the
+// in-process sharded engine it must match bit for bit: one op is one
+// complete full-load run on a 2x1 grid, either through a dshard coordinator
+// driving two loopback worker processes (spawn, TCP framing, barriers,
+// shutdown — the whole distributed overhead) or through shard.Engine's two
+// goroutines sharing memory. The gap between the two is the price of the
+// wire; the ratio is what a deployment pays for kill -9 survival.
+// Validation and livelock hashing are off — this times routing plus
+// transport.
+func BenchmarkDistributedFullLoad(b *testing.B) {
+	const side, maxSteps = 64, 10000
+	m := mesh.MustNewTorus(2, side)
+	g := shard.Grid{P: 2, Q: 1}
+	fresh := func(seed int64) []*sim.Packet {
+		pkts, err := workload.FullLoad(m, 2, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pkts
+	}
+
+	b.Run(fmt.Sprintf("%dx%d/coordinator-2workers", side, side), func(b *testing.B) {
+		var steps int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seed := int64(i + 1)
+			c, err := dshard.New(dshard.Spec{
+				Side: side, Wrap: true, Policy: "fixed", Grid: g,
+				Seed: seed, MaxSteps: maxSteps, Validation: sim.ValidateOff,
+			}, fresh(seed), dshard.Options{
+				Workers:  2,
+				Token:    "bench",
+				Policies: spec.NewPolicy,
+				Spawn:    dshard.InProcessSpawner(dshard.WorkerOptions{Token: "bench", Policies: spec.NewPolicy}),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := c.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += int64(res.Steps)
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	})
+
+	b.Run(fmt.Sprintf("%dx%d/inprocess-%s", side, side, g), func(b *testing.B) {
+		var steps int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seed := int64(i + 1)
+			pol, err := spec.NewPolicy("fixed")
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := shard.New(m, pol, fresh(seed), shard.Options{
+				Grid: g, Seed: seed, MaxSteps: maxSteps, Validation: sim.ValidateOff,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := e.Run()
+			e.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += int64(res.Steps)
+		}
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	})
+}

@@ -93,6 +93,37 @@ func TestCompareReportsSetDrift(t *testing.T) {
 	}
 }
 
+// TestCompareReportsNewOnlyBenchmark locks the contract bench-smoke relies
+// on when a PR introduces a benchmark: a name present only in the new record
+// is reported as "new" and never counts as a regression, even at threshold
+// zero (where any comparison at all would fail).
+func TestCompareReportsNewOnlyBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{"BenchmarkStep": 1000})
+	newPath := writeReport(t, dir, "new.json", map[string]float64{
+		"BenchmarkStep":                1000,
+		"BenchmarkDistributedFullLoad": 123456,
+	})
+
+	var sb strings.Builder
+	if err := compareReports(&sb, oldPath, newPath, 0); err != nil {
+		t.Fatalf("a new-only benchmark must not fail -compare: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	row := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BenchmarkDistributedFullLoad") {
+			row = line
+		}
+	}
+	if !strings.Contains(row, "123456") || !strings.Contains(row, "new") {
+		t.Errorf("new benchmark row missing or malformed: %q\n%s", row, out)
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("nothing should be marked REGRESSED:\n%s", out)
+	}
+}
+
 func TestCompareReportsBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	good := writeReport(t, dir, "good.json", map[string]float64{"A": 1000})

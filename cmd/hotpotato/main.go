@@ -26,6 +26,7 @@ import (
 	"hotpotato/internal/bound"
 	"hotpotato/internal/checkpoint"
 	"hotpotato/internal/core"
+	"hotpotato/internal/dshard"
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
@@ -157,6 +158,7 @@ func runCtx(ctx context.Context, args []string) error {
 		animate  = fs.Int("animate", 0, "print the first N steps as text frames (2-D only)")
 		workers  = fs.Int("workers", 0, "route nodes concurrently on this many goroutines (0 = serial)")
 		shards   = fs.String("shards", "", "run the sharded engine with a PxQ spatial decomposition, e.g. 4x2 (2-D only; -checkpoint becomes a directory)")
+		dist     = fs.Int("dist", 0, "with -shards, run distributed: this many worker processes over loopback TCP instead of shard goroutines (see cmd/shardcoord for real multi-process runs)")
 
 		faultRate    = fs.Float64("fault-rate", 0, "per-link per-step failure probability (0 = no link flaps)")
 		faultRepair  = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
@@ -235,6 +237,54 @@ func runCtx(ctx context.Context, args []string) error {
 		grid, err := shard.ParseGrid(*shards)
 		if err != nil {
 			return err
+		}
+		if *dist > 0 {
+			if *dim != 2 {
+				return fmt.Errorf("-dist needs a 2-dimensional mesh, got -d %d", *dim)
+			}
+			var resumeCK *shard.Checkpoint
+			if *resume {
+				resumeCK, err = shard.LoadDir(*ckptPath)
+				if err != nil {
+					return err
+				}
+			}
+			c, err := dshard.New(dshard.Spec{
+				Side:           *side,
+				Policy:         *policy,
+				Grid:           grid,
+				Seed:           *seed + 1,
+				MaxSteps:       *maxSteps,
+				Validation:     lvl,
+				DetectLivelock: *livelock,
+			}, packets, dshard.Options{
+				Workers:          *dist,
+				Policies:         spec.NewPolicy,
+				Spawn:            dshard.InProcessSpawner(dshard.WorkerOptions{Policies: spec.NewPolicy}),
+				CheckpointEvery:  *ckptEvery,
+				CheckpointDir:    *ckptPath,
+				CheckpointFormat: format,
+				Resume:           resumeCK,
+				MaxWallTime:      *maxWall,
+			})
+			if err != nil {
+				if *resume {
+					return fmt.Errorf("resume from %s: %w (pass the same flags as the original run)", *ckptPath, err)
+				}
+				return err
+			}
+			defer c.Close()
+			if resumeCK != nil {
+				fmt.Printf("resumed:     %s at step %d, %d packets in flight\n",
+					*ckptPath, resumeCK.Manifest.Time, resumeCK.Manifest.Live)
+			}
+			res, runErr := c.Run(ctx)
+			if runErr != nil && !errors.Is(runErr, context.Canceled) {
+				return runErr
+			}
+			fmt.Printf("shards:      %s across %d loopback worker processes\n", grid, *dist)
+			report(m, pol, res, runErr, *resume, *wl, packets, *ckptPath, *dim, *side, nil)
+			return runErr
 		}
 		se, err := shard.New(m, pol, packets, shard.Options{
 			Grid:           grid,

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad format", []string{"-checkpoint-format", "yaml"}, "unknown checkpoint format"},
+		{"resume without checkpoint", []string{"-resume"}, "-resume needs -checkpoint"},
+		{"bad grid", []string{"-shards", "0x2"}, "grid"},
+		{"bad policy", []string{"-policy", "nope", "-shards", "2x1"}, "policy"},
+		{"bad workload", []string{"-workload", "nope"}, "workload"},
+		{"too many workers", []string{"-shards", "2x1", "-workers", "3"}, "workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, nil)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+// Command shardworker is one worker process of a distributed sharded run.
+// It dials the coordinator (cmd/shardcoord, or anything built on
+// internal/dshard), announces itself, and then executes whatever subgrid of
+// the mesh the coordinator assigns: route, exchange halos, apply, repeat.
+//
+// Usage:
+//
+//	shardworker -addr 127.0.0.1:7411 -token secret
+//
+// The worker holds no durable state of its own — if it is killed the
+// coordinator re-spawns or re-admits a replacement and reloads it from the
+// last coordinated checkpoint. If the connection drops mid-run the worker
+// dials back in and rejoins under a fresh epoch.
+//
+// The -fault-* flags wrap the worker's outbound link in the transport fault
+// injector (frame drops, duplicates, delays, corruption) for demos and
+// chaos testing; corrupted frames must surface on the coordinator as
+// ErrFrameCorrupt, never as silent divergence.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hotpotato/internal/dshard"
+	"hotpotato/internal/spec"
+	"hotpotato/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "shardworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("shardworker", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "coordinator address: host:port for TCP, a path for a unix socket (required)")
+		token    = fs.String("token", "", "shared secret the coordinator expects in the HELLO")
+		slot     = fs.Int("slot", -1, "worker slot to request (-1 = any open slot)")
+		maxFrame = fs.Int("max-frame", 0, "inbound frame payload cap in bytes (0 = 64 MiB default)")
+		quiet    = fs.Bool("quiet", false, "suppress per-event log lines on stderr")
+		stepDel  = fs.Duration("step-delay", 0, "sleep this long before routing each step (slows demos so kills land mid-run)")
+		showVer  = fs.Bool("version", false, "print the build version and exit")
+
+		faultSeed    = fs.Int64("fault-seed", 1, "RNG seed for the transport fault injector")
+		corruptEvery = fs.Int("fault-corrupt-every", 0, "corrupt every Nth outbound frame (0 = off)")
+		dropEvery    = fs.Int("fault-drop-every", 0, "drop every Nth outbound frame (0 = off)")
+		dupEvery     = fs.Int("fault-dup-every", 0, "duplicate every Nth outbound frame (0 = off)")
+		delayEvery   = fs.Int("fault-delay-every", 0, "delay every Nth outbound frame (0 = off)")
+		delay        = fs.Duration("fault-delay", 5*time.Millisecond, "how long -fault-delay-every stalls a frame")
+		maxFaults    = fs.Int("fault-max", 0, "total fault budget across all -fault-* schedules (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVer {
+		fmt.Println(version.String("shardworker"))
+		return nil
+	}
+	if *addr == "" {
+		return errors.New("-addr is required (the coordinator's listen address)")
+	}
+
+	opts := dshard.WorkerOptions{
+		Token:    *token,
+		Slot:     *slot,
+		Policies: spec.NewPolicy,
+		MaxFrame: *maxFrame,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "shardworker: "+format+"\n", args...)
+		}
+	}
+	if *stepDel > 0 {
+		opts.TestHookPreRoute = func(int) { time.Sleep(*stepDel) }
+	}
+	if *corruptEvery > 0 || *dropEvery > 0 || *dupEvery > 0 || *delayEvery > 0 {
+		opts.Faults = &dshard.FaultPlan{
+			Seed:         *faultSeed,
+			CorruptEvery: *corruptEvery,
+			DropEvery:    *dropEvery,
+			DupEvery:     *dupEvery,
+			DelayEvery:   *delayEvery,
+			Delay:        *delay,
+			MaxFaults:    *maxFaults,
+		}
+	}
+
+	// Serve until the coordinator broadcasts SHUTDOWN (clean exit). A broken
+	// connection is not the end: the coordinator may have restarted, or
+	// declared us dead during a transient stall — dialing back in and
+	// rejoining under the new epoch is the worker's half of the recovery
+	// protocol. An unreachable coordinator (ErrDial exhausts its own retry
+	// budget) or a string of immediate serve failures gives up.
+	failures := 0
+	for {
+		start := time.Now()
+		err := dshard.RunWorker(ctx, *addr, opts)
+		if err == nil || ctx.Err() != nil || errors.Is(err, dshard.ErrDial) {
+			return err
+		}
+		if time.Since(start) > time.Second {
+			failures = 0 // it served for a while; the failure is fresh
+		}
+		failures++
+		if failures >= 5 {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "shardworker: connection lost (%v); rejoining\n", err)
+		}
+	}
+}

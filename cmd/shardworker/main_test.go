@@ -1,0 +1,37 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresAddr(t *testing.T) {
+	err := run(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "-addr") {
+		t.Fatalf("missing -addr: err %v, want a mention of -addr", err)
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunDialFailureIsBounded proves the rejoin loop gives up when the
+// coordinator is truly gone rather than spinning forever: a dial against a
+// dead address must return an error promptly.
+func TestRunDialFailureIsBounded(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:1", "-quiet"}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dial against a dead address succeeded")
+		}
+	case <-ctx.Done():
+	}
+}

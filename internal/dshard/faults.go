@@ -1,0 +1,103 @@
+package dshard
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"hotpotato/internal/rng"
+)
+
+// FaultPlan schedules deterministic transport faults at frame granularity,
+// in the spirit of internal/fault's scripted link schedules: every Nth
+// outbound frame is dropped, duplicated, corrupted, or delayed. Each fault
+// class exercises a different recovery layer — drops and delays are
+// absorbed by the coordinator's bounded retry (workers resend cached
+// responses), duplicates by its stale-frame skipping, and corruption must
+// surface as ErrFrameCorrupt and trigger checkpoint rollback, never silent
+// divergence.
+type FaultPlan struct {
+	// Seed drives the corrupted-byte choice; the schedule itself is purely
+	// counter-based so a plan is reproducible frame-for-frame.
+	Seed int64
+	// Every Nth frame (1-based count of frames written) suffers the fault;
+	// 0 disables the class. When several classes land on the same frame,
+	// exactly one fires: corrupt > drop > dup > delay.
+	CorruptEvery int
+	DropEvery    int
+	DupEvery     int
+	DelayEvery   int
+	// Delay is how long a delayed frame is held back.
+	Delay time.Duration
+	// MaxFaults stops injecting after that many faults fired, so a faulty
+	// run still terminates. 0 means unlimited.
+	MaxFaults int
+}
+
+// active reports whether the plan injects anything.
+func (fp *FaultPlan) active() bool {
+	return fp != nil && (fp.CorruptEvery > 0 || fp.DropEvery > 0 || fp.DupEvery > 0 || fp.DelayEvery > 0)
+}
+
+// faultWriter applies a FaultPlan to a frame stream. It relies on
+// WriteFrame's one-Write-per-frame contract: each Write call is one frame,
+// so faults land on frame boundaries exactly like a lossy transport.
+type faultWriter struct {
+	w    io.Writer
+	plan FaultPlan
+
+	mu     sync.Mutex
+	n      int // frames seen
+	fired  int // faults injected
+	src    rng.SplitMix64
+	seeded bool
+}
+
+// newFaultWriter wraps w; a nil or inactive plan returns w unchanged.
+func newFaultWriter(w io.Writer, plan *FaultPlan) io.Writer {
+	if !plan.active() {
+		return w
+	}
+	return &faultWriter{w: w, plan: *plan}
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.seeded {
+		f.src.Seed(f.plan.Seed)
+		f.seeded = true
+	}
+	f.n++
+	if f.plan.MaxFaults > 0 && f.fired >= f.plan.MaxFaults {
+		return f.w.Write(p)
+	}
+	hit := func(every int) bool { return every > 0 && f.n%every == 0 }
+	switch {
+	case hit(f.plan.CorruptEvery):
+		f.fired++
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		if len(buf) > 0 {
+			buf[f.src.Uint64()%uint64(len(buf))] ^= byte(1 + f.src.Uint64()%255)
+		}
+		if _, err := f.w.Write(buf); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case hit(f.plan.DropEvery):
+		f.fired++
+		return len(p), nil // swallowed whole: the reader never sees it
+	case hit(f.plan.DupEvery):
+		f.fired++
+		if _, err := f.w.Write(p); err != nil {
+			return 0, err
+		}
+		return f.w.Write(p)
+	case hit(f.plan.DelayEvery):
+		f.fired++
+		time.Sleep(f.plan.Delay)
+		return f.w.Write(p)
+	}
+	return f.w.Write(p)
+}

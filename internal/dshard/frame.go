@@ -1,0 +1,118 @@
+// Package dshard executes one PxQ sharded routing run across OS processes:
+// a coordinator (cmd/shardcoord, or a hotpotatod job in distributed mode)
+// drives the step barrier, and each worker process (cmd/shardworker) hosts a
+// subset of the decomposition's shards through shard.Node. The halo exchange
+// — PR 7's receiver-keyed egress buckets — travels over a length-prefixed,
+// CRC-framed protocol on TCP or unix sockets.
+//
+// Robustness is the package's headline: the coordinator enforces per-step
+// deadlines with bounded, jitter-backoff retries (requests are idempotent —
+// workers cache their last response per step and resend it, so a retried
+// ROUTE never re-routes and never double-counts); worker liveness is
+// tracked by spontaneous heartbeats; and on worker death (kill -9, hang,
+// corrupt stream) the coordinator pauses the barrier, re-spawns or
+// re-admits the worker, bumps the protocol epoch, and rolls every worker
+// back to the last coordinated checkpoint. Determinism is inherited from
+// internal/shard, so a recovered distributed run stays bit-identical to a
+// single-engine run: same per-step state hash, same livelock step, same
+// summary. See DESIGN.md §11.
+package dshard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout: a fixed 14-byte header followed by the payload.
+//
+//	offset 0  magic "HPWF" (hot-potato wire frame)
+//	offset 4  protocol version (1 byte)
+//	offset 5  message type (1 byte)
+//	offset 6  payload length, uint32 little-endian
+//	offset 10 CRC-32 (IEEE) over version, type and payload, uint32 LE
+//
+// The CRC covers the type and version bytes so a corrupted type cannot
+// redirect a valid payload, and the length field is capped before any
+// allocation so a corrupted length cannot OOM the reader. Any mismatch
+// surfaces as ErrFrameCorrupt — corruption is always loud, never a silent
+// misparse.
+const (
+	frameHeaderLen = 14
+	frameVersion   = 1
+)
+
+var frameMagic = [4]byte{'H', 'P', 'W', 'F'}
+
+// DefaultMaxFrame is the default cap on one frame's payload length. Halo
+// buckets scale with boundary traffic, not mesh size, so even huge runs sit
+// far below this.
+const DefaultMaxFrame = 64 << 20
+
+// ErrFrameCorrupt reports a frame that failed structural validation: bad
+// magic, unknown version, oversized length, or CRC mismatch. It is the
+// transport's loud corruption signal; the coordinator treats it as a worker
+// failure and recovers via checkpoint rollback rather than guessing at a
+// resync.
+var ErrFrameCorrupt = errors.New("dshard: corrupt frame")
+
+// AppendFrame appends one encoded frame to dst and returns it.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	off := len(dst)
+	dst = append(dst, frameMagic[:]...)
+	dst = append(dst, frameVersion, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(dst[off+4 : off+6])
+	crc.Write(payload)
+	dst = binary.LittleEndian.AppendUint32(dst, crc.Sum32())
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame as a single Write call — the granularity the
+// fault injector (and TCP packet boundaries under it) observes.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)), typ, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. Transport errors (EOF, timeouts) pass through
+// verbatim; structural violations return ErrFrameCorrupt. maxFrame <= 0
+// means DefaultMaxFrame.
+func ReadFrame(r io.Reader, maxFrame int) (typ byte, payload []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrFrameCorrupt, hdr[:4])
+	}
+	if hdr[4] != frameVersion {
+		return 0, nil, fmt.Errorf("%w: version %d, this build speaks %d", ErrFrameCorrupt, hdr[4], frameVersion)
+	}
+	typ = hdr[5]
+	n := binary.LittleEndian.Uint32(hdr[6:10])
+	if n > uint32(maxFrame) {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds cap %d", ErrFrameCorrupt, n, maxFrame)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrFrameCorrupt, err)
+		}
+		return 0, nil, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:6])
+	crc.Write(payload)
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(hdr[10:14]); got != want {
+		return 0, nil, fmt.Errorf("%w: CRC mismatch (frame %#08x, computed %#08x)", ErrFrameCorrupt, want, got)
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,48 @@
+package dshard
+
+import (
+	"bytes"
+	"testing"
+
+	"hotpotato/internal/shard"
+	"hotpotato/internal/sim"
+)
+
+// FuzzHaloFrame fuzzes the whole inbound path a coordinator or worker
+// exposes to the network: the frame reader and every message decoder. The
+// invariants are (1) no input panics or over-allocates, (2) a frame that
+// parses re-encodes to exactly the bytes consumed, and (3) every decoder
+// failure is the typed ErrBadMessage/ErrFrameCorrupt — hostile bytes are
+// loud, never silently misparsed.
+func FuzzHaloFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, mtHello, (&msgHello{Proto: 1, Token: "t", Slot: -1}).encode()))
+	f.Add(AppendFrame(nil, mtAssign, (&msgAssign{Epoch: 1, Side: 8, GridP: 2, GridQ: 2, Policy: "random", Owned: []int{0, 1}, HeartbeatMillis: 200}).encode()))
+	ps := sim.PacketState{ID: 1, Src: 0, Dst: 9, Node: 4, EnteredVia: -1, ArrivedAt: -1, DroppedAt: -1}
+	mv := sim.Move{Packet: ps.Packet(), From: 4, To: 5, Dir: 1, Advanced: true}
+	f.Add(AppendFrame(nil, mtEgress, (&msgEgress{Epoch: 1, T: 3, Buckets: []shard.Bucket{{From: 0, To: 1, Moves: []sim.Move{mv}}}}).encode()))
+	f.Add(AppendFrame(nil, mtApplied, (&msgApplied{Epoch: 1, T: 3, Hops: 7, Finalized: []sim.PacketState{ps}, Blocks: []hashBlock{{Shard: 0, Words: []uint64{1, 2}}}}).encode()))
+	f.Add(AppendFrame(nil, mtLoad, (&msgLoad{Epoch: 1, Shards: []shardLoad{{Index: 0, Packets: []sim.PacketState{ps}}}}).encode()))
+	f.Add(AppendFrame(nil, mtParts, (&msgParts{Epoch: 1, T: 5, Parts: []shard.ShardPart{{Version: 1, Packets: []sim.PacketState{ps}}}}).encode()))
+	f.Add([]byte("HPWF garbage"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		if err == nil {
+			consumed := frameHeaderLen + len(payload)
+			if !bytes.Equal(AppendFrame(nil, typ, payload), data[:consumed]) {
+				t.Fatalf("re-encoded frame differs from input prefix")
+			}
+		}
+		// Feed the raw data to every decoder regardless of framing: the
+		// decoders must survive arbitrary payloads on their own.
+		decodeHello(data)
+		decodeAssign(data)
+		decodeLoad(data)
+		decodeStep(data)
+		decodeEgress(data)
+		decodeApplied(data)
+		decodeParts(data)
+		decodeError(data)
+	})
+}

@@ -1,0 +1,46 @@
+package dshard
+
+import (
+	"context"
+	"time"
+)
+
+// goProc is the WorkerProc of an in-process worker goroutine.
+type goProc struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Stop kills the worker abruptly — the context watcher slams its
+// connection shut, so from the coordinator's side it looks just like a
+// process death.
+func (p *goProc) Stop() {
+	p.cancel()
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// InProcessSpawner returns a Spawn function that runs each worker as a
+// goroutine in this process, dialing the coordinator over loopback. It is
+// the default distributed mode for hotpotatod jobs (no worker binary to
+// manage) and the substrate of the transport-fault tests: base.Faults, if
+// set, applies to every spawned worker's outbound stream.
+//
+// base.Slot is ignored; each spawn stamps its own slot.
+func InProcessSpawner(base WorkerOptions) func(slot int, addr string) (WorkerProc, error) {
+	return func(slot int, addr string) (WorkerProc, error) {
+		opts := base
+		opts.Slot = slot
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if err := RunWorker(ctx, addr, opts); err != nil && ctx.Err() == nil && opts.Logf != nil {
+				opts.Logf("worker %d: %v", slot, err)
+			}
+		}()
+		return &goProc{cancel: cancel, done: done}, nil
+	}
+}

@@ -1,0 +1,590 @@
+package dshard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/shard"
+	"hotpotato/internal/sim"
+)
+
+// Message types. Requests flow coordinator→worker, responses worker→
+// coordinator; heartbeats and errors are spontaneous worker→coordinator.
+const (
+	mtHello     byte = 1  // worker → coordinator: handshake
+	mtAssign    byte = 2  // coordinator → worker: problem + owned shards
+	mtLoad      byte = 3  // coordinator → worker: (re)load shard state
+	mtLoaded    byte = 4  // worker → coordinator: load acknowledged
+	mtRoute     byte = 5  // coordinator → worker: route step t
+	mtEgress    byte = 6  // worker → coordinator: cross-shard buckets of t
+	mtApply     byte = 7  // coordinator → worker: apply step t with ingress
+	mtApplied   byte = 8  // worker → coordinator: counters, finalized, hash words
+	mtCkpt      byte = 9  // coordinator → worker: capture checkpoint parts
+	mtParts     byte = 10 // worker → coordinator: checkpoint parts
+	mtShutdown  byte = 11 // coordinator → worker: clean exit
+	mtHeartbeat byte = 12 // worker → coordinator: liveness beacon
+	mtError     byte = 13 // worker → coordinator: step failed
+)
+
+// protoVersion is the handshake protocol number carried inside HELLO
+// (distinct from the frame-layer version byte).
+const protoVersion = 1
+
+// ErrBadMessage reports a structurally valid frame whose payload does not
+// decode as its message type — like ErrFrameCorrupt, it is loud and typed,
+// and the coordinator treats it as a worker failure.
+var ErrBadMessage = errors.New("dshard: malformed message")
+
+// ----- primitive codec ---------------------------------------------------
+//
+// Payloads are hand-rolled varint streams: append-only writers, and a
+// bounds-checked reader that accumulates the first error and returns zero
+// values afterwards, so decode paths need no per-field error handling and
+// fuzzed inputs cannot panic.
+
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) num(v int)    { e.i64(int64(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrBadMessage, what)
+	}
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) num() int { return int(d.i64()) }
+
+func (d *dec) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v != 0
+}
+
+func (d *dec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string length exceeds payload")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count reads a collection length and guards it against the bytes left in
+// the payload (each element costs at least one byte), so a corrupted count
+// cannot drive a huge allocation.
+func (d *dec) count(what string) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)) {
+		d.fail(what + " count exceeds payload")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.b))
+	}
+	return nil
+}
+
+// ----- shared sub-records ------------------------------------------------
+
+func (e *enc) packet(ps *sim.PacketState) {
+	e.num(ps.ID)
+	e.i64(int64(ps.Src))
+	e.i64(int64(ps.Dst))
+	e.i64(int64(ps.Node))
+	e.i64(int64(ps.EnteredVia))
+	e.num(ps.InjectedAt)
+	e.num(ps.Class)
+	e.num(ps.ArrivedAt)
+	e.num(ps.DroppedAt)
+	e.i64(int64(ps.Cause))
+	e.num(ps.Hops)
+	e.num(ps.Deflections)
+	var flags byte
+	if ps.AdvancedPrev {
+		flags |= 1
+	}
+	if ps.RestrictedPrev {
+		flags |= 2
+	}
+	e.b = append(e.b, flags)
+	e.num(ps.GoodPrev)
+}
+
+func (d *dec) packet(ps *sim.PacketState) {
+	ps.ID = d.num()
+	ps.Src = mesh.NodeID(d.i64())
+	ps.Dst = mesh.NodeID(d.i64())
+	ps.Node = mesh.NodeID(d.i64())
+	ps.EnteredVia = mesh.Dir(d.i64())
+	ps.InjectedAt = d.num()
+	ps.Class = d.num()
+	ps.ArrivedAt = d.num()
+	ps.DroppedAt = d.num()
+	ps.Cause = sim.DropCause(d.i64())
+	ps.Hops = d.num()
+	ps.Deflections = d.num()
+	if d.err == nil {
+		if len(d.b) == 0 {
+			d.fail("truncated packet flags")
+		} else {
+			ps.AdvancedPrev = d.b[0]&1 != 0
+			ps.RestrictedPrev = d.b[0]&2 != 0
+			d.b = d.b[1:]
+		}
+	}
+	ps.GoodPrev = d.num()
+}
+
+func (e *enc) packets(pkts []sim.PacketState) {
+	e.u64(uint64(len(pkts)))
+	for i := range pkts {
+		e.packet(&pkts[i])
+	}
+}
+
+func (d *dec) packets(what string) []sim.PacketState {
+	n := d.count(what)
+	if n == 0 {
+		return nil
+	}
+	pkts := make([]sim.PacketState, n)
+	for i := range pkts {
+		d.packet(&pkts[i])
+	}
+	return pkts
+}
+
+// move serializes one halo move: the packet's pre-move state plus the
+// transfer record. The receiver materializes a fresh packet from it — the
+// sender's object never travels, so applying the move on the receiver
+// reproduces exactly the in-process mutation.
+func (e *enc) move(mv *sim.Move) {
+	ps := sim.CapturePacket(mv.Packet)
+	e.packet(&ps)
+	e.i64(int64(mv.From))
+	e.i64(int64(mv.To))
+	e.i64(int64(mv.Dir))
+	e.num(mv.GoodCount)
+	var flags byte
+	if mv.Advanced {
+		flags |= 1
+	}
+	if mv.WasRestricted {
+		flags |= 2
+	}
+	if mv.WasTypeA {
+		flags |= 4
+	}
+	if mv.ArrivedNow {
+		flags |= 8
+	}
+	e.b = append(e.b, flags)
+}
+
+func (d *dec) move(mv *sim.Move) {
+	var ps sim.PacketState
+	d.packet(&ps)
+	mv.From = mesh.NodeID(d.i64())
+	mv.To = mesh.NodeID(d.i64())
+	mv.Dir = mesh.Dir(d.i64())
+	mv.GoodCount = d.num()
+	if d.err == nil {
+		if len(d.b) == 0 {
+			d.fail("truncated move flags")
+			return
+		}
+		flags := d.b[0]
+		d.b = d.b[1:]
+		mv.Advanced = flags&1 != 0
+		mv.WasRestricted = flags&2 != 0
+		mv.WasTypeA = flags&4 != 0
+		mv.ArrivedNow = flags&8 != 0
+		mv.Packet = ps.Packet()
+	}
+}
+
+func (e *enc) buckets(bs []shard.Bucket) {
+	e.u64(uint64(len(bs)))
+	for i := range bs {
+		e.num(bs[i].From)
+		e.num(bs[i].To)
+		e.u64(uint64(len(bs[i].Moves)))
+		for j := range bs[i].Moves {
+			e.move(&bs[i].Moves[j])
+		}
+	}
+}
+
+func (d *dec) buckets() []shard.Bucket {
+	n := d.count("bucket")
+	if n == 0 {
+		return nil
+	}
+	bs := make([]shard.Bucket, n)
+	for i := range bs {
+		bs[i].From = d.num()
+		bs[i].To = d.num()
+		k := d.count("move")
+		if k == 0 {
+			continue
+		}
+		bs[i].Moves = make([]sim.Move, k)
+		for j := range bs[i].Moves {
+			d.move(&bs[i].Moves[j])
+		}
+	}
+	return bs
+}
+
+// ----- messages ----------------------------------------------------------
+
+// msgHello is the worker's handshake: protocol number, shared-secret token,
+// and the slot it wants (-1 = any; a respawned worker reclaims its slot).
+type msgHello struct {
+	Proto uint64
+	Token string
+	Slot  int
+}
+
+func (m *msgHello) encode() []byte {
+	var e enc
+	e.u64(m.Proto)
+	e.str(m.Token)
+	e.num(m.Slot)
+	return e.b
+}
+
+func decodeHello(p []byte) (msgHello, error) {
+	d := dec{b: p}
+	m := msgHello{Proto: d.u64(), Token: d.str(), Slot: d.num()}
+	return m, d.done()
+}
+
+// msgAssign binds a worker to its share of the problem. Epoch is the
+// coordinator's recovery generation: every request carries it, every
+// response echoes it, and the coordinator bumps it on each rollback so
+// frames from before a recovery are recognizably stale.
+type msgAssign struct {
+	Epoch           uint64
+	Side            int
+	Wrap            bool
+	GridP           int
+	GridQ           int
+	Policy          string
+	Seed            int64
+	Validation      int
+	HashWords       bool // ship per-step hash words in APPLIED (DetectLivelock)
+	Owned           []int
+	HeartbeatMillis int64
+}
+
+func (m *msgAssign) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.num(m.Side)
+	e.boolean(m.Wrap)
+	e.num(m.GridP)
+	e.num(m.GridQ)
+	e.str(m.Policy)
+	e.i64(m.Seed)
+	e.num(m.Validation)
+	e.boolean(m.HashWords)
+	e.u64(uint64(len(m.Owned)))
+	for _, idx := range m.Owned {
+		e.num(idx)
+	}
+	e.i64(m.HeartbeatMillis)
+	return e.b
+}
+
+func decodeAssign(p []byte) (msgAssign, error) {
+	d := dec{b: p}
+	m := msgAssign{
+		Epoch: d.u64(), Side: d.num(), Wrap: d.boolean(),
+		GridP: d.num(), GridQ: d.num(), Policy: d.str(),
+		Seed: d.i64(), Validation: d.num(), HashWords: d.boolean(),
+	}
+	n := d.count("owned shard")
+	for i := 0; i < n; i++ {
+		m.Owned = append(m.Owned, d.num())
+	}
+	m.HeartbeatMillis = d.i64()
+	return m, d.done()
+}
+
+// shardLoad is one shard's worth of state in a LOAD: live packets in the
+// exact enqueue order of a checkpoint part re-partitioned to this shard.
+type shardLoad struct {
+	Index   int
+	Packets []sim.PacketState
+}
+
+// msgLoad (re)initializes a worker's shards to the state of step T — the
+// initial distribution and every post-failure rollback use the same path.
+type msgLoad struct {
+	Epoch  uint64
+	T      int
+	Shards []shardLoad
+}
+
+func (m *msgLoad) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.num(m.T)
+	e.u64(uint64(len(m.Shards)))
+	for i := range m.Shards {
+		e.num(m.Shards[i].Index)
+		e.packets(m.Shards[i].Packets)
+	}
+	return e.b
+}
+
+func decodeLoad(p []byte) (msgLoad, error) {
+	d := dec{b: p}
+	m := msgLoad{Epoch: d.u64(), T: d.num()}
+	n := d.count("shard load")
+	for i := 0; i < n; i++ {
+		m.Shards = append(m.Shards, shardLoad{Index: d.num(), Packets: d.packets("packet")})
+	}
+	return m, d.done()
+}
+
+// msgStep is the shared shape of the bare (epoch, t) messages: LOADED,
+// ROUTE and CKPT.
+type msgStep struct {
+	Epoch uint64
+	T     int
+}
+
+func (m *msgStep) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.num(m.T)
+	return e.b
+}
+
+func decodeStep(p []byte) (msgStep, error) {
+	d := dec{b: p}
+	m := msgStep{Epoch: d.u64(), T: d.num()}
+	return m, d.done()
+}
+
+// msgEgress is a worker's route-phase result: every cross-shard bucket its
+// shards produced for step T. msgApply reuses the shape for the return
+// trip: the buckets addressed to the worker's shards.
+type msgEgress struct {
+	Epoch   uint64
+	T       int
+	Buckets []shard.Bucket
+}
+
+func (m *msgEgress) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.num(m.T)
+	e.buckets(m.Buckets)
+	return e.b
+}
+
+func decodeEgress(p []byte) (msgEgress, error) {
+	d := dec{b: p}
+	m := msgEgress{Epoch: d.u64(), T: d.num(), Buckets: d.buckets()}
+	return m, d.done()
+}
+
+// hashBlock carries one shard's configuration-hash word pairs for the
+// step's global fold (shard.Node.HashWords).
+type hashBlock struct {
+	Shard int
+	Words []uint64
+}
+
+// msgApplied is a worker's apply-phase result: counter deltas, packets that
+// arrived this step, and (when livelock detection is on) the hash words of
+// its live packets.
+type msgApplied struct {
+	Epoch       uint64
+	T           int
+	Hops        int64
+	Deflections int64
+	Arrivals    int
+	LastArrival int
+	Reroutes    int64
+	MaxNodeLoad int
+	Finalized   []sim.PacketState
+	Blocks      []hashBlock
+}
+
+func (m *msgApplied) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.num(m.T)
+	e.i64(m.Hops)
+	e.i64(m.Deflections)
+	e.num(m.Arrivals)
+	e.num(m.LastArrival)
+	e.i64(m.Reroutes)
+	e.num(m.MaxNodeLoad)
+	e.packets(m.Finalized)
+	e.u64(uint64(len(m.Blocks)))
+	for i := range m.Blocks {
+		e.num(m.Blocks[i].Shard)
+		e.u64(uint64(len(m.Blocks[i].Words)))
+		for _, w := range m.Blocks[i].Words {
+			e.u64(w)
+		}
+	}
+	return e.b
+}
+
+func decodeApplied(p []byte) (msgApplied, error) {
+	d := dec{b: p}
+	m := msgApplied{
+		Epoch: d.u64(), T: d.num(),
+		Hops: d.i64(), Deflections: d.i64(),
+		Arrivals: d.num(), LastArrival: d.num(),
+		Reroutes: d.i64(), MaxNodeLoad: d.num(),
+		Finalized: d.packets("finalized packet"),
+	}
+	n := d.count("hash block")
+	for i := 0; i < n; i++ {
+		b := hashBlock{Shard: d.num()}
+		k := d.count("hash word")
+		if k%2 != 0 {
+			d.fail("odd hash word count")
+		}
+		for j := 0; j < k && d.err == nil; j++ {
+			b.Words = append(b.Words, d.u64())
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	return m, d.done()
+}
+
+// msgParts is a worker's checkpoint contribution: one ShardPart per owned
+// shard, all captured at the same barrier.
+type msgParts struct {
+	Epoch uint64
+	T     int
+	Parts []shard.ShardPart
+}
+
+func (m *msgParts) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.num(m.T)
+	e.u64(uint64(len(m.Parts)))
+	for i := range m.Parts {
+		e.num(m.Parts[i].Version)
+		e.num(m.Parts[i].Index)
+		e.num(m.Parts[i].Time)
+		e.packets(m.Parts[i].Packets)
+	}
+	return e.b
+}
+
+func decodeParts(p []byte) (msgParts, error) {
+	d := dec{b: p}
+	m := msgParts{Epoch: d.u64(), T: d.num()}
+	n := d.count("part")
+	for i := 0; i < n; i++ {
+		m.Parts = append(m.Parts, shard.ShardPart{
+			Version: d.num(), Index: d.num(), Time: d.num(),
+			Packets: d.packets("part packet"),
+		})
+	}
+	return m, d.done()
+}
+
+// msgError reports a failed request. Fatal errors (unknown policy,
+// validation failure — deterministic, would repeat on replay) abort the
+// run; non-fatal ones (policy panic, desync) trigger checkpoint rollback.
+// After sending a non-fatal error the worker refuses ROUTE/APPLY until the
+// next LOAD.
+type msgError struct {
+	Epoch uint64
+	Fatal bool
+	Msg   string
+}
+
+func (m *msgError) encode() []byte {
+	var e enc
+	e.u64(m.Epoch)
+	e.boolean(m.Fatal)
+	e.str(m.Msg)
+	return e.b
+}
+
+func decodeError(p []byte) (msgError, error) {
+	d := dec{b: p}
+	m := msgError{Epoch: d.u64(), Fatal: d.boolean(), Msg: d.str()}
+	return m, d.done()
+}

@@ -1,0 +1,436 @@
+package dshard
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/run"
+	"hotpotato/internal/shard"
+	"hotpotato/internal/sim"
+)
+
+// WorkerOptions configures one worker endpoint.
+type WorkerOptions struct {
+	// Token must match the coordinator's; HELLO carries it.
+	Token string
+	// Slot is the barrier slot to request: a respawned worker reclaims its
+	// old slot, -1 lets the coordinator pick.
+	Slot int
+	// Policies resolves the policy name from ASSIGN; typically
+	// spec.NewPolicy. Required.
+	Policies func(name string) (sim.Policy, error)
+	// MaxFrame caps inbound frame payloads; <= 0 means DefaultMaxFrame.
+	MaxFrame int
+	// Faults, when non-nil, injects transport faults into every outbound
+	// frame (test and chaos rigs only).
+	Faults *FaultPlan
+	// Logf, when non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+	// TestHookPreRoute, when non-nil, runs before each route phase — the
+	// chaos tests hang or crash a worker here at a chosen step.
+	TestHookPreRoute func(t int)
+}
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// defaultHeartbeat is the heartbeat interval when ASSIGN does not set one.
+const defaultHeartbeat = 200 * time.Millisecond
+
+// worker is the per-connection protocol state machine.
+type worker struct {
+	opts WorkerOptions
+	conn net.Conn
+	br   *bufio.Reader
+	out  io.Writer // conn, possibly behind a faultWriter
+	wmu  sync.Mutex
+
+	epoch   uint64
+	node    *shard.Node
+	hashing bool
+	curT    int
+	routedT int
+	// needLoad latches after any step failure: the worker's state may be
+	// torn mid-phase, so ROUTE/APPLY are refused until the coordinator
+	// reloads it from a checkpoint.
+	needLoad bool
+
+	egressCache  cachedFrame
+	appliedCache cachedFrame
+
+	hbOnce sync.Once
+	hbStop chan struct{}
+}
+
+// cachedFrame is the worker's idempotency device: the encoded response of
+// the last completed request of one kind, keyed by (epoch, step). A retried
+// request resends these exact bytes instead of re-executing — re-routing a
+// step would double-count Reroutes/MaxNodeLoad and re-applying would
+// corrupt state, so the cache is what makes the coordinator's retries safe.
+type cachedFrame struct {
+	ok      bool
+	epoch   uint64
+	t       int
+	typ     byte
+	payload []byte
+}
+
+func (c *cachedFrame) hit(epoch uint64, t int) bool {
+	return c.ok && c.epoch == epoch && c.t == t
+}
+
+func (c *cachedFrame) store(epoch uint64, t int, typ byte, payload []byte) {
+	*c = cachedFrame{ok: true, epoch: epoch, t: t, typ: typ, payload: payload}
+}
+
+// ServeWorker speaks the worker side of the protocol on conn until the
+// coordinator sends SHUTDOWN (nil return), the context is cancelled, or the
+// connection fails. The caller owns conn's lifetime on error paths.
+func ServeWorker(ctx context.Context, conn net.Conn, opts WorkerOptions) error {
+	if opts.Policies == nil {
+		return errors.New("dshard: WorkerOptions.Policies is required")
+	}
+	w := &worker{
+		opts:    opts,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		out:     newFaultWriter(conn, opts.Faults),
+		routedT: -1,
+		hbStop:  make(chan struct{}),
+	}
+	defer close(w.hbStop)
+
+	// Unblock the read loop when the context dies.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now())
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	hello := msgHello{Proto: protoVersion, Token: opts.Token, Slot: opts.Slot}
+	if err := w.send(mtHello, hello.encode()); err != nil {
+		return fmt.Errorf("dshard: hello: %w", err)
+	}
+	for {
+		typ, payload, err := ReadFrame(w.br, opts.MaxFrame)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dshard: worker read: %w", err)
+		}
+		done, err := w.dispatch(typ, payload)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+func (w *worker) send(typ byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return WriteFrame(w.out, typ, payload)
+}
+
+// sendError reports a failed request. Non-fatal errors additionally latch
+// needLoad: the worker's shard state may be torn, so only a LOAD can
+// re-enter the barrier.
+func (w *worker) sendError(fatal bool, err error) error {
+	if !fatal {
+		w.needLoad = true
+	}
+	w.opts.logf("worker slot %d: step error (fatal=%v): %v", w.opts.Slot, fatal, err)
+	m := msgError{Epoch: w.epoch, Fatal: fatal, Msg: err.Error()}
+	return w.send(mtError, m.encode())
+}
+
+func (w *worker) dispatch(typ byte, payload []byte) (done bool, err error) {
+	switch typ {
+	case mtAssign:
+		return false, w.onAssign(payload)
+	case mtLoad:
+		return false, w.onLoad(payload)
+	case mtRoute:
+		return false, w.onRoute(payload)
+	case mtApply:
+		return false, w.onApply(payload)
+	case mtCkpt:
+		return false, w.onCkpt(payload)
+	case mtShutdown:
+		return true, nil
+	default:
+		// Unknown but CRC-valid frame: a newer coordinator speaking an
+		// extension this build does not know. Ignoring it is safer than
+		// dying — the coordinator will time out and recover if it mattered.
+		w.opts.logf("worker slot %d: ignoring unknown frame type %d", w.opts.Slot, typ)
+		return false, nil
+	}
+}
+
+func (w *worker) onAssign(payload []byte) error {
+	a, err := decodeAssign(payload)
+	if err != nil {
+		return err
+	}
+	var m *mesh.Mesh
+	if a.Wrap {
+		m, err = mesh.NewTorus(2, a.Side)
+	} else {
+		m, err = mesh.New(2, a.Side)
+	}
+	if err != nil {
+		return w.sendError(true, fmt.Errorf("assign: %w", err))
+	}
+	policy, err := w.opts.Policies(a.Policy)
+	if err != nil {
+		return w.sendError(true, fmt.Errorf("assign: %w", err))
+	}
+	node, err := shard.NewNode(m, policy, shard.Grid{P: a.GridP, Q: a.GridQ}, a.Owned, a.Seed, sim.ValidationLevel(a.Validation))
+	if err != nil {
+		return w.sendError(true, fmt.Errorf("assign: %w", err))
+	}
+	w.node = node
+	w.hashing = a.HashWords
+	w.epoch = a.Epoch
+	w.needLoad = true
+	w.routedT = -1
+	w.egressCache.ok = false
+	w.appliedCache.ok = false
+
+	hb := time.Duration(a.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = defaultHeartbeat
+	}
+	w.hbOnce.Do(func() { go w.heartbeat(hb) })
+	return nil
+}
+
+// heartbeat sends spontaneous liveness beacons. It runs concurrently with
+// the dispatch loop (the write mutex interleaves the frames), so the
+// coordinator can distinguish a dead or frozen process — beacons stop —
+// from one that is merely computing a long phase, where they keep flowing.
+func (w *worker) heartbeat(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.hbStop:
+			return
+		case <-tick.C:
+			if w.send(mtHeartbeat, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+func (w *worker) onLoad(payload []byte) error {
+	l, err := decodeLoad(payload)
+	if err != nil {
+		return err
+	}
+	if l.Epoch < w.epoch {
+		return nil // stale request from before a recovery; drop it
+	}
+	if w.node == nil {
+		return w.sendError(true, errors.New("load before assign"))
+	}
+	w.epoch = l.Epoch
+	loaded := make(map[int]bool, len(l.Shards))
+	for i := range l.Shards {
+		if err := w.node.LoadShard(l.Shards[i].Index, l.Shards[i].Packets); err != nil {
+			return w.sendError(true, fmt.Errorf("load: %w", err))
+		}
+		loaded[l.Shards[i].Index] = true
+	}
+	// Shards the message omitted are empty at this step; clear them too so
+	// a rollback never leaves stale packets behind.
+	for _, idx := range w.node.Owned() {
+		if !loaded[idx] {
+			if err := w.node.LoadShard(idx, nil); err != nil {
+				return w.sendError(true, fmt.Errorf("load: %w", err))
+			}
+		}
+	}
+	w.curT = l.T
+	w.routedT = -1
+	w.needLoad = false
+	w.egressCache.ok = false
+	w.appliedCache.ok = false
+	ack := msgStep{Epoch: w.epoch, T: l.T}
+	return w.send(mtLoaded, ack.encode())
+}
+
+// stepGate applies the shared request admission rules for ROUTE/APPLY/CKPT:
+// stale epochs are dropped, future epochs mean a missed LOAD, and a latched
+// failure refuses everything until reload. It returns (proceed, err).
+func (w *worker) stepGate(epoch uint64, what string) (bool, error) {
+	if epoch < w.epoch {
+		return false, nil
+	}
+	if epoch > w.epoch {
+		return false, w.sendError(false, fmt.Errorf("%s: epoch %d ahead of worker epoch %d (missed load)", what, epoch, w.epoch))
+	}
+	if w.node == nil || w.needLoad {
+		return false, w.sendError(false, fmt.Errorf("%s: worker needs reload", what))
+	}
+	return true, nil
+}
+
+func (w *worker) onRoute(payload []byte) error {
+	s, err := decodeStep(payload)
+	if err != nil {
+		return err
+	}
+	if w.egressCache.hit(s.Epoch, s.T) {
+		return w.send(w.egressCache.typ, w.egressCache.payload)
+	}
+	ok, err := w.stepGate(s.Epoch, "route")
+	if !ok {
+		return err
+	}
+	if s.T != w.curT {
+		return w.sendError(false, fmt.Errorf("route: step %d, worker at step %d", s.T, w.curT))
+	}
+	if w.opts.TestHookPreRoute != nil {
+		w.opts.TestHookPreRoute(s.T)
+	}
+	buckets, err := w.node.Route(s.T)
+	if err != nil {
+		return w.sendError(!errors.Is(err, sim.ErrPolicyPanic), err)
+	}
+	w.routedT = s.T
+	resp := msgEgress{Epoch: w.epoch, T: s.T, Buckets: buckets}
+	w.egressCache.store(w.epoch, s.T, mtEgress, resp.encode())
+	return w.send(mtEgress, w.egressCache.payload)
+}
+
+func (w *worker) onApply(payload []byte) error {
+	a, err := decodeEgress(payload)
+	if err != nil {
+		return err
+	}
+	if w.appliedCache.hit(a.Epoch, a.T) {
+		return w.send(w.appliedCache.typ, w.appliedCache.payload)
+	}
+	ok, err := w.stepGate(a.Epoch, "apply")
+	if !ok {
+		return err
+	}
+	if a.T != w.curT || w.routedT != a.T {
+		return w.sendError(false, fmt.Errorf("apply: step %d, worker at step %d (routed %d)", a.T, w.curT, w.routedT))
+	}
+	rep, err := w.node.Apply(a.T, a.Buckets)
+	if err != nil {
+		return w.sendError(false, err)
+	}
+	resp := msgApplied{
+		Epoch: w.epoch, T: a.T,
+		Hops: rep.Hops, Deflections: rep.Deflections,
+		Arrivals: rep.Arrivals, LastArrival: rep.LastArrival,
+		Reroutes: rep.Reroutes, MaxNodeLoad: rep.MaxNodeLoad,
+		Finalized: rep.Finalized,
+	}
+	if w.hashing {
+		for _, idx := range w.node.Owned() {
+			words, err := w.node.HashWords(idx, nil)
+			if err != nil {
+				return w.sendError(false, err)
+			}
+			resp.Blocks = append(resp.Blocks, hashBlock{Shard: idx, Words: words})
+		}
+	}
+	w.curT = a.T + 1
+	w.routedT = -1
+	w.appliedCache.store(w.epoch, a.T, mtApplied, resp.encode())
+	return w.send(mtApplied, w.appliedCache.payload)
+}
+
+func (w *worker) onCkpt(payload []byte) error {
+	s, err := decodeStep(payload)
+	if err != nil {
+		return err
+	}
+	ok, err := w.stepGate(s.Epoch, "ckpt")
+	if !ok {
+		return err
+	}
+	if s.T != w.curT {
+		return w.sendError(false, fmt.Errorf("ckpt: step %d, worker at step %d", s.T, w.curT))
+	}
+	resp := msgParts{Epoch: w.epoch, T: s.T}
+	for _, idx := range w.node.Owned() {
+		part, err := w.node.Part(idx, s.T)
+		if err != nil {
+			return w.sendError(false, err)
+		}
+		resp.Parts = append(resp.Parts, part)
+	}
+	// Checkpoint capture is read-only, hence naturally idempotent: a
+	// retried CKPT just recaptures the same state. No cache needed.
+	return w.send(mtParts, resp.encode())
+}
+
+// Dial connects to a coordinator address: paths (containing a '/') dial
+// unix sockets, everything else TCP.
+func Dial(addr string) (net.Conn, error) {
+	if strings.Contains(addr, "/") {
+		return net.Dial("unix", addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// Listen is Dial's listener counterpart, used by the coordinator.
+func Listen(addr string) (net.Listener, error) {
+	if strings.Contains(addr, "/") {
+		return net.Listen("unix", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// ErrDial reports that RunWorker never reached the coordinator at all — as
+// opposed to losing an established connection, which a worker should answer
+// by dialing back in. Callers use the distinction to decide between
+// rejoining and giving up.
+var ErrDial = errors.New("dshard: coordinator unreachable")
+
+// RunWorker dials the coordinator (with jittered-backoff retries, since a
+// freshly spawned worker often races the listener) and serves the protocol
+// until shutdown. This is cmd/shardworker's whole job.
+func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
+	var conn net.Conn
+	var err error
+	for attempt := 1; ; attempt++ {
+		conn, err = Dial(addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 8 {
+			return fmt.Errorf("%w: dial %s: %v", ErrDial, addr, err)
+		}
+		delay := run.BackoffDelay(50*time.Millisecond, time.Second, 0, fmt.Sprintf("dial-%d", opts.Slot), attempt)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	defer conn.Close()
+	return ServeWorker(ctx, conn, opts)
+}

@@ -328,6 +328,24 @@ func backoffDelay(opts Options, key string, attempt int) time.Duration {
 	return time.Duration((0.5 + frac) * float64(delay))
 }
 
+// BackoffDelay computes the supervisor's jittered exponential retry delay
+// without the rest of the supervision machinery: base<<(attempt-1) capped at
+// max (attempt is 1-based), scaled by a deterministic jitter factor in
+// [0.5, 1.5) derived from (seed, key, attempt). Exported for retry loops
+// that manage their own attempts — the distributed shard coordinator spaces
+// its transport retries with it — so every retrying subsystem disperses
+// identically and reproducibly. Non-positive base/max fall back to the
+// supervisor defaults (100ms, 5s).
+func BackoffDelay(base, max time.Duration, seed int64, key string, attempt int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	return backoffDelay(Options{BackoffBase: base, BackoffMax: max, Seed: seed}, key, attempt)
+}
+
 // sleepBackoff waits the jittered exponential delay before the next
 // attempt. It returns false if the supervisor context is cancelled first.
 func sleepBackoff(ctx context.Context, opts Options, key string, attempt int) bool {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hotpotato/internal/checkpoint"
+	"hotpotato/internal/dshard"
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
@@ -81,6 +82,13 @@ type JobSpec struct {
 	// exclusive with Workers and Fault. A sharded job's checkpoint is a
 	// directory, and resume_from must name such a directory.
 	Shards string `json:"shards,omitempty"`
+	// DistWorkers, with Shards set, runs the job on the distributed
+	// coordinator (internal/dshard) with that many worker processes over
+	// loopback instead of in-process shard goroutines. 1 <= DistWorkers <=
+	// the grid's shard count. Results stay bit-identical; checkpoints use
+	// the same directory format, so distributed and in-process runs resume
+	// each other's snapshots freely.
+	DistWorkers int `json:"dist_workers,omitempty"`
 	// NoLivelockDetect disables configuration hashing (detection is on by
 	// default, so a deterministic livelock terminates the job).
 	NoLivelockDetect bool `json:"no_livelock_detect,omitempty"`
@@ -152,8 +160,15 @@ func (js JobSpec) validate(maxNodes, maxK int) error {
 	if js.Workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", js.Workers)
 	}
+	if js.DistWorkers < 0 {
+		return fmt.Errorf("dist_workers must be >= 0, got %d", js.DistWorkers)
+	}
+	if js.DistWorkers > 0 && js.Shards == "" {
+		return fmt.Errorf("dist_workers needs shards (a PxQ grid for the workers to divide)")
+	}
 	if js.Shards != "" {
-		if _, err := shard.ParseGrid(js.Shards); err != nil {
+		grid, err := shard.ParseGrid(js.Shards)
+		if err != nil {
 			return err
 		}
 		switch {
@@ -163,6 +178,8 @@ func (js JobSpec) validate(maxNodes, maxK int) error {
 			return fmt.Errorf("shards and workers are alternative parallelization schemes; pick one")
 		case js.Fault != nil && js.Fault.Enabled():
 			return fmt.Errorf("sharded jobs do not support fault injection")
+		case js.DistWorkers > grid.Count():
+			return fmt.Errorf("dist_workers %d exceeds the %s grid's %d shards", js.DistWorkers, js.Shards, grid.Count())
 		}
 	}
 	if js.ProgressEvery < 1 {
@@ -311,6 +328,76 @@ func (js JobSpec) buildShardEngine(jobTimeout time.Duration) (*shard.Engine, err
 		}
 	}
 	return e, nil
+}
+
+// distToken is the shared secret between a job's coordinator and its
+// in-process workers. The loopback listener is per-job and ephemeral, so the
+// token guards against cross-talk (a stray worker from another run), not
+// against an adversary.
+const distToken = "hotpotatod-dist"
+
+// buildCoordinator materializes a distributed spec (Shards plus
+// DistWorkers) into a dshard coordinator driving DistWorkers in-process
+// workers over loopback TCP. ckptDir, when non-empty, is where coordinated
+// checkpoints are persisted (same .shards directory format as the
+// in-process sharded engine); ckptEvery is the rollback/save cadence (0 =
+// the coordinator's default).
+func (js JobSpec) buildCoordinator(jobTimeout time.Duration, ckptDir string, ckptEvery int) (*dshard.Coordinator, error) {
+	var m *mesh.Mesh
+	var err error
+	if js.Torus {
+		m, err = mesh.NewTorus(js.Dim, js.Side)
+	} else {
+		m, err = mesh.New(js.Dim, js.Side)
+	}
+	if err != nil {
+		return nil, err
+	}
+	grid, err := shard.ParseGrid(js.Shards)
+	if err != nil {
+		return nil, err
+	}
+	lvl, err := spec.ParseValidation(js.Validation)
+	if err != nil {
+		return nil, err
+	}
+	var packets []*sim.Packet
+	var resume *shard.Checkpoint
+	if js.ResumeFrom == "" { // a resumed job takes its packets from the snapshot
+		packets, err = spec.NewWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		resume, err = shard.LoadDir(js.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c, err := dshard.New(dshard.Spec{
+		Side:           js.Side,
+		Wrap:           js.Torus,
+		Policy:         js.Policy,
+		Grid:           grid,
+		Seed:           js.Seed + 1,
+		MaxSteps:       js.MaxSteps,
+		Validation:     lvl,
+		DetectLivelock: !js.NoLivelockDetect,
+	}, packets, dshard.Options{
+		Workers:          js.DistWorkers,
+		Token:            distToken,
+		Policies:         spec.NewPolicy,
+		Spawn:            dshard.InProcessSpawner(dshard.WorkerOptions{Token: distToken, Policies: spec.NewPolicy}),
+		CheckpointEvery:  ckptEvery,
+		CheckpointDir:    ckptDir,
+		CheckpointFormat: checkpoint.Binary,
+		Resume:           resume,
+		MaxWallTime:      jobTimeout,
+	})
+	if err != nil && js.ResumeFrom != "" {
+		return nil, fmt.Errorf("resume from %s: %w (the spec must match the checkpointed run)", js.ResumeFrom, err)
+	}
+	return c, err
 }
 
 // JobState is the lifecycle position of a job.

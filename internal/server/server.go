@@ -752,6 +752,9 @@ func (s *Server) execute(j *Job) {
 // run until completion, drain-cancel, or deadline.
 func (s *Server) runJob(actx context.Context, j *Job, attempt int) (json.RawMessage, error) {
 	if j.Spec.Shards != "" {
+		if j.Spec.DistWorkers > 0 {
+			return s.runDistributedJob(actx, j, attempt)
+		}
 		return s.runShardedJob(actx, j, attempt)
 	}
 	e, err := j.Spec.buildEngine(s.cfg.JobTimeout)
@@ -928,6 +931,80 @@ func (s *Server) runShardedJob(actx context.Context, j *Job, attempt int) (json.
 	}
 	out.Checkpointed = saved != "" && (out.Canceled || out.TimedOut)
 	out.Checkpoint = saved
+	return json.Marshal(out)
+}
+
+// runDistributedJob is the execution path for specs with DistWorkers set:
+// the job runs on the dshard coordinator with DistWorkers in-process worker
+// processes over loopback TCP, under the same supervision contract as the
+// other paths. The coordinator persists its own coordinated checkpoints
+// (same .shards directory as the sharded path, so recovery and resume_from
+// interoperate across all three engines) and survives worker failures
+// internally by rolling back to the last one.
+func (s *Server) runDistributedJob(actx context.Context, j *Job, attempt int) (json.RawMessage, error) {
+	dir := ""
+	if s.cfg.CheckpointDir != "" {
+		dir = filepath.Join(s.cfg.CheckpointDir, j.ID+".shards")
+	}
+	c, err := j.Spec.buildCoordinator(s.cfg.JobTimeout, dir, s.cfg.CheckpointEvery)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(actx)
+	defer cancel()
+	stop := context.AfterFunc(s.jobCtx, cancel)
+	defer stop()
+
+	last := time.Now()
+	sinceEpoch := 0
+	delay := time.Duration(j.Spec.StepDelay)
+	c.StepHook = func(int, int) {
+		now := time.Now()
+		s.stepLatency.Observe(now.Sub(last).Seconds())
+		last = now
+		s.stepsTotal.Inc()
+		if sinceEpoch++; sinceEpoch >= j.Spec.ProgressEvery {
+			sinceEpoch = 0
+			p := c.Progress()
+			j.setProgress(p)
+			s.publishProgress(j, attempt, p)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+
+	started := time.Now()
+	res, runErr := c.Run(ctx)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return nil, runErr // run lost past the recovery budget, fatal worker error, save I/O
+	}
+	elapsed := time.Since(started)
+
+	final := c.Progress()
+	j.setProgress(final)
+	s.publishProgress(j, attempt, final)
+	if elapsed > 0 && final.Time > 0 {
+		s.stepsPerSec.Observe(float64(final.Time) / elapsed.Seconds())
+	}
+
+	out := jobOutcome{Result: res, Steps: final.Time}
+	switch {
+	case runErr != nil: // context.Canceled: drain or backstop
+		out.Canceled = true
+	case res.DeadlineExceeded:
+		out.TimedOut = true
+	default:
+		out.FinalHash = resultFingerprint(c, final)
+	}
+	// The coordinator saves on every early stop itself (including before the
+	// first step), so a committed checkpoint on disk is the whole test.
+	if dir != "" && (out.Canceled || out.TimedOut) && shard.HasCheckpoint(dir) {
+		out.Checkpointed = true
+		out.Checkpoint = dir
+	}
 	return json.Marshal(out)
 }
 

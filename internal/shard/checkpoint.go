@@ -188,11 +188,7 @@ func (e *Engine) loadCheckpoint(ck *Checkpoint) error {
 	}
 
 	for _, s := range e.shards {
-		for _, l := range s.active {
-			s.byLocal[l] = s.byLocal[l][:0]
-			s.activeMark[l] = false
-		}
-		s.active = s.active[:0]
+		s.clearQueues()
 		s.lastArrival = 0
 		s.hops, s.deflections, s.arrivals = 0, 0, 0
 		s.router.Reroutes = 0

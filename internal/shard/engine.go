@@ -101,6 +101,11 @@ type shardState struct {
 	lastArrival int
 	err         error
 
+	// finalized, when non-nil, collects packets that arrive during merge —
+	// set by the distributed Node, which has no Engine packet list to
+	// consult afterwards. The in-process Engine leaves it nil.
+	finalized *[]*sim.Packet
+
 	cmds chan phaseCmd
 	wg   *sync.WaitGroup
 }
@@ -194,34 +199,12 @@ func New(m *mesh.Mesh, policy sim.Policy, packets []*sim.Packet, opts Options) (
 	e.shards = make([]*shardState, n)
 	for row := 0; row < opts.Grid.Q; row++ {
 		for col := 0; col < opts.Grid.P; col++ {
-			x0, y0, w, h := pt.bounds(col, row)
-			sub, err := m.Subgrid(x0, y0, w, h)
+			s, err := newShardState(m, pt, col, row, shardPolicy(), opts.Seed, opts.Validation)
 			if err != nil {
 				return nil, err
 			}
-			s := &shardState{
-				idx:        row*opts.Grid.P + col,
-				sub:        sub,
-				router:     sim.NewNodeRouter(sub, shardPolicy(), opts.Seed, opts.Validation),
-				pt:         pt,
-				byLocal:    make([][]*sim.Packet, sub.Len()),
-				activeMark: make([]bool, sub.Len()),
-				recvOf:     make([]int, m.DirCount()),
-				cmds:       make(chan phaseCmd, 1),
-				wg:         e.wg,
-			}
-			arcs := 0
-			for l := 0; l < sub.Len(); l++ {
-				arcs += sub.DegreeLocal(l)
-			}
-			backing := make([]*sim.Packet, arcs)
-			off := 0
-			for l := 0; l < sub.Len(); l++ {
-				deg := sub.DegreeLocal(l)
-				s.byLocal[l] = backing[off : off : off+deg]
-				off += deg
-			}
-			e.wireEgress(s, col, row)
+			s.cmds = make(chan phaseCmd, 1)
+			s.wg = e.wg
 			e.shards[s.idx] = s
 		}
 	}
@@ -286,11 +269,44 @@ func New(m *mesh.Mesh, policy sim.Policy, packets []*sim.Packet, opts Options) (
 	return e, nil
 }
 
+// newShardState builds one shard: the Subgrid view, its NodeRouter, the
+// allocation-free queue backing, and the egress buckets. Shared by the
+// in-process Engine (which adds the phase channel and a worker goroutine)
+// and the distributed Node (which steps its shards sequentially and leaves
+// cmds/wg nil).
+func newShardState(m *mesh.Mesh, pt *partition, col, row int, policy sim.Policy, seed int64, validation sim.ValidationLevel) (*shardState, error) {
+	x0, y0, w, h := pt.bounds(col, row)
+	sub, err := m.Subgrid(x0, y0, w, h)
+	if err != nil {
+		return nil, err
+	}
+	s := &shardState{
+		idx:        row*pt.grid.P + col,
+		sub:        sub,
+		router:     sim.NewNodeRouter(sub, policy, seed, validation),
+		pt:         pt,
+		byLocal:    make([][]*sim.Packet, sub.Len()),
+		activeMark: make([]bool, sub.Len()),
+		recvOf:     make([]int, m.DirCount()),
+	}
+	arcs := 0
+	for l := 0; l < sub.Len(); l++ {
+		arcs += sub.DegreeLocal(l)
+	}
+	backing := make([]*sim.Packet, arcs)
+	off := 0
+	for l := 0; l < sub.Len(); l++ {
+		deg := sub.DegreeLocal(l)
+		s.byLocal[l] = backing[off : off : off+deg]
+		off += deg
+	}
+	wireEgress(s, pt.grid, m.Wrap(), col, row)
+	return s, nil
+}
+
 // wireEgress computes, for shard (col, row), the receiver shard of each
 // travel direction and allocates one egress bucket per distinct receiver.
-func (e *Engine) wireEgress(s *shardState, col, row int) {
-	g := e.pt.grid
-	wrap := e.mesh.Wrap()
+func wireEgress(s *shardState, g Grid, wrap bool, col, row int) {
 	for d := range s.recvOf {
 		s.recvOf[d] = -1
 		ncol, nrow := col, row
@@ -472,13 +488,8 @@ func (s *shardState) route(t int) error {
 // engine's per-destination enqueue order; queue order is routing-relevant
 // state, so this is where sharded equals unsharded.
 func (s *shardState) apply(t int) {
-	for _, l := range s.active {
-		s.byLocal[l] = s.byLocal[l][:0]
-		s.activeMark[l] = false
-	}
-	s.active = s.active[:0]
-
-	var lists [5][]sim.Move
+	s.clearQueues()
+	var lists [maxMergeLists][]sim.Move
 	n := 0
 	if len(s.internal) > 0 {
 		lists[n] = s.internal
@@ -490,6 +501,34 @@ func (s *shardState) apply(t int) {
 			n++
 		}
 	}
+	s.merge(t, lists[:n])
+	s.sortActive()
+}
+
+// maxMergeLists bounds how many staging lists one shard's apply can merge:
+// its internal list plus one per distinct sending neighbor shard. Buckets
+// are receiver-keyed on the sender, so each of the at most four neighbor
+// shards (fewer when torus wrap aliases them) contributes one list.
+const maxMergeLists = 5
+
+// clearQueues empties every queue and the active set — the first half of
+// apply, also used when (re)loading shard state from a checkpoint part.
+func (s *shardState) clearQueues() {
+	for _, l := range s.active {
+		s.byLocal[l] = s.byLocal[l][:0]
+		s.activeMark[l] = false
+	}
+	s.active = s.active[:0]
+}
+
+// merge applies the staging lists by k-way min-merge on Move.From. Each list
+// is sorted by source node (route's invariant) and the lists' source sets
+// are disjoint (every node has one owner), so the merge reproduces exactly
+// the single engine's per-destination enqueue order. When s.finalized is
+// non-nil (the distributed Node), arrived packets are additionally collected
+// there, since no surrounding Engine tracks them.
+func (s *shardState) merge(t int, lists [][]sim.Move) {
+	n := len(lists)
 	for n > 0 {
 		best := 0
 		for i := 1; i < n; i++ {
@@ -514,6 +553,9 @@ func (s *shardState) apply(t int) {
 			p.ArrivedAt = t + 1
 			s.arrivals++
 			s.lastArrival = t + 1
+			if s.finalized != nil {
+				*s.finalized = append(*s.finalized, p)
+			}
 		} else {
 			s.enqueue(p)
 		}
@@ -522,7 +564,6 @@ func (s *shardState) apply(t int) {
 			n--
 		}
 	}
-	s.sortActive()
 }
 
 func (s *shardState) enqueue(p *sim.Packet) {

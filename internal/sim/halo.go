@@ -36,6 +36,17 @@ const ConfigHashSeed = uint64(0x9e3779b97f4a7c15)
 // ConfigHashSeed, yields exactly Engine.StateHash — the fold is chained
 // (non-commutative), so the visit order is part of the contract.
 func ConfigHashPacket(h uint64, p *Packet) uint64 {
+	id, pos := ConfigHashPacketWords(p)
+	return ConfigHashFold(h, id, pos)
+}
+
+// ConfigHashPacketWords returns the two words ConfigHashPacket folds for a
+// packet: its identity and its position word (node, entry arc, history
+// flags). The position word carries the packet's global node in its high 32
+// bits, so a holder of the words alone can still order them by mesh row —
+// which is how a distributed coordinator re-folds per-shard word streams
+// into the global chained hash without shipping whole packets.
+func ConfigHashPacketWords(p *Packet) (idWord, posWord uint64) {
 	flags := uint64(p.EnteredVia) + 1
 	if p.AdvancedPrev {
 		flags |= 1 << 8
@@ -44,8 +55,13 @@ func ConfigHashPacket(h uint64, p *Packet) uint64 {
 		flags |= 1 << 9
 	}
 	flags |= uint64(p.GoodPrev) << 10
-	h = mix64(h, uint64(p.ID))
-	return mix64(h, uint64(p.Node)<<32|flags)
+	return uint64(p.ID), uint64(p.Node)<<32 | flags
+}
+
+// ConfigHashFold chains one packet's word pair into a running configuration
+// hash. ConfigHashPacket(h, p) == ConfigHashFold(h, ConfigHashPacketWords(p)).
+func ConfigHashFold(h, idWord, posWord uint64) uint64 {
+	return mix64(mix64(h, idWord), posWord)
 }
 
 // CapturePacket copies every observable field of a packet into its
