@@ -43,6 +43,19 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParseBench -fuzztime 15s ./internal/benchfmt/
 	$(GO) test -fuzz FuzzWAL -fuzztime 15s ./internal/server/store/
 	$(GO) test -fuzz FuzzHaloFrame -fuzztime 15s ./internal/dshard/
+	$(GO) test -fuzz FuzzParseWorkloadSpec -fuzztime 15s ./internal/spec/
+	$(GO) test -fuzz FuzzParseArrivalSpec -fuzztime 15s ./internal/spec/
+
+# Saturation smoke: the dynamic-traffic stack (renewal sources, the
+# adversary, injector checkpointing, single and sharded engines) under the
+# race detector, plus a short Bernoulli-vs-adversary sweep through the real
+# CLI path.
+saturation-smoke:
+	$(GO) test -race -run 'TestInjector|TestAdversary|TestDynamic' ./internal/traffic/
+	$(GO) run ./cmd/sweep -n 8 -trials 2 -workload none \
+		-arrivals 'bernoulli:rate=0.05,until=60' -max-steps 5000
+	$(GO) run ./cmd/sweep -n 8 -trials 2 -workload none \
+		-arrivals 'adversary:rho=3,sigma=8,until=60' -max-steps 5000
 
 fmt:
 	gofmt -w .

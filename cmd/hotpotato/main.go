@@ -5,11 +5,11 @@
 // Usage:
 //
 //	hotpotato -d 2 -n 16 -workload uniform -k 128 -policy restricted -seed 1 -track
+//	hotpotato -workload hotspot:frac=0.7 -arrivals "poisson:rate=0.02;adversary:rho=1"
 //
-// Policies: restricted, restricted-det, restricted-bfirst, fewest-good,
-// random, fixed, dest-order, oldest, farthest, nearest.
-// Workloads: uniform, permutation, partial-perm, transpose, bit-reversal,
-// single-target, hotspot, local, full-load, corner-rush.
+// Workloads and arrival processes take parameters with the
+// name:key=val,... syntax; run with -list-workloads for every registered
+// policy, workload and arrival process with its parameter schema.
 package main
 
 import (
@@ -32,6 +32,7 @@ import (
 	"hotpotato/internal/sim"
 	"hotpotato/internal/spec"
 	"hotpotato/internal/trace"
+	"hotpotato/internal/traffic"
 	"hotpotato/internal/version"
 	"hotpotato/internal/viz"
 	"hotpotato/internal/workload"
@@ -72,6 +73,69 @@ func main() {
 
 // run keeps the historical signature for tests and non-interruptible use.
 func run(args []string) error { return runCtx(context.Background(), args) }
+
+// printParams renders one catalog entry's parameter schema.
+func printParams(params []spec.ParamDef) {
+	for _, p := range params {
+		constraint := ""
+		switch {
+		case len(p.Enum) > 0:
+			constraint = " (" + joinComma(p.Enum) + ")"
+		case p.Min != nil && p.Max != nil:
+			lo := "["
+			if p.MinExcl {
+				lo = "("
+			}
+			constraint = fmt.Sprintf(" in %s%v, %v]", lo, *p.Min, *p.Max)
+		case p.Min != nil && p.MinExcl:
+			constraint = fmt.Sprintf(" > %v", *p.Min)
+		case p.Min != nil:
+			constraint = fmt.Sprintf(" >= %v", *p.Min)
+		}
+		def := "required"
+		if !p.Required {
+			def = "default " + p.Default
+		}
+		fmt.Printf("      %-8s %-6s %s%s — %s\n", p.Name, p.Type, def, constraint, p.Doc)
+	}
+}
+
+func joinComma(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += x
+	}
+	return out
+}
+
+// listWorkloads prints the discovery catalog: every registered policy,
+// workload and arrival process with parameter schemas and defaults.
+func listWorkloads() {
+	c := spec.Catalog()
+	fmt.Println("policies (-policy name):")
+	for _, e := range c.Policies {
+		fmt.Printf("  %-18s %s\n", e.Name, e.Doc)
+	}
+	fmt.Println("\nworkloads (-workload name[:key=val,...]):")
+	for _, e := range c.Workloads {
+		suffix := ""
+		if e.FixedSize {
+			suffix = " [fixed size: rejects -k]"
+		}
+		fmt.Printf("  %-18s %s%s\n", e.Name, e.Doc, suffix)
+		printParams(e.Params)
+	}
+	fmt.Println("\narrival processes (-arrivals \"proc[:key=val,...][;proc2:...]\"):")
+	for _, e := range c.Arrivals {
+		fmt.Printf("  %-18s %s\n", e.Name, e.Doc)
+		printParams(e.Params)
+	}
+	fmt.Printf("\nvalidation levels: %s\n", joinComma(c.Validation))
+	fmt.Printf("fault fates:       %s\n", joinComma(c.Fates))
+}
 
 // buildFaults assembles the fault model from the command-line knobs via the
 // shared spec registry, reading the scripted schedule (if any) from disk.
@@ -141,24 +205,27 @@ func report(m *mesh.Mesh, pol sim.Policy, res *sim.Result, runErr error,
 func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hotpotato", flag.ContinueOnError)
 	var (
-		dim      = fs.Int("d", 2, "mesh dimension")
-		side     = fs.Int("n", 16, "mesh side length")
-		k        = fs.Int("k", 64, "packet count (where the workload takes one)")
-		policy   = fs.String("policy", "restricted", "routing policy")
-		wl       = fs.String("workload", "uniform", "workload generator")
-		seed     = fs.Int64("seed", 1, "random seed")
-		maxSteps = fs.Int("max-steps", 0, "step budget (0 = default)")
-		track    = fs.Bool("track", false, "attach the potential tracker and report invariant checks")
-		series   = fs.Bool("series", false, "with -track, print the per-step Phi/G/B/F series")
-		validate = fs.String("validate", "greedy", "validation level: off, basic, greedy, restricted")
-		livelock = fs.Bool("detect-livelock", true, "detect repeated configurations (deterministic policies)")
-		traceOut = fs.String("trace-out", "", "record the run to this trace file")
-		verify   = fs.String("verify-trace", "", "verify a recorded trace file and exit (other flags ignored)")
-		heatmap  = fs.Bool("heatmap", false, "print a per-node deflection heat map after the run (2-D only)")
-		animate  = fs.Int("animate", 0, "print the first N steps as text frames (2-D only)")
-		workers  = fs.Int("workers", 0, "route nodes concurrently on this many goroutines (0 = serial)")
-		shards   = fs.String("shards", "", "run the sharded engine with a PxQ spatial decomposition, e.g. 4x2 (2-D only; -checkpoint becomes a directory)")
-		dist     = fs.Int("dist", 0, "with -shards, run distributed: this many worker processes over loopback TCP instead of shard goroutines (see cmd/shardcoord for real multi-process runs)")
+		dim            = fs.Int("d", 2, "mesh dimension")
+		side           = fs.Int("n", 16, "mesh side length")
+		k              = fs.Int("k", 64, "packet count (where the workload takes one)")
+		policy         = fs.String("policy", "restricted", "routing policy")
+		wl             = fs.String("workload", "uniform", "workload generator")
+		seed           = fs.Int64("seed", 1, "random seed")
+		maxSteps       = fs.Int("max-steps", 0, "step budget (0 = default)")
+		track          = fs.Bool("track", false, "attach the potential tracker and report invariant checks")
+		series         = fs.Bool("series", false, "with -track, print the per-step Phi/G/B/F series")
+		validate       = fs.String("validate", "greedy", "validation level: off, basic, greedy, restricted")
+		livelock       = fs.Bool("detect-livelock", true, "detect repeated configurations (deterministic policies)")
+		traceOut       = fs.String("trace-out", "", "record the run to this trace file")
+		verify         = fs.String("verify-trace", "", "verify a recorded trace file and exit (other flags ignored)")
+		heatmap        = fs.Bool("heatmap", false, "print a per-node deflection heat map after the run (2-D only)")
+		animate        = fs.Int("animate", 0, "print the first N steps as text frames (2-D only)")
+		workers        = fs.Int("workers", 0, "route nodes concurrently on this many goroutines (0 = serial)")
+		arrivals       = fs.String("arrivals", "", "continuous arrival traffic: proc[:key=val,...][;proc2:...], e.g. poisson:rate=0.02 (see -list-workloads)")
+		arrivalsRecord = fs.String("arrivals-record", "", "with -arrivals, record every injection to this file (replay with -arrivals replay:file=...)")
+		listWl         = fs.Bool("list-workloads", false, "print every registered policy, workload and arrival process with its parameter schema, then exit")
+		shards         = fs.String("shards", "", "run the sharded engine with a PxQ spatial decomposition, e.g. 4x2 (2-D only; -checkpoint becomes a directory)")
+		dist           = fs.Int("dist", 0, "with -shards, run distributed: this many worker processes over loopback TCP instead of shard goroutines (see cmd/shardcoord for real multi-process runs)")
 
 		faultRate    = fs.Float64("fault-rate", 0, "per-link per-step failure probability (0 = no link flaps)")
 		faultRepair  = fs.Float64("fault-repair", 0.05, "per-link per-step repair probability for downed links")
@@ -180,6 +247,10 @@ func runCtx(ctx context.Context, args []string) error {
 
 	if *showVer {
 		fmt.Println(version.String("hotpotato"))
+		return nil
+	}
+	if *listWl {
+		listWorkloads()
 		return nil
 	}
 	if *verify != "" {
@@ -211,12 +282,64 @@ func runCtx(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	ws, err := spec.ParseWorkloadSpec(*wl)
+	if err != nil {
+		return err
+	}
+	ws.Arrivals, err = spec.ParseArrivalSpec(*arrivals)
+	if err != nil {
+		return err
+	}
+	if err := ws.Validate(); err != nil {
+		return err
+	}
+	kSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "k" {
+			kSet = true
+		}
+	})
+	if kSet && ws.FixedSize() {
+		return fmt.Errorf("workload %q derives its packet count from the mesh; drop -k (parameters go in the workload spec, e.g. full-load:per-node=2)", ws.Name)
+	}
+	if ws.Arrivals != nil && (*track || *traceOut != "") {
+		return fmt.Errorf("-arrivals cannot be combined with -track or -trace-out (both reconstruct runs from the initial batch)")
+	}
+	if *arrivalsRecord != "" && ws.Arrivals == nil {
+		return fmt.Errorf("-arrivals-record needs -arrivals")
+	}
 	var packets []*sim.Packet
 	if !*resume { // a resumed run takes its packets from the snapshot
 		rng := rand.New(rand.NewSource(*seed))
-		packets, err = spec.NewWorkload(*wl, m, *k, rng)
+		packets, err = spec.BuildWorkload(ws, m, *k, rng)
 		if err != nil {
 			return err
+		}
+	}
+	// The injector is built resume or not: Restore reinstates its state, so
+	// it must be installed first, mirroring the packets-from-snapshot rule.
+	src, err := spec.BuildArrivals(ws.Arrivals, m)
+	if err != nil {
+		return err
+	}
+	var arrivalsFlush func() error
+	if *arrivalsRecord != "" {
+		f, err := os.Create(*arrivalsRecord)
+		if err != nil {
+			return err
+		}
+		tw, err := traffic.NewTraceWriter(f, m)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		src.SetTrace(tw)
+		arrivalsFlush = func() error {
+			if err := tw.Flush(); err != nil {
+				f.Close()
+				return fmt.Errorf("arrivals trace %s: %w", *arrivalsRecord, err)
+			}
+			return f.Close()
 		}
 	}
 	lvl, err := spec.ParseValidation(*validate)
@@ -241,6 +364,9 @@ func runCtx(ctx context.Context, args []string) error {
 		if *dist > 0 {
 			if *dim != 2 {
 				return fmt.Errorf("-dist needs a 2-dimensional mesh, got -d %d", *dim)
+			}
+			if src != nil {
+				return fmt.Errorf("-dist does not support -arrivals (distributed workers route a closed batch)")
 			}
 			var resumeCK *shard.Checkpoint
 			if *resume {
@@ -298,6 +424,9 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		defer se.Close()
+		if src != nil {
+			se.SetInjector(src)
+		}
 		if *resume {
 			ck, err := shard.LoadDir(*ckptPath)
 			if err != nil {
@@ -318,6 +447,16 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("shards:      %s (%d shard goroutines)\n", grid, grid.Count())
 		report(m, pol, res, runErr, *resume, *wl, packets, *ckptPath, *dim, *side, nil)
+		if src != nil {
+			fmt.Printf("arrivals:    %d generated, %d injected, backlog %d (max %d)\n",
+				src.Generated(), src.Injected(), src.Backlog(), src.MaxBacklog())
+			if arrivalsFlush != nil {
+				if err := arrivalsFlush(); err != nil {
+					return err
+				}
+				fmt.Printf("inj trace:   written to %s\n", *arrivalsRecord)
+			}
+		}
 		return runErr
 	}
 
@@ -331,6 +470,9 @@ func runCtx(ctx context.Context, args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if src != nil {
+		e.SetInjector(src)
 	}
 	faults, err := buildFaults(m, *faultRate, *faultRepair, *faultMaxDown, *crashRate, *faultScript)
 	if err != nil {
@@ -416,6 +558,16 @@ func runCtx(ctx context.Context, args []string) error {
 		})
 	} else {
 		report(m, pol, res, runErr, *resume, *wl, packets, *ckptPath, *dim, *side, nil)
+	}
+	if src != nil {
+		fmt.Printf("arrivals:    %d generated, %d injected, backlog %d (max %d)\n",
+			src.Generated(), src.Injected(), src.Backlog(), src.MaxBacklog())
+		if arrivalsFlush != nil {
+			if err := arrivalsFlush(); err != nil {
+				return err
+			}
+			fmt.Printf("inj trace:   written to %s\n", *arrivalsRecord)
+		}
 	}
 	if tracker != nil {
 		v := tracker.Violations()

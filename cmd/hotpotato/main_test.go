@@ -83,11 +83,24 @@ func TestRunAllPoliciesAndWorkloads(t *testing.T) {
 			t.Errorf("policy %s: %v", pol, err)
 		}
 	}
-	for _, wl := range []string{"uniform", "permutation", "partial-perm", "transpose", "single-target", "hotspot", "local", "full-load", "corner-rush"} {
+	for _, wl := range []string{"uniform", "partial-perm", "single-target", "hotspot", "local", "corner-rush"} {
 		if _, err := capture(t, func() error {
 			return run([]string{"-n", "6", "-k", "10", "-workload", wl})
 		}); err != nil {
 			t.Errorf("workload %s: %v", wl, err)
+		}
+	}
+	// Fixed-size workloads derive k from the mesh and reject an explicit -k.
+	for _, wl := range []string{"permutation", "transpose", "full-load"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"-n", "6", "-workload", wl})
+		}); err != nil {
+			t.Errorf("workload %s: %v", wl, err)
+		}
+		if _, err := capture(t, func() error {
+			return run([]string{"-n", "6", "-k", "10", "-workload", wl})
+		}); err == nil {
+			t.Errorf("workload %s: explicit -k accepted for a fixed-size workload", wl)
 		}
 	}
 	// bit-reversal needs a power-of-two side.
@@ -290,4 +303,91 @@ func lineWith(t *testing.T, out, substr string) string {
 	}
 	t.Fatalf("output has no line containing %q:\n%s", substr, out)
 	return ""
+}
+
+// TestRunArrivals: continuous traffic through the -arrivals flag, plus the
+// stats line it prints.
+func TestRunArrivals(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-workload", "none",
+			"-arrivals", "poisson:rate=0.05,until=40", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "arrivals:") {
+		t.Errorf("arrivals stats line missing:\n%s", out)
+	}
+}
+
+// TestRunParameterizedWorkload: the name:key=val,... syntax reaches the
+// generator (and bad values die with the spec error format).
+func TestRunParameterizedWorkload(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "10", "-workload", "hotspot:frac=0.9"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := capture(t, func() error {
+		return run([]string{"-n", "8", "-k", "10", "-workload", "hotspot:frac=1.5"})
+	})
+	if err == nil || !strings.Contains(err.Error(), `parameter "frac"`) {
+		t.Errorf("out-of-range frac: err = %v", err)
+	}
+}
+
+// TestListWorkloads: the discovery flag prints every registry with schemas.
+func TestListWorkloads(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-list-workloads"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hotspot", "frac", "adversary", "rho", "restricted", "poisson"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-workloads output missing %q", want)
+		}
+	}
+}
+
+// TestArrivalsRecordReplay: every injection recorded to a trace, then
+// replayed via the replay arrival process, must reproduce the run exactly.
+func TestArrivalsRecordReplay(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "inj.trace")
+	base := []string{"-n", "8", "-workload", "none", "-seed", "9"}
+	rec, err := capture(t, func() error {
+		return run(append([]string{"-arrivals", "bernoulli:rate=0.05,until=30",
+			"-arrivals-record", trace}, base...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := capture(t, func() error {
+		return run(append([]string{"-arrivals", "replay:file=" + trace}, base...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{"delivered:", "arrivals:"} {
+		if lineWith(t, rec, line) != lineWith(t, rep, line) {
+			t.Errorf("%s differs under replay:\nrecorded: %s\nreplayed: %s",
+				line, lineWith(t, rec, line), lineWith(t, rep, line))
+		}
+	}
+}
+
+// TestArrivalsFlagErrors: inconsistent arrival flags fail fast.
+func TestArrivalsFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "8", "-arrivals", "poisson:rate=0.05", "-track"},
+		{"-n", "8", "-arrivals-record", "x.trace"},
+		{"-n", "8", "-arrivals", "bogus:rate=1"},
+		{"-n", "8", "-arrivals", "poisson:rate=-2"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
 }

@@ -82,13 +82,18 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-// workloadByName adapts the shared spec registry to the trial runner's
-// generator shape, binding the mesh and packet count once per cell.
-func workloadByName(name string, m *mesh.Mesh, k int) (func(rng *rand.Rand) ([]*sim.Packet, error), error) {
-	if err := spec.CheckWorkload(name); err != nil {
+// workloadBySpec adapts the shared spec registry to the trial runner's
+// generator shape, binding the mesh and packet count once per cell. kSet
+// reports whether the user set -k explicitly, which fixed-size workloads
+// reject.
+func workloadBySpec(ws spec.WorkloadSpec, m *mesh.Mesh, k int, kSet bool) (func(rng *rand.Rand) ([]*sim.Packet, error), error) {
+	if err := ws.Validate(); err != nil {
 		return nil, err
 	}
-	return func(rng *rand.Rand) ([]*sim.Packet, error) { return spec.NewWorkload(name, m, k, rng) }, nil
+	if kSet && ws.FixedSize() {
+		return nil, fmt.Errorf("workload %q derives its packet count from the mesh; drop -k", ws.Name)
+	}
+	return func(rng *rand.Rand) ([]*sim.Packet, error) { return spec.BuildWorkload(ws, m, k, rng) }, nil
 }
 
 // cellRow is the JSON payload one grid cell produces: everything needed to
@@ -118,7 +123,9 @@ func runCtx(ctx context.Context, args []string) error {
 		nsFlag        = fs.String("n", "8,16", "comma-separated mesh side lengths")
 		ksFlag        = fs.String("k", "64", "comma-separated packet counts (for workloads that take one)")
 		polFlag       = fs.String("policy", "restricted", "comma-separated policies")
-		wlFlag        = fs.String("workload", "uniform", "comma-separated workloads")
+		wlFlag        = fs.String("workload", "uniform", "comma-separated workload specs, each name[:key=val,...]")
+		arrFlag       = fs.String("arrivals", "", "arrival traffic added to every cell: proc[:key=val,...][;proc2:...] (see hotpotato -list-workloads)")
+		maxSteps      = fs.Int("max-steps", 0, "per-trial step budget (0 = engine default; bound this for open-ended arrivals)")
 		trials        = fs.Int("trials", 3, "trials per cell")
 		seed          = fs.Int64("seed", 1, "base seed")
 		torus         = fs.Bool("torus", false, "use a torus instead of a mesh")
@@ -170,6 +177,24 @@ func runCtx(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	kSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "k" {
+			kSet = true
+		}
+	})
+	arrSpec, err := spec.ParseArrivalSpec(*arrFlag)
+	if err != nil {
+		return err
+	}
+	if arrSpec != nil {
+		if err := arrSpec.Validate(); err != nil {
+			return err
+		}
+		if *track {
+			return errors.New("-arrivals and -track are mutually exclusive (the tracker reconstructs runs from the initial batch)")
+		}
+	}
 	faultRates, err := parseFloats(*frFlag)
 	if err != nil {
 		return err
@@ -215,9 +240,12 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		for _, k := range ks {
-			for _, wlName := range strings.Split(*wlFlag, ",") {
-				wlName = strings.TrimSpace(wlName)
-				mkWl, err := workloadByName(wlName, m, k)
+			for _, wlName := range spec.SplitSpecList(*wlFlag) {
+				ws, err := spec.ParseWorkloadSpec(wlName)
+				if err != nil {
+					return err
+				}
+				mkWl, err := workloadBySpec(ws, m, k, kSet)
 				if err != nil {
 					return err
 				}
@@ -228,14 +256,21 @@ func runCtx(ctx context.Context, args []string) error {
 						return err
 					}
 					for _, frate := range faultRates {
-						spec := analysis.TrialSpec{
+						ts := analysis.TrialSpec{
 							Mesh:        m,
 							NewPolicy:   mkPol,
 							NewWorkload: mkWl,
 							Track:       *track,
 							Validation:  lvl,
+							MaxSteps:    *maxSteps,
 							Workers:     *engineWorkers,
 							Shards:      *shardsFlag,
+						}
+						if arrSpec != nil {
+							m := m
+							ts.NewInjector = func() (sim.Injector, error) {
+								return spec.BuildArrivals(arrSpec, m)
+							}
 						}
 						if frate != 0 { // negative rates reach the validator below
 							// Validate the rates here; NewFaults runs inside
@@ -244,7 +279,7 @@ func runCtx(ctx context.Context, args []string) error {
 								return err
 							}
 							frate := frate
-							spec.NewFaults = func() sim.FaultModel {
+							ts.NewFaults = func() sim.FaultModel {
 								f, _ := fault.NewLinkFlaps(frate, *faultRepair)
 								f.MaxDown = *faultMaxDown
 								return f
@@ -254,7 +289,7 @@ func runCtx(ctx context.Context, args []string) error {
 						cells = append(cells, runner.Cell{
 							Key: fmt.Sprintf("n=%d/k=%d/%s/%s/fr=%g", n, k, wlName, polName, frate),
 							Work: func(context.Context) (json.RawMessage, error) {
-								results, err := analysis.RunTrialsParallel(spec, *trials, *seed, *workers)
+								results, err := analysis.RunTrialsParallel(ts, *trials, *seed, *workers)
 								if err != nil {
 									return nil, err
 								}
@@ -295,8 +330,8 @@ func runCtx(ctx context.Context, args []string) error {
 	// The label ties a journal to one exact grid: every flag that shapes
 	// cell keys or results is part of it, so -resume against the journal of
 	// a different sweep fails loudly instead of mixing data.
-	label := fmt.Sprintf("sweep d=%d n=%s k=%s policy=%s workload=%s fault-rate=%s fault-repair=%g fault-max-down=%d trials=%d seed=%d torus=%t track=%t strict=%t workers=%d shards=%s",
-		*dim, *nsFlag, *ksFlag, *polFlag, *wlFlag, *frFlag, *faultRepair, *faultMaxDown,
+	label := fmt.Sprintf("sweep d=%d n=%s k=%s policy=%s workload=%s arrivals=%s max-steps=%d fault-rate=%s fault-repair=%g fault-max-down=%d trials=%d seed=%d torus=%t track=%t strict=%t workers=%d shards=%s",
+		*dim, *nsFlag, *ksFlag, *polFlag, *wlFlag, *arrFlag, *maxSteps, *frFlag, *faultRepair, *faultMaxDown,
 		*trials, *seed, *torus, *track, *validate, *engineWorkers, *shardsFlag)
 
 	opts := runner.Options{

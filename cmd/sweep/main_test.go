@@ -209,3 +209,47 @@ func countLines(path string) int {
 	}
 	return strings.Count(string(data), "\n")
 }
+
+// TestSweepParameterizedWorkloads: the workload list accepts the
+// name:key=val,... syntax, with commas inside parameter lists kept intact.
+func TestSweepParameterizedWorkloads(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "6", "-k", "8", "-trials", "2",
+			"-workload", "hotspot:frac=0.9,local:radius=2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "mesh(d=2"); got != 2 {
+		t.Errorf("expected 2 rows (one per parameterized workload), found %d:\n%s", got, out)
+	}
+}
+
+// TestSweepArrivals: cells can run under continuous traffic.
+func TestSweepArrivals(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "6", "-trials", "2", "-workload", "none",
+			"-arrivals", "poisson:rate=0.05,until=30", "-max-steps", "4000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mesh(d=2") {
+		t.Errorf("arrivals sweep produced no rows:\n%s", out)
+	}
+}
+
+// TestSweepArrivalErrors: bad arrival specs and conflicting flags fail.
+func TestSweepArrivalErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "6", "-arrivals", "bogus:rate=1"},
+		{"-n", "6", "-arrivals", "poisson:rate=0.05", "-track"},
+		{"-n", "6", "-k", "8", "-workload", "full-load"},
+		{"-n", "6", "-workload", "hotspot:frac=2"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -43,6 +43,12 @@ type TrialSpec struct {
 	// FaultFate selects what a node crash does to the packets inside
 	// (drop vs absorb); only consulted when NewFaults is set.
 	FaultFate sim.PacketFate
+	// NewInjector constructs a fresh arrival-driven packet source for the
+	// trial (sources are stateful, so each engine needs its own); built for
+	// example by spec.BuildArrivals. Nil runs the batch workload alone.
+	// Mutually exclusive with Track (the tracker reconstructs runs from the
+	// initial batch).
+	NewInjector func() (sim.Injector, error)
 }
 
 // TrialResult is the outcome of one trial.
@@ -94,6 +100,16 @@ func RunTrial(spec TrialSpec) (*TrialResult, error) {
 	}
 	if spec.NewFaults != nil {
 		e.SetFaults(spec.NewFaults(), spec.FaultFate)
+	}
+	if spec.NewInjector != nil {
+		if spec.Track {
+			return nil, fmt.Errorf("analysis: trials cannot combine NewInjector with Track (the tracker reconstructs runs from the initial batch)")
+		}
+		inj, err := spec.NewInjector()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: injector: %w", err)
+		}
+		e.SetInjector(inj)
 	}
 	tr := &TrialResult{Packets: packets}
 	var tracker *core.Tracker
@@ -149,6 +165,13 @@ func runShardedTrial(spec TrialSpec, packets []*sim.Packet, validation sim.Valid
 		return nil, err
 	}
 	defer e.Close()
+	if spec.NewInjector != nil {
+		inj, err := spec.NewInjector()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: injector: %w", err)
+		}
+		e.SetInjector(inj)
+	}
 	res, err := e.Run()
 	if err != nil {
 		return nil, err

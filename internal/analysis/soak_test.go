@@ -112,7 +112,7 @@ type soakInjector struct {
 	rate  float64
 }
 
-func (si *soakInjector) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+func (si *soakInjector) Inject(t int, e sim.InjectorHost, rng *rand.Rand) []*sim.Packet {
 	if t >= si.until {
 		return nil
 	}

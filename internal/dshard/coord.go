@@ -459,6 +459,8 @@ func (c *Coordinator) adoptCheckpoint(ck *shard.Checkpoint) error {
 		return fmt.Errorf("%w: livelock detection mismatch", shard.ErrBadCheckpoint)
 	case m.Shards != len(ck.Parts):
 		return fmt.Errorf("%w: manifest lists %d shards, checkpoint has %d parts", shard.ErrBadCheckpoint, m.Shards, len(ck.Parts))
+	case m.HasInjector:
+		return fmt.Errorf("%w: checkpoint carries injector state; distributed runs do not support arrival-driven traffic", shard.ErrBadCheckpoint)
 	}
 	live := 0
 	for i := range ck.Parts {

@@ -123,7 +123,7 @@ func NewSource(m *mesh.Mesh, messages []*Message) (*Source, error) {
 
 // Inject implements sim.Injector: one flit per pending message per step,
 // respecting the per-node injection capacity.
-func (s *Source) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+func (s *Source) Inject(t int, e sim.InjectorHost, rng *rand.Rand) []*sim.Packet {
 	var out []*sim.Packet
 	used := map[mesh.NodeID]int{}
 	remaining := s.pending[:0]

@@ -98,7 +98,7 @@ func TestOldestFirstDynamic(t *testing.T) {
 
 type burstInjector struct{ bursts int }
 
-func (bi *burstInjector) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+func (bi *burstInjector) Inject(t int, e sim.InjectorHost, rng *rand.Rand) []*sim.Packet {
 	if bi.bursts <= 0 || t%5 != 0 {
 		return nil
 	}

@@ -17,7 +17,7 @@ import (
 func TestDistributedJobLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
-	const problem = `"side": 8, "k": 32, "seed": 3, "policy": "random", "workload": "full-load", "progress_every": 2`
+	const problem = `"side": 8, "seed": 3, "policy": "random", "workload": "full-load", "progress_every": 2`
 	resp, dist := postJob(t, ts, `{`+problem+`, "shards": "2x2", "dist_workers": 2}`)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST distributed = %d, want 202", resp.StatusCode)
@@ -86,7 +86,7 @@ func TestDistributedDrainCheckpointResume(t *testing.T) {
 	dir := t.TempDir()
 	s, ts := newTestServer(t, Config{Workers: 1, CheckpointDir: dir, DrainGrace: 30 * time.Millisecond})
 
-	const problem = `"side": 6, "k": 24, "seed": 9, "policy": "random", "workload": "full-load", "progress_every": 1, "max_steps": 100000`
+	const problem = `"side": 6, "seed": 9, "policy": "random", "workload": "full-load", "progress_every": 1, "max_steps": 100000`
 	_, st := postJob(t, ts, `{`+problem+`, "shards": "2x2", "dist_workers": 2, "step_delay": "5ms"}`)
 	if st.ID == "" {
 		t.Fatal("job not accepted")

@@ -63,10 +63,14 @@ type JobSpec struct {
 	// MaxAttempts is this job's retry budget (attempts before it is
 	// reported failed), overriding the server default. 0 = server default.
 	MaxAttempts int `json:"max_attempts,omitempty"`
-	// Policy and Workload are registry names (defaults "restricted" and
-	// "uniform").
-	Policy   string `json:"policy,omitempty"`
-	Workload string `json:"workload,omitempty"`
+	// Policy is a registry name (default "restricted").
+	Policy string `json:"policy,omitempty"`
+	// Workload selects the traffic pattern (default "uniform"). It accepts
+	// either a bare registry name ("hotspot") or a structured object
+	// ({"name": "hotspot", "params": {"frac": "0.8"}, "arrivals": {...}}) —
+	// the same spec.WorkloadSpec every CLI flag parses. Arrivals nested here
+	// attach a dynamic injection source to the run.
+	Workload spec.WorkloadSpec `json:"workload,omitempty"`
 	// Seed makes the job deterministic (default 1). The workload is drawn
 	// from Seed and the engine runs with Seed+1, exactly like cmd/hotpotato.
 	Seed int64 `json:"seed,omitempty"`
@@ -115,14 +119,14 @@ func (js JobSpec) withDefaults() JobSpec {
 	if js.Side == 0 {
 		js.Side = 16
 	}
-	if js.K == 0 {
-		js.K = 64
+	if js.Workload.Name == "" {
+		js.Workload.Name = "uniform"
+	}
+	if js.K == 0 && !js.Workload.FixedSize() {
+		js.K = 64 // fixed-size workloads derive k from the mesh; leave it 0
 	}
 	if js.Policy == "" {
 		js.Policy = "restricted"
-	}
-	if js.Workload == "" {
-		js.Workload = "uniform"
 	}
 	if js.Seed == 0 {
 		js.Seed = 1
@@ -151,7 +155,11 @@ func (js JobSpec) validate(maxNodes, maxK int) error {
 			return fmt.Errorf("mesh %d^%d exceeds the server's node limit %d", js.Side, js.Dim, maxNodes)
 		}
 	}
-	if js.K < 1 || js.K > maxK {
+	if js.Workload.FixedSize() {
+		if js.K != 0 {
+			return fmt.Errorf("workload %q derives its packet count from the mesh; drop k (parameters go in the workload spec)", js.Workload.Name)
+		}
+	} else if js.K < 1 || js.K > maxK {
 		return fmt.Errorf("k must be in [1, %d], got %d", maxK, js.K)
 	}
 	if js.MaxSteps < 0 {
@@ -194,8 +202,16 @@ func (js JobSpec) validate(maxNodes, maxK int) error {
 	if _, err := spec.PolicyFactory(js.Policy); err != nil {
 		return err
 	}
-	if err := spec.CheckWorkload(js.Workload); err != nil {
+	if err := js.Workload.Validate(); err != nil {
 		return err
+	}
+	if as := js.Workload.Arrivals; as != nil {
+		if js.DistWorkers > 0 {
+			return fmt.Errorf("distributed jobs do not support arrivals (injector state cannot ride a dshard checkpoint)")
+		}
+		if js.MaxSteps == 0 && !as.Bounded() {
+			return fmt.Errorf("arrival jobs must terminate: set max_steps or give every arrival client a positive until")
+		}
 	}
 	if _, err := spec.ParseValidation(js.Validation); err != nil {
 		return err
@@ -234,7 +250,7 @@ func (js JobSpec) buildEngine(jobTimeout time.Duration) (*sim.Engine, error) {
 	}
 	var packets []*sim.Packet
 	if js.ResumeFrom == "" { // a resumed job takes its packets from the snapshot
-		packets, err = spec.NewWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
+		packets, err = spec.BuildWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
 		if err != nil {
 			return nil, err
 		}
@@ -260,6 +276,13 @@ func (js JobSpec) buildEngine(jobTimeout time.Duration) (*sim.Engine, error) {
 			return nil, err
 		}
 		e.SetFaults(model, fate)
+	}
+	// The injection source is installed even on resume — the snapshot then
+	// restores its state, keeping the resumed run bit-identical.
+	if src, err := spec.BuildArrivals(js.Workload.Arrivals, m); err != nil {
+		return nil, err
+	} else if src != nil {
+		e.SetInjector(src)
 	}
 	if js.ResumeFrom != "" {
 		snap, err := checkpoint.Load(js.ResumeFrom)
@@ -301,7 +324,7 @@ func (js JobSpec) buildShardEngine(jobTimeout time.Duration) (*shard.Engine, err
 	}
 	var packets []*sim.Packet
 	if js.ResumeFrom == "" { // a resumed job takes its packets from the snapshot
-		packets, err = spec.NewWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
+		packets, err = spec.BuildWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
 		if err != nil {
 			return nil, err
 		}
@@ -316,6 +339,14 @@ func (js JobSpec) buildShardEngine(jobTimeout time.Duration) (*shard.Engine, err
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Injector before Restore, matching buildEngine: the manifest carries
+	// the source's state and the restore re-seeds it.
+	if src, err := spec.BuildArrivals(js.Workload.Arrivals, m); err != nil {
+		e.Close()
+		return nil, err
+	} else if src != nil {
+		e.SetInjector(src)
 	}
 	if js.ResumeFrom != "" {
 		ck, err := shard.LoadDir(js.ResumeFrom)
@@ -343,6 +374,10 @@ const distToken = "hotpotatod-dist"
 // in-process sharded engine); ckptEvery is the rollback/save cadence (0 =
 // the coordinator's default).
 func (js JobSpec) buildCoordinator(jobTimeout time.Duration, ckptDir string, ckptEvery int) (*dshard.Coordinator, error) {
+	if js.Workload.Arrivals != nil {
+		// Validation rejects this at admission; guard the recovery path too.
+		return nil, fmt.Errorf("distributed jobs do not support arrivals")
+	}
 	var m *mesh.Mesh
 	var err error
 	if js.Torus {
@@ -364,7 +399,7 @@ func (js JobSpec) buildCoordinator(jobTimeout time.Duration, ckptDir string, ckp
 	var packets []*sim.Packet
 	var resume *shard.Checkpoint
 	if js.ResumeFrom == "" { // a resumed job takes its packets from the snapshot
-		packets, err = spec.NewWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
+		packets, err = spec.BuildWorkload(js.Workload, m, js.K, rand.New(rand.NewSource(js.Seed)))
 		if err != nil {
 			return nil, err
 		}

@@ -53,6 +53,7 @@ import (
 	"hotpotato/internal/server/store"
 	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
 )
 
 // Config configures a Server. Zero values take the documented defaults.
@@ -920,7 +921,11 @@ func (s *Server) runShardedJob(actx context.Context, j *Job, attempt int) (json.
 		if save != nil && saved == "" {
 			// Cancelled before the first step: keep the initial state, it is
 			// the job itself (mirroring the single-engine path).
-			if err := save(e.Checkpoint()); err != nil {
+			ck, err := e.Checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			if err := save(ck); err != nil {
 				return nil, err
 			}
 		}
@@ -1047,6 +1052,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/spec", handleSpec)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -1065,6 +1071,13 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	return mux
+}
+
+// handleSpec serves the registry catalog: every policy, workload and
+// arrival process the server accepts, with parameter schemas and defaults.
+// Clients discover what a job spec may say without trial submissions.
+func handleSpec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, spec.Catalog())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -62,6 +62,15 @@ type Manifest struct {
 	Reroutes         int64 `json:"reroutes"`
 	Recoveries       int   `json:"recoveries"`
 
+	// Injector state: present iff an injector was installed. InjRNG is the
+	// dedicated injection SplitMix64 stream; injectors with internal state
+	// (source backlogs, renewal clocks, token buckets) participate via
+	// sim.CheckpointableInjector and their opaque bytes ride along here, so
+	// a resumed arrival-driven run is bit-identical (mid-burst included).
+	HasInjector   bool   `json:"has_injector,omitempty"`
+	InjectorState []byte `json:"injector_state,omitempty"`
+	InjRNG        uint64 `json:"inj_rng,omitempty"`
+
 	// Seen is the livelock detector's configuration-hash history, sorted by
 	// first-seen step for reproducible encodings.
 	Seen []sim.SeenState `json:"seen,omitempty"`
@@ -100,8 +109,9 @@ var ErrBadCheckpoint = errors.New("shard: invalid checkpoint")
 // cheap relative to a step (it copies packet structs, not the mesh or
 // tables) and the result is independent of the engine's grid: it can be
 // saved with SaveDir, restored into an engine with any decomposition, or
-// kept in memory as the rollback point for panic recovery.
-func (e *Engine) Checkpoint() *Checkpoint {
+// kept in memory as the rollback point for panic recovery. It fails only
+// when an installed CheckpointableInjector cannot serialize its state.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	m := Manifest{
 		Version:          CheckpointVersion,
 		MeshDim:          e.mesh.Dim(),
@@ -132,6 +142,17 @@ func (e *Engine) Checkpoint() *Checkpoint {
 		}
 		sort.Slice(m.Seen, func(i, j int) bool { return m.Seen[i].Time < m.Seen[j].Time })
 	}
+	if e.injector != nil {
+		m.HasInjector = true
+		m.InjRNG = e.injSrc.State()
+		if ci, ok := e.injector.(sim.CheckpointableInjector); ok {
+			data, err := ci.SnapshotState()
+			if err != nil {
+				return nil, fmt.Errorf("shard: checkpoint injector state: %w", err)
+			}
+			m.InjectorState = data
+		}
+	}
 	for _, p := range e.packets {
 		if p.Arrived() {
 			m.Finalized = append(m.Finalized, sim.CapturePacket(p))
@@ -147,7 +168,7 @@ func (e *Engine) Checkpoint() *Checkpoint {
 		}
 		ck.Parts[i] = part
 	}
-	return ck
+	return ck, nil
 }
 
 // Restore loads a checkpoint into a freshly-built engine (no packets, time
@@ -185,6 +206,8 @@ func (e *Engine) loadCheckpoint(ck *Checkpoint) error {
 		return fmt.Errorf("%w: livelock detection mismatch", ErrBadCheckpoint)
 	case m.Shards != len(ck.Parts):
 		return fmt.Errorf("%w: manifest lists %d shards, checkpoint has %d parts", ErrBadCheckpoint, m.Shards, len(ck.Parts))
+	case (e.injector != nil) != m.HasInjector:
+		return fmt.Errorf("%w: injector installed=%v, checkpoint has_injector=%v", ErrBadCheckpoint, e.injector != nil, m.HasInjector)
 	}
 
 	for _, s := range e.shards {
@@ -259,6 +282,18 @@ func (e *Engine) loadCheckpoint(ck *Checkpoint) error {
 		e.seen = make(map[uint64]int, len(m.Seen))
 		for _, sn := range m.Seen {
 			e.seen[sn.Hash] = sn.Time
+		}
+	}
+	if m.HasInjector {
+		e.injSrc.SetState(m.InjRNG)
+		if len(m.InjectorState) > 0 {
+			ci, ok := e.injector.(sim.CheckpointableInjector)
+			if !ok {
+				return fmt.Errorf("%w: checkpoint carries injector state but injector %T cannot restore it", ErrBadCheckpoint, e.injector)
+			}
+			if err := ci.RestoreState(m.InjectorState); err != nil {
+				return fmt.Errorf("shard: restore injector state: %w", err)
+			}
 		}
 	}
 	return nil

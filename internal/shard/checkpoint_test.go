@@ -69,7 +69,10 @@ func TestCheckpointResumeAcrossGrids(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ck := half.Checkpoint()
+	ck, err := half.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, g := range []shard.Grid{{P: 2, Q: 2}, {P: 4, Q: 2}, {P: 1, Q: 1}} {
 		t.Run(g.String(), func(t *testing.T) {
@@ -109,14 +112,20 @@ func TestSaveDirLoadDir(t *testing.T) {
 			if err := e.Step(); err != nil {
 				t.Fatal(err)
 			}
-			first := e.Checkpoint()
+			first, err := e.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := shard.SaveDir(dir, first, format); err != nil {
 				t.Fatal(err)
 			}
 			if err := e.Step(); err != nil {
 				t.Fatal(err)
 			}
-			second := e.Checkpoint()
+			second, err := e.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := shard.SaveDir(dir, second, format); err != nil {
 				t.Fatal(err)
 			}
@@ -351,7 +360,10 @@ func TestRestoreGuards(t *testing.T) {
 	if err := e.Step(); err != nil {
 		t.Fatal(err)
 	}
-	ck := e.Checkpoint()
+	ck, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	t.Run("seed-mismatch", func(t *testing.T) {
 		bad := opts

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"slices"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"hotpotato/internal/mesh"
+	"hotpotato/internal/rng"
 	"hotpotato/internal/sim"
 )
 
@@ -136,6 +138,16 @@ type Engine struct {
 	livelockable bool
 	seen         map[uint64]int
 
+	// Continuous traffic. injSrc is seeded rng.Mix(opts.Seed) — exactly the
+	// single engine's serial stream. On a Workers>1 sim engine that stream is
+	// consumed only by injection (tie-breaks come from per-(seed, step, node)
+	// streams, as they do here), so a deterministic injector draws identical
+	// values on both engines and the parity contract extends to dynamic
+	// traffic.
+	injector sim.Injector
+	injSrc   rng.SplitMix64
+	injRng   *rand.Rand
+
 	totalDeflections int64
 	totalHops        int64
 	maxNodeLoad      int
@@ -185,6 +197,8 @@ func New(m *mesh.Mesh, policy sim.Policy, packets []*sim.Packet, opts Options) (
 	if e.livelockable {
 		e.seen = make(map[uint64]int)
 	}
+	e.injSrc.Seed(rng.Mix(opts.Seed))
+	e.injRng = rand.New(&e.injSrc)
 
 	shardPolicy := func() sim.Policy { return policy }
 	if n > 1 {
@@ -388,6 +402,97 @@ func (e *Engine) Livelocked() bool { return e.livelock }
 // Recoveries returns how many checkpoint rollbacks Run performed after
 // shard panics.
 func (e *Engine) Recoveries() int { return e.recoveries }
+
+// SetInjector installs a continuous traffic source, with the same contract
+// as sim.Engine.SetInjector: injection happens at the beginning of every
+// step before routing, and livelock detection is disabled (the
+// configuration is no longer closed). Because the injection RNG is seeded
+// exactly like the single engine's serial stream, a run with the same seed,
+// injector and deterministic policy is bit-identical to a Workers>1 single
+// engine's.
+func (e *Engine) SetInjector(inj sim.Injector) {
+	e.injector = inj
+	e.livelockable = false
+}
+
+// InjectionCapacity implements sim.InjectorHost: how many packets can still
+// be injected at the node this step without exceeding its out-degree.
+func (e *Engine) InjectionCapacity(node mesh.NodeID) int {
+	s := e.shards[e.pt.owner(node)]
+	l := s.sub.LocalID(node)
+	c := s.sub.DegreeLocal(l) - len(s.byLocal[l])
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// NextPacketID implements sim.InjectorHost: a fresh packet ID, unique
+// within this engine.
+func (e *Engine) NextPacketID() int {
+	id := e.nextID
+	e.nextID++
+	return id
+}
+
+var _ sim.InjectorHost = (*Engine)(nil)
+
+// inject runs the installed injector and validates its output with the
+// single engine's rules (sharded runs carry no fault model, so the graceful
+// DropInject path does not apply — any capacity violation is an injector
+// bug and a hard error). Runs coordinator-side between step barriers, so it
+// may touch shard queues freely.
+func (e *Engine) inject() error {
+	floor := e.nextID
+	newPackets := e.injector.Inject(e.time, e, e.injRng)
+	touched := false
+	for _, p := range newPackets {
+		if p == nil {
+			return fmt.Errorf("%w: injector returned nil packet at step %d", sim.ErrBadInjection, e.time)
+		}
+		if err := e.mesh.CheckID(p.Src); err != nil {
+			return fmt.Errorf("%w: injected packet %d source: %v", sim.ErrBadInjection, p.ID, err)
+		}
+		if err := e.mesh.CheckID(p.Dst); err != nil {
+			return fmt.Errorf("%w: injected packet %d destination: %v", sim.ErrBadInjection, p.ID, err)
+		}
+		if p.Node != p.Src {
+			return fmt.Errorf("%w: injected packet %d not at its source", sim.ErrBadInjection, p.ID)
+		}
+		if p.ID < floor {
+			return fmt.Errorf("%w: injected packet reuses id %d (or breaks the increasing-id contract, watermark %d) at step %d",
+				sim.ErrBadInjection, p.ID, floor, e.time)
+		}
+		floor = p.ID + 1
+		if p.ID >= e.nextID {
+			e.nextID = p.ID + 1
+		}
+		e.packets = append(e.packets, p)
+		p.InjectedAt = e.time
+		p.Cause = sim.DropNone
+		p.DroppedAt = -1
+		if p.Src == p.Dst {
+			p.ArrivedAt = e.time
+			continue
+		}
+		p.ArrivedAt = -1
+		s := e.shards[e.pt.owner(p.Src)]
+		l := s.sub.LocalID(p.Src)
+		if len(s.byLocal[l]) >= s.sub.DegreeLocal(l) {
+			return fmt.Errorf("%w: step %d node %d injection exceeds out-degree %d",
+				sim.ErrBadInjection, e.time, p.Src, s.sub.DegreeLocal(l))
+		}
+		s.enqueue(p)
+		e.live++
+		touched = true
+	}
+	if touched {
+		for _, s := range e.shards {
+			s.sortActive()
+		}
+	}
+	return nil
+}
 
 // Progress returns the engine's current progress counters, shaped exactly
 // like sim.Engine.Progress so frontends can report either engine through
@@ -601,6 +706,11 @@ func (s *shardState) sortActive() {
 // their neighbors' egress buckets), then coordinator bookkeeping.
 func (e *Engine) Step() error {
 	t := e.time
+	if e.injector != nil {
+		if err := e.inject(); err != nil {
+			return err
+		}
+	}
 	if err := e.phase(phaseRoute, t); err != nil {
 		return err
 	}
@@ -674,9 +784,11 @@ func (e *Engine) stateHash() uint64 {
 // parity contract. Valid between steps.
 func (e *Engine) StateHash() uint64 { return e.stateHash() }
 
-// runnable reports whether the run has work left.
+// runnable reports whether the run has work left: packets in flight or an
+// injector still producing, no livelock, and step budget remaining.
 func (e *Engine) runnable() bool {
-	return e.live > 0 && !e.livelock && e.time < e.opts.MaxSteps
+	return (e.live > 0 || (e.injector != nil && !e.injector.Exhausted(e.time))) &&
+		!e.livelock && e.time < e.opts.MaxSteps
 }
 
 // Run steps the engine until every packet arrives, a livelock is detected,
@@ -725,7 +837,11 @@ func (e *Engine) RunCheckpointed(ctx context.Context, every int, save func(*Chec
 	}
 	var lastCK *Checkpoint
 	if recoverable {
-		lastCK = e.Checkpoint()
+		ck, err := e.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		lastCK = ck
 	}
 	// sinceCapture paces in-memory rollback captures; sinceDisk tracks steps
 	// not yet committed by save, so the early-stop flush below never writes
@@ -749,7 +865,10 @@ func (e *Engine) RunCheckpointed(ctx context.Context, every int, save func(*Chec
 		sinceCapture++
 		sinceDisk++
 		if cadence > 0 && sinceCapture >= cadence {
-			ck := e.Checkpoint()
+			ck, err := e.Checkpoint()
+			if err != nil {
+				return nil, err
+			}
 			if recoverable {
 				lastCK = ck
 			}
@@ -771,7 +890,11 @@ func (e *Engine) RunCheckpointed(ctx context.Context, every int, save func(*Chec
 			e.deadlineExceeded = true
 		}
 		if save != nil && sinceDisk > 0 {
-			if err := save(e.Checkpoint()); err != nil {
+			ck, err := e.Checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			if err := save(ck); err != nil {
 				return nil, fmt.Errorf("shard: checkpoint save: %w", err)
 			}
 		}

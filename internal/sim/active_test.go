@@ -137,7 +137,7 @@ type burstInjector struct {
 
 func (b *burstInjector) Exhausted(t int) bool { return t > b.last }
 
-func (b *burstInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (b *burstInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if t > b.last {
 		return nil
 	}

@@ -68,20 +68,37 @@ var (
 // DefaultMaxSteps is the step budget used when Options.MaxSteps is zero.
 const DefaultMaxSteps = 1 << 20
 
+// InjectorHost is the engine surface an Injector sees: the geometry, the
+// per-node injection room and the fresh-ID source. Both the single engine
+// (*Engine) and the sharded engine (shard.Engine) implement it, so one
+// injector drives either — and because the sharded engine seeds its
+// injection RNG exactly like the single engine's serial stream, a
+// deterministic injector produces bit-identical traffic on both.
+type InjectorHost interface {
+	// Mesh returns the intact base mesh (geometric ground truth).
+	Mesh() *mesh.Mesh
+	// InjectionCapacity returns how many packets can still be injected at
+	// the node this step without exceeding its out-degree.
+	InjectionCapacity(node mesh.NodeID) int
+	// NextPacketID returns a fresh packet ID, unique within the engine.
+	NextPacketID() int
+}
+
 // Injector supplies packets to inject at the beginning of each step,
 // turning the batch engine into a continuous-traffic simulator (the
 // steady-state regime of the deflection-network studies the paper cites:
 // [GG], [Ma], [ZA]). Implementations must respect the model's injection
 // constraint: after injection, no node may hold more packets than its
-// out-degree — use Engine.InjectionCapacity to learn the per-node room.
-// Returned packets must sit at their sources with fresh IDs at or above the
-// engine's ID watermark — every ID ever accepted stays below the watermark,
-// so any monotonically increasing scheme works and NextPacketID always
-// satisfies the contract. IDs below the watermark are rejected as reused.
+// out-degree — use InjectorHost.InjectionCapacity to learn the per-node
+// room. Returned packets must sit at their sources with fresh IDs at or
+// above the engine's ID watermark — every ID ever accepted stays below the
+// watermark, so any monotonically increasing scheme works and NextPacketID
+// always satisfies the contract. IDs below the watermark are rejected as
+// reused.
 type Injector interface {
 	// Inject returns the packets entering the network at step t. The rng
 	// is the engine's deterministic source.
-	Inject(t int, e *Engine, rng *rand.Rand) []*Packet
+	Inject(t int, host InjectorHost, rng *rand.Rand) []*Packet
 	// Exhausted reports that the source will never inject again (e.g. its
 	// generation window closed and its backlog drained); Run then stops as
 	// soon as the network empties. A source that never exhausts runs to

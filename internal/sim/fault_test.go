@@ -357,8 +357,8 @@ type scriptInjector struct {
 	last int
 }
 
-func (s *scriptInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet { return s.at[t] }
-func (s *scriptInjector) Exhausted(t int) bool                              { return t > s.last }
+func (s *scriptInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet { return s.at[t] }
+func (s *scriptInjector) Exhausted(t int) bool                                   { return t > s.last }
 
 // TestFaultInjectionDrops: injecting at a down source or toward a down
 // destination is refused gracefully (DropInject), not an error; injection

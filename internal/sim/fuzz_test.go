@@ -106,7 +106,7 @@ func TestFuzzEngineInvariants(t *testing.T) {
 // engine must keep per-node occupancy within degree bounds at routing time.
 type fuzzInjector struct{ left int }
 
-func (fi *fuzzInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (fi *fuzzInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if fi.left <= 0 {
 		return nil
 	}
@@ -182,24 +182,24 @@ func TestInjectionValidationErrors(t *testing.T) {
 		return err
 	}
 
-	if err := mk(badInjector(func(e *Engine) []*Packet {
+	if err := mk(badInjector(func(e InjectorHost) []*Packet {
 		return []*Packet{nil}
 	})); err == nil {
 		t.Error("nil injected packet accepted")
 	}
-	if err := mk(badInjector(func(e *Engine) []*Packet {
+	if err := mk(badInjector(func(e InjectorHost) []*Packet {
 		return []*Packet{NewPacket(e.NextPacketID(), -1, 3)}
 	})); err == nil {
 		t.Error("bad source accepted")
 	}
-	if err := mk(badInjector(func(e *Engine) []*Packet {
+	if err := mk(badInjector(func(e InjectorHost) []*Packet {
 		p := NewPacket(e.NextPacketID(), 1, 3)
 		p.Node = 2
 		return []*Packet{p}
 	})); err == nil {
 		t.Error("displaced packet accepted")
 	}
-	if err := mk(badInjector(func(e *Engine) []*Packet {
+	if err := mk(badInjector(func(e InjectorHost) []*Packet {
 		// Overfill a corner (degree 2) with 3 packets.
 		corner := m.ID([]int{0, 0})
 		return []*Packet{
@@ -212,9 +212,9 @@ func TestInjectionValidationErrors(t *testing.T) {
 	}
 }
 
-type badInjector func(e *Engine) []*Packet
+type badInjector func(e InjectorHost) []*Packet
 
-func (b badInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (b badInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if t == 0 {
 		return b(e)
 	}

@@ -120,7 +120,7 @@ func TestMaxWallTimeNotSetOnFastRun(t *testing.T) {
 // overflowInjector ignores InjectionCapacity and floods one node.
 type overflowInjector struct{ node mesh.NodeID }
 
-func (o overflowInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (o overflowInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if t > 0 {
 		return nil
 	}
@@ -155,7 +155,7 @@ func TestInjectorOverCapacityRejected(t *testing.T) {
 // nilInjector returns a nil packet among valid ones.
 type nilInjector struct{}
 
-func (nilInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (nilInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if t > 0 {
 		return nil
 	}
@@ -181,8 +181,8 @@ func TestInjectorNilPacketRejected(t *testing.T) {
 // noopInjector never injects and never exhausts.
 type noopInjector struct{}
 
-func (noopInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet { return nil }
-func (noopInjector) Exhausted(t int) bool                              { return false }
+func (noopInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet { return nil }
+func (noopInjector) Exhausted(t int) bool                                   { return false }
 
 // TestSetInjectorDisablesLivelockDetection: with an injector installed the
 // configuration is not closed, so the detector must stay quiet even for a

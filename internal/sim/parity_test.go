@@ -163,7 +163,7 @@ func TestFastPathParityRepeatable(t *testing.T) {
 // soakInjector keeps every node saturated with fresh traffic.
 type soakInjector struct{ stop int }
 
-func (si *soakInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (si *soakInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if t >= si.stop {
 		return nil
 	}

@@ -253,7 +253,7 @@ type statefulInjector struct {
 	dst       mesh.NodeID
 }
 
-func (si *statefulInjector) Inject(t int, e *Engine, rng *rand.Rand) []*Packet {
+func (si *statefulInjector) Inject(t int, e InjectorHost, rng *rand.Rand) []*Packet {
 	if si.remaining <= 0 {
 		return nil
 	}

@@ -17,7 +17,6 @@ import (
 	"hotpotato/internal/mesh"
 	"hotpotato/internal/routing"
 	"hotpotato/internal/sim"
-	"hotpotato/internal/workload"
 )
 
 // policies maps every routing-policy name to its constructor.
@@ -34,34 +33,6 @@ var policies = map[string]func() sim.Policy{
 	"nearest":           routing.NewNearestFirst,
 }
 
-// workloads maps every workload name to its generator.
-var workloads = map[string]func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error){
-	"uniform": workload.UniformRandom,
-	"permutation": func(m *mesh.Mesh, _ int, rng *rand.Rand) ([]*sim.Packet, error) {
-		return workload.Permutation(m, rng), nil
-	},
-	"partial-perm": workload.PartialPermutation,
-	"transpose": func(m *mesh.Mesh, _ int, _ *rand.Rand) ([]*sim.Packet, error) {
-		return workload.Transpose(m)
-	},
-	"bit-reversal": func(m *mesh.Mesh, _ int, _ *rand.Rand) ([]*sim.Packet, error) {
-		return workload.BitReversal(m)
-	},
-	"single-target": func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
-		return workload.SingleTarget(m, k, mesh.NodeID(m.Size()/2), rng)
-	},
-	"hotspot": func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
-		return workload.HotSpot(m, k, 0.5, rng)
-	},
-	"local": func(m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
-		return workload.LocalRandom(m, k, 4, rng)
-	},
-	"full-load": func(m *mesh.Mesh, _ int, rng *rand.Rand) ([]*sim.Packet, error) {
-		return workload.FullLoad(m, 2, rng)
-	},
-	"corner-rush": workload.CornerRush,
-}
-
 // names returns the sorted keys of a registry, for error messages and docs.
 func names[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
@@ -76,14 +47,14 @@ func names[V any](m map[string]V) []string {
 func PolicyNames() []string { return names(policies) }
 
 // WorkloadNames lists every accepted workload name, sorted.
-func WorkloadNames() []string { return names(workloads) }
+func WorkloadNames() []string { return names(workloadDefs) }
 
 // PolicyFactory returns a constructor for the named policy, for callers
 // that build many independent instances (one per trial or per job).
 func PolicyFactory(name string) (func() sim.Policy, error) {
 	mk, ok := policies[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown policy %q (have: %s)", name, strings.Join(PolicyNames(), ", "))
+		return nil, fmt.Errorf("spec: unknown policy %q (have: %s)", name, strings.Join(PolicyNames(), ", "))
 	}
 	return mk, nil
 }
@@ -97,24 +68,29 @@ func NewPolicy(name string) (sim.Policy, error) {
 	return mk(), nil
 }
 
-// CheckWorkload validates a workload name without generating anything, so
+// CheckWorkload validates a workload spec string (bare name or
+// parameterized "name:key=val,..." syntax) without generating anything, so
 // callers can reject bad input before committing to a run.
 func CheckWorkload(name string) error {
-	if _, ok := workloads[name]; !ok {
-		return fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(WorkloadNames(), ", "))
+	ws, err := ParseWorkloadSpec(name)
+	if err != nil {
+		return err
 	}
-	return nil
+	return ws.Validate()
 }
 
-// NewWorkload generates the named workload's packets on m. k is ignored by
-// the workloads whose size is fixed by the mesh (permutation, transpose,
-// bit-reversal, full-load).
+// NewWorkload generates the packets of a workload spec string (bare name or
+// parameterized "name:key=val,..." syntax) on m. It is a thin wrapper over
+// ParseWorkloadSpec + BuildWorkload; k is ignored by the workloads whose
+// size is fixed by the mesh (permutation, transpose, bit-reversal,
+// full-load) — front ends reject an explicit k for those (see
+// WorkloadSpec.FixedSize).
 func NewWorkload(name string, m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
-	gen, ok := workloads[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown workload %q (have: %s)", name, strings.Join(WorkloadNames(), ", "))
+	ws, err := ParseWorkloadSpec(name)
+	if err != nil {
+		return nil, err
 	}
-	return gen(m, k, rng)
+	return BuildWorkload(ws, m, k, rng)
 }
 
 // ParseValidation resolves a validation-level name.
@@ -129,7 +105,7 @@ func ParseValidation(name string) (sim.ValidationLevel, error) {
 	case "restricted":
 		return sim.ValidateRestricted, nil
 	default:
-		return 0, fmt.Errorf("unknown validation level %q (want off, basic, greedy or restricted)", name)
+		return 0, fmt.Errorf("spec: unknown validation level %q (have: basic, greedy, off, restricted)", name)
 	}
 }
 
@@ -141,7 +117,7 @@ func ParseFate(name string) (sim.PacketFate, error) {
 	case "absorb":
 		return sim.FateAbsorb, nil
 	default:
-		return 0, fmt.Errorf("unknown fault fate %q (want drop or absorb)", name)
+		return 0, fmt.Errorf("spec: unknown fault fate %q (have: absorb, drop)", name)
 	}
 }
 

@@ -52,7 +52,7 @@ func TestEveryWorkloadGenerates(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workload %s: %v", name, err)
 		}
-		if len(pkts) == 0 {
+		if len(pkts) == 0 && name != "none" {
 			t.Fatalf("workload %s generated no packets", name)
 		}
 	}

@@ -1,0 +1,848 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/traffic"
+	"hotpotato/internal/workload"
+)
+
+// WorkloadSpec is the structured, parameterized form of a workload request,
+// accepted uniformly by every entry surface (cmd/hotpotato and cmd/sweep
+// flags, analysis sweeps, hotpotatod job specs). It marshals to a bare JSON
+// string when only a name is set, so existing job files and WAL records
+// keep their shape, and it parses from the compact flag syntax
+//
+//	name[:key=val,key=val,...]        e.g.  hotspot:frac=0.7
+//
+// so a bare name remains valid shorthand everywhere.
+type WorkloadSpec struct {
+	// Name is the workload's registered name.
+	Name string `json:"name"`
+	// Params overrides the workload's parameters; keys and ranges are
+	// validated against the registered schema (see Catalog), never clamped.
+	Params map[string]string `json:"params,omitempty"`
+	// Arrivals optionally layers continuous arrival-driven traffic on top of
+	// the batch workload (use workload "none" for pure arrival runs).
+	Arrivals *ArrivalSpec `json:"arrivals,omitempty"`
+}
+
+// ArrivalSpec describes one arrival process — or, with Clients set, a
+// composition of several (multi-tenant / multi-class traffic). The flag
+// syntax joins clients with ';':
+//
+//	poisson:rate=0.02;adversary:rho=1,sigma=8
+type ArrivalSpec struct {
+	// Process is the arrival-process name ("" for a pure composition).
+	Process string `json:"process,omitempty"`
+	// Params configures the process; validated against its schema.
+	Params map[string]string `json:"params,omitempty"`
+	// Clients composes several processes into one source, generation order
+	// as listed.
+	Clients []ArrivalSpec `json:"clients,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Parameter schemas
+
+// ParamDef documents and validates one workload or arrival parameter. The
+// zero Min/Max pointers mean unbounded; out-of-range values are rejected
+// with an error, never clamped.
+type ParamDef struct {
+	Name     string   `json:"name"`
+	Type     string   `json:"type"` // "int", "float", "string" or "enum"
+	Default  string   `json:"default,omitempty"`
+	Required bool     `json:"required,omitempty"`
+	Min      *float64 `json:"min,omitempty"`
+	Max      *float64 `json:"max,omitempty"`
+	// MinExcl marks Min as exclusive (e.g. rate > 0).
+	MinExcl bool     `json:"min_excl,omitempty"`
+	Enum    []string `json:"enum,omitempty"`
+	Doc     string   `json:"doc"`
+}
+
+func fp(v float64) *float64 { return &v }
+
+// args holds a resolved (defaults filled, validated) parameter set.
+type args map[string]string
+
+func (a args) Int(name string) int {
+	v, _ := strconv.Atoi(a[name])
+	return v
+}
+
+func (a args) Float(name string) float64 {
+	v, _ := strconv.ParseFloat(a[name], 64)
+	return v
+}
+
+func (a args) Str(name string) string { return a[name] }
+
+// checkValue validates one value against its schema; ctx is the error
+// prefix, e.g. `workload "hotspot"`.
+func checkValue(ctx string, d ParamDef, val string) error {
+	fail := func(format string, argv ...any) error {
+		return fmt.Errorf("spec: %s: parameter %q: "+format, append([]any{ctx, d.Name}, argv...)...)
+	}
+	var num float64
+	switch d.Type {
+	case "int":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fail("not an integer: %q", val)
+		}
+		num = float64(n)
+	case "float":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fail("not a number: %q", val)
+		}
+		num = f
+	case "enum":
+		for _, e := range d.Enum {
+			if val == e {
+				return nil
+			}
+		}
+		return fail("must be one of %s, got %q", strings.Join(d.Enum, ", "), val)
+	default: // "string"
+		return nil
+	}
+	switch {
+	case d.Min != nil && d.Max != nil:
+		lo, hi := "[", "]"
+		if d.MinExcl {
+			lo = "("
+		}
+		if num > *d.Max || num < *d.Min || (d.MinExcl && num == *d.Min) {
+			return fail("must be in %s%v, %v%s, got %v", lo, *d.Min, *d.Max, hi, val)
+		}
+	case d.Min != nil && d.MinExcl:
+		if num <= *d.Min {
+			return fail("must be > %v, got %v", *d.Min, val)
+		}
+	case d.Min != nil:
+		if num < *d.Min {
+			return fail("must be >= %v, got %v", *d.Min, val)
+		}
+	case d.Max != nil:
+		if num > *d.Max {
+			return fail("must be <= %v, got %v", *d.Max, val)
+		}
+	}
+	return nil
+}
+
+// resolveParams validates given against defs and fills defaults.
+func resolveParams(ctx string, defs []ParamDef, given map[string]string) (args, error) {
+	out := make(args, len(defs))
+	for k, v := range given {
+		var d *ParamDef
+		for i := range defs {
+			if defs[i].Name == k {
+				d = &defs[i]
+				break
+			}
+		}
+		if d == nil {
+			have := make([]string, len(defs))
+			for i, pd := range defs {
+				have[i] = pd.Name
+			}
+			if len(have) == 0 {
+				return nil, fmt.Errorf("spec: %s: unknown parameter %q (takes no parameters)", ctx, k)
+			}
+			return nil, fmt.Errorf("spec: %s: unknown parameter %q (have: %s)", ctx, k, strings.Join(have, ", "))
+		}
+		if err := checkValue(ctx, *d, v); err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	for _, d := range defs {
+		if _, ok := out[d.Name]; ok {
+			continue
+		}
+		if d.Required {
+			return nil, fmt.Errorf("spec: %s: parameter %q is required", ctx, d.Name)
+		}
+		out[d.Name] = d.Default
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Workload registry
+
+// workloadDef registers one batch workload: its documentation, parameter
+// schema and builder.
+type workloadDef struct {
+	Doc string
+	// FixedSize workloads derive their packet count from the mesh and
+	// reject an explicit packet-count (k) request.
+	FixedSize bool
+	Params    []ParamDef
+	build     func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error)
+}
+
+var workloadDefs = map[string]workloadDef{
+	"none": {
+		Doc: "no batch packets; the canvas for pure arrival-driven runs",
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return nil, nil
+		},
+	},
+	"uniform": {
+		Doc: "k packets, uniform random sources and destinations",
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.UniformRandom(m, k, rng)
+		},
+	},
+	"permutation": {
+		Doc:       "one packet per node, destinations a random permutation",
+		FixedSize: true,
+		build: func(m *mesh.Mesh, _ int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.Permutation(m, rng), nil
+		},
+	},
+	"partial-perm": {
+		Doc: "k packets with distinct sources and distinct destinations",
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.PartialPermutation(m, k, rng)
+		},
+	},
+	"transpose": {
+		Doc:       "(x,y) -> (y,x) for every off-diagonal node of a 2-D mesh",
+		FixedSize: true,
+		build: func(m *mesh.Mesh, _ int, _ *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.Transpose(m)
+		},
+	},
+	"bit-reversal": {
+		Doc:       "index bit-reversal permutation (power-of-two sides)",
+		FixedSize: true,
+		build: func(m *mesh.Mesh, _ int, _ *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.BitReversal(m)
+		},
+	},
+	"single-target": {
+		Doc: "k packets from distinct origins, all to one target node",
+		Params: []ParamDef{
+			{Name: "target", Type: "int", Default: "-1", Min: fp(-1),
+				Doc: "destination node ID; -1 selects the center node (size/2)"},
+		},
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			target := a.Int("target")
+			if target < 0 {
+				target = m.Size() / 2
+			}
+			if target >= m.Size() {
+				return nil, fmt.Errorf("spec: workload \"single-target\": parameter \"target\": node %d outside [0, %d)", target, m.Size())
+			}
+			return workload.SingleTarget(m, k, mesh.NodeID(target), rng)
+		},
+	},
+	"hotspot": {
+		Doc: "k uniform packets, a fraction redirected to one hot node",
+		Params: []ParamDef{
+			{Name: "frac", Type: "float", Default: "0.5", Min: fp(0), Max: fp(1),
+				Doc: "fraction of packets redirected to the hot node"},
+		},
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.HotSpot(m, k, a.Float("frac"), rng)
+		},
+	},
+	"local": {
+		Doc: "k packets destined within an L1 ball around each source",
+		Params: []ParamDef{
+			{Name: "radius", Type: "int", Default: "4", Min: fp(1),
+				Doc: "L1 radius of the destination ball"},
+		},
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.LocalRandom(m, k, a.Int("radius"), rng)
+		},
+	},
+	"full-load": {
+		Doc:       "per-node packets at every node, uniform destinations",
+		FixedSize: true,
+		Params: []ParamDef{
+			{Name: "per-node", Type: "int", Default: "2", Min: fp(1),
+				Doc: "packets injected at every node (at most the mesh dimension)"},
+		},
+		build: func(m *mesh.Mesh, _ int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.FullLoad(m, a.Int("per-node"), rng)
+		},
+	},
+	"corner-rush": {
+		Doc: "k packets from one corner quadrant to the opposite quadrant",
+		build: func(m *mesh.Mesh, k int, rng *rand.Rand, a args) ([]*sim.Packet, error) {
+			return workload.CornerRush(m, k, rng)
+		},
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Arrival registry
+
+const (
+	untilDoc = "stop generating at this step (0 = never)"
+	classDoc = "traffic class tag on generated packets"
+)
+
+func untilParam() ParamDef {
+	return ParamDef{Name: "until", Type: "int", Default: "0", Min: fp(0), Doc: untilDoc}
+}
+
+func classParam() ParamDef {
+	return ParamDef{Name: "class", Type: "int", Default: "0", Min: fp(0), Doc: classDoc}
+}
+
+// arrivalDef registers one arrival process.
+type arrivalDef struct {
+	Doc    string
+	Params []ParamDef
+	build  func(m *mesh.Mesh, a args) (traffic.Generator, error)
+}
+
+var arrivalDefs = map[string]arrivalDef{
+	"bernoulli": {
+		Doc: "every node generates with probability rate each step (memoryless)",
+		Params: []ParamDef{
+			{Name: "rate", Type: "float", Required: true, Min: fp(0), Max: fp(1),
+				Doc: "per-node per-step generation probability"},
+			untilParam(), classParam(),
+		},
+		build: func(_ *mesh.Mesh, a args) (traffic.Generator, error) {
+			g, err := traffic.NewBernoulliGen(a.Float("rate"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"poisson": {
+		Doc: "renewal process with exponential interarrivals per node",
+		Params: []ParamDef{
+			{Name: "rate", Type: "float", Required: true, Min: fp(0), MinExcl: true,
+				Doc: "mean arrivals per node per step"},
+			untilParam(), classParam(),
+		},
+		build: func(_ *mesh.Mesh, a args) (traffic.Generator, error) {
+			g, err := traffic.NewPoisson(a.Float("rate"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"gamma": {
+		Doc: "renewal process with Gamma(shape) interarrivals (shape<1 bursty, >1 smooth)",
+		Params: []ParamDef{
+			{Name: "rate", Type: "float", Required: true, Min: fp(0), MinExcl: true,
+				Doc: "mean arrivals per node per step"},
+			{Name: "shape", Type: "float", Default: "2", Min: fp(0), MinExcl: true,
+				Doc: "Gamma shape parameter"},
+			untilParam(), classParam(),
+		},
+		build: func(_ *mesh.Mesh, a args) (traffic.Generator, error) {
+			g, err := traffic.NewRenewal(traffic.KindGamma, a.Float("rate"), a.Float("shape"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"weibull": {
+		Doc: "renewal process with Weibull(shape) interarrivals (shape<1 heavy-tailed)",
+		Params: []ParamDef{
+			{Name: "rate", Type: "float", Required: true, Min: fp(0), MinExcl: true,
+				Doc: "mean arrivals per node per step"},
+			{Name: "shape", Type: "float", Default: "1.5", Min: fp(0), MinExcl: true,
+				Doc: "Weibull shape parameter"},
+			untilParam(), classParam(),
+		},
+		build: func(_ *mesh.Mesh, a args) (traffic.Generator, error) {
+			g, err := traffic.NewRenewal(traffic.KindWeibull, a.Float("rate"), a.Float("shape"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"onoff": {
+		Doc: "bursty on/off client per node: Bernoulli(rate) while ON, geometric sojourns",
+		Params: []ParamDef{
+			{Name: "rate", Type: "float", Required: true, Min: fp(0), Max: fp(1),
+				Doc: "per-node per-step generation probability while ON"},
+			{Name: "on", Type: "float", Default: "16", Min: fp(1),
+				Doc: "mean ON sojourn in steps"},
+			{Name: "off", Type: "float", Default: "64", Min: fp(1),
+				Doc: "mean OFF sojourn in steps"},
+			untilParam(), classParam(),
+		},
+		build: func(_ *mesh.Mesh, a args) (traffic.Generator, error) {
+			g, err := traffic.NewOnOff(a.Float("rate"), a.Float("on"), a.Float("off"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"diurnal": {
+		Doc: "sinusoidal rate envelope: rate*(1+amp*sin(2pi*(t/period+phase)))",
+		Params: []ParamDef{
+			{Name: "rate", Type: "float", Required: true, Min: fp(0), Max: fp(1),
+				Doc: "mean per-node per-step generation probability"},
+			{Name: "amp", Type: "float", Default: "0.5", Min: fp(0), Max: fp(1),
+				Doc: "relative amplitude of the swing"},
+			{Name: "period", Type: "int", Default: "256", Min: fp(1),
+				Doc: "cycle length in steps"},
+			{Name: "phase", Type: "float", Default: "0",
+				Doc: "cycle offset as a fraction of the period"},
+			untilParam(), classParam(),
+		},
+		build: func(_ *mesh.Mesh, a args) (traffic.Generator, error) {
+			g, err := traffic.NewDiurnal(a.Float("rate"), a.Float("amp"), a.Int("period"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Phase = a.Float("phase")
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"adversary": {
+		Doc: "(rho,sigma)-admissible adversary targeting one maximally contended lane of a 2-D mesh",
+		Params: []ParamDef{
+			{Name: "rho", Type: "float", Required: true, Min: fp(0), MinExcl: true,
+				Doc: "sustained injection rate, packets per step"},
+			{Name: "sigma", Type: "float", Default: "8", Min: fp(0),
+				Doc: "burst budget, packets"},
+			{Name: "axis", Type: "enum", Default: "col", Enum: []string{"col", "row"},
+				Doc: "orientation of the target lane"},
+			{Name: "lane", Type: "int", Default: "-1", Min: fp(-1),
+				Doc: "target lane coordinate; -1 selects the center lane"},
+			untilParam(), classParam(),
+		},
+		build: func(m *mesh.Mesh, a args) (traffic.Generator, error) {
+			if m.Dim() != 2 {
+				return nil, fmt.Errorf("spec: arrivals \"adversary\": needs a 2-dimensional mesh, got %d dimensions", m.Dim())
+			}
+			if lane := a.Int("lane"); lane >= m.Side() {
+				return nil, fmt.Errorf("spec: arrivals \"adversary\": parameter \"lane\": lane %d outside [0, %d)", lane, m.Side())
+			}
+			g, err := traffic.NewAdversary(a.Float("rho"), a.Float("sigma"), a.Str("axis"), a.Int("lane"), a.Int("until"))
+			if err != nil {
+				return nil, err
+			}
+			g.Class = a.Int("class")
+			return g, nil
+		},
+	},
+	"replay": {
+		Doc: "replay a recorded injection trace (deterministic reproduction)",
+		Params: []ParamDef{
+			{Name: "file", Type: "string", Required: true,
+				Doc: "path to a hotpotato-inj v1 trace file"},
+		},
+		build: func(m *mesh.Mesh, a args) (traffic.Generator, error) {
+			f, err := os.Open(a.Str("file"))
+			if err != nil {
+				return nil, fmt.Errorf("spec: arrivals \"replay\": %w", err)
+			}
+			defer f.Close()
+			events, err := traffic.ReadTrace(f, m)
+			if err != nil {
+				return nil, fmt.Errorf("spec: arrivals \"replay\": %w", err)
+			}
+			return traffic.NewReplay(events), nil
+		},
+	},
+}
+
+// ArrivalNames lists every accepted arrival-process name, sorted.
+func ArrivalNames() []string { return names(arrivalDefs) }
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+// parseParams parses "key=val,key=val"; duplicate keys are an error.
+func parseParams(ctx, s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, seg := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(seg, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("spec: %s: bad parameter %q (want key=value)", ctx, seg)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("spec: %s: duplicate parameter %q", ctx, k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// ParseWorkloadSpec parses the compact flag syntax "name[:key=val,...]".
+// The result is syntax-checked only; Validate checks it against the
+// registry.
+func ParseWorkloadSpec(s string) (WorkloadSpec, error) {
+	name, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return WorkloadSpec{}, fmt.Errorf("spec: empty workload name in %q", s)
+	}
+	params, err := parseParams(fmt.Sprintf("workload %q", name), rest)
+	if err != nil {
+		return WorkloadSpec{}, err
+	}
+	return WorkloadSpec{Name: name, Params: params}, nil
+}
+
+// ParseArrivalSpec parses "proc[:key=val,...][;proc2:...]", composing
+// ';'-joined segments into one multi-client spec.
+func ParseArrivalSpec(s string) (*ArrivalSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var clients []ArrivalSpec
+	for _, seg := range strings.Split(s, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		proc, rest, _ := strings.Cut(seg, ":")
+		proc = strings.TrimSpace(proc)
+		if proc == "" {
+			return nil, fmt.Errorf("spec: empty arrival-process name in %q", s)
+		}
+		params, err := parseParams(fmt.Sprintf("arrivals %q", proc), rest)
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, ArrivalSpec{Process: proc, Params: params})
+	}
+	switch len(clients) {
+	case 0:
+		return nil, fmt.Errorf("spec: empty arrival spec %q", s)
+	case 1:
+		return &clients[0], nil
+	default:
+		return &ArrivalSpec{Clients: clients}, nil
+	}
+}
+
+// SplitSpecList splits a comma-separated list of workload specs, keeping
+// ':'-introduced parameter lists attached to their spec: in
+// "uniform,hotspot:frac=0.7,k2=v2,transpose" the segment "k2=v2" is a bare
+// key=value (no ':' before its '=') and so belongs to the preceding
+// hotspot spec, while "transpose" starts a new one.
+func SplitSpecList(s string) []string {
+	var out []string
+	for _, seg := range strings.Split(s, ",") {
+		eq := strings.Index(seg, "=")
+		colon := strings.Index(seg, ":")
+		continuation := eq >= 0 && (colon < 0 || colon > eq)
+		if continuation && len(out) > 0 {
+			out[len(out)-1] += "," + strings.TrimSpace(seg)
+			continue
+		}
+		if strings.TrimSpace(seg) == "" {
+			continue
+		}
+		out = append(out, strings.TrimSpace(seg))
+	}
+	return out
+}
+
+func renderParams(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + params[k]
+	}
+	return ":" + strings.Join(parts, ",")
+}
+
+// String renders the spec back into the flag syntax (parameters sorted, so
+// the rendering is deterministic). Arrivals are not included.
+func (ws WorkloadSpec) String() string { return ws.Name + renderParams(ws.Params) }
+
+// String renders the arrival spec in flag syntax; compositions join their
+// clients with ';'.
+func (as ArrivalSpec) String() string {
+	if len(as.Clients) > 0 {
+		parts := make([]string, len(as.Clients))
+		for i, c := range as.Clients {
+			parts[i] = c.String()
+		}
+		return strings.Join(parts, ";")
+	}
+	return as.Process + renderParams(as.Params)
+}
+
+// ---------------------------------------------------------------------------
+// JSON: a bare string is accepted (and emitted, when nothing but the name is
+// set) so legacy job specs and WAL records round-trip unchanged.
+
+type workloadSpecJSON WorkloadSpec
+
+// UnmarshalJSON accepts either a bare string in the flag syntax or the
+// structured object form.
+func (ws *WorkloadSpec) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		if s == "" { // the zero spec round-trips as "" (defaults apply later)
+			*ws = WorkloadSpec{}
+			return nil
+		}
+		parsed, err := ParseWorkloadSpec(s)
+		if err != nil {
+			return err
+		}
+		*ws = parsed
+		return nil
+	}
+	var obj workloadSpecJSON
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return err
+	}
+	*ws = WorkloadSpec(obj)
+	return nil
+}
+
+// MarshalJSON emits a bare string when only the name is set, keeping legacy
+// WAL records and golden files byte-stable.
+func (ws WorkloadSpec) MarshalJSON() ([]byte, error) {
+	if len(ws.Params) == 0 && ws.Arrivals == nil {
+		return json.Marshal(ws.Name)
+	}
+	return json.Marshal(workloadSpecJSON(ws))
+}
+
+type arrivalSpecJSON ArrivalSpec
+
+// UnmarshalJSON accepts either the flag syntax as a bare string (';' joins
+// clients) or the structured object form.
+func (as *ArrivalSpec) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		parsed, err := ParseArrivalSpec(s)
+		if err != nil {
+			return err
+		}
+		if parsed == nil {
+			*as = ArrivalSpec{}
+			return nil
+		}
+		*as = *parsed
+		return nil
+	}
+	var obj arrivalSpecJSON
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return err
+	}
+	*as = ArrivalSpec(obj)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Validation and building
+
+// Validate checks the spec against the registry: known name, known
+// parameter keys, values of the right type and range. Mesh-dependent
+// constraints (node IDs, lane coordinates, dimensionality) are checked at
+// build time.
+func (ws WorkloadSpec) Validate() error {
+	def, ok := workloadDefs[ws.Name]
+	if !ok {
+		return fmt.Errorf("spec: unknown workload %q (have: %s)", ws.Name, strings.Join(WorkloadNames(), ", "))
+	}
+	if _, err := resolveParams(fmt.Sprintf("workload %q", ws.Name), def.Params, ws.Params); err != nil {
+		return err
+	}
+	if ws.Arrivals != nil {
+		return ws.Arrivals.Validate()
+	}
+	return nil
+}
+
+// FixedSize reports whether the workload derives its packet count from the
+// mesh; such workloads reject an explicit packet-count (k) request.
+func (ws WorkloadSpec) FixedSize() bool { return workloadDefs[ws.Name].FixedSize }
+
+// Validate checks the arrival spec against the registry (see
+// WorkloadSpec.Validate).
+func (as ArrivalSpec) Validate() error {
+	if len(as.Clients) > 0 {
+		if as.Process != "" {
+			return fmt.Errorf("spec: arrival spec sets both process %q and clients", as.Process)
+		}
+		for i := range as.Clients {
+			if len(as.Clients[i].Clients) > 0 {
+				return fmt.Errorf("spec: arrival clients cannot nest further clients")
+			}
+			if err := as.Clients[i].Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	def, ok := arrivalDefs[as.Process]
+	if !ok {
+		return fmt.Errorf("spec: unknown arrival process %q (have: %s)", as.Process, strings.Join(ArrivalNames(), ", "))
+	}
+	_, err := resolveParams(fmt.Sprintf("arrivals %q", as.Process), def.Params, as.Params)
+	return err
+}
+
+// Bounded reports whether every arrival client stops generating on its
+// own: its process is inherently finite (replay) or its until parameter is
+// positive. Callers that must terminate (job servers) can demand Bounded
+// or an explicit step budget.
+func (as ArrivalSpec) Bounded() bool {
+	clients := as.Clients
+	if len(clients) == 0 {
+		clients = []ArrivalSpec{as}
+	}
+	for _, c := range clients {
+		if c.Process == "replay" {
+			continue
+		}
+		u, err := strconv.Atoi(c.Params["until"])
+		if err != nil || u <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildWorkload validates the spec and generates its batch packets on m.
+// For fixed-size workloads k is ignored (front ends reject explicit k
+// requests; see FixedSize).
+func BuildWorkload(ws WorkloadSpec, m *mesh.Mesh, k int, rng *rand.Rand) ([]*sim.Packet, error) {
+	def, ok := workloadDefs[ws.Name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown workload %q (have: %s)", ws.Name, strings.Join(WorkloadNames(), ", "))
+	}
+	a, err := resolveParams(fmt.Sprintf("workload %q", ws.Name), def.Params, ws.Params)
+	if err != nil {
+		return nil, err
+	}
+	return def.build(m, k, rng, a)
+}
+
+// BuildArrivals validates the arrival spec and assembles its generators —
+// one per client, in listed order — into a checkpointable injection source
+// for m. A nil spec yields a nil source.
+func BuildArrivals(as *ArrivalSpec, m *mesh.Mesh) (*traffic.Source, error) {
+	if as == nil {
+		return nil, nil
+	}
+	if err := as.Validate(); err != nil {
+		return nil, err
+	}
+	clients := as.Clients
+	if len(clients) == 0 {
+		clients = []ArrivalSpec{*as}
+	}
+	gens := make([]traffic.Generator, len(clients))
+	for i, c := range clients {
+		def := arrivalDefs[c.Process]
+		a, err := resolveParams(fmt.Sprintf("arrivals %q", c.Process), def.Params, c.Params)
+		if err != nil {
+			return nil, err
+		}
+		g, err := def.build(m, a)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	return traffic.NewSource(gens...)
+}
+
+// ---------------------------------------------------------------------------
+// Discovery catalog
+
+// CatalogEntry documents one registered name for the discovery surfaces
+// (hotpotato -list-workloads, hotpotatod GET /v1/spec).
+type CatalogEntry struct {
+	Name      string     `json:"name"`
+	Doc       string     `json:"doc"`
+	FixedSize bool       `json:"fixed_size,omitempty"`
+	Params    []ParamDef `json:"params,omitempty"`
+}
+
+// CatalogInfo is the full discovery document: every accepted policy,
+// workload and arrival-process name with parameter schemas and defaults.
+type CatalogInfo struct {
+	Policies   []CatalogEntry `json:"policies"`
+	Workloads  []CatalogEntry `json:"workloads"`
+	Arrivals   []CatalogEntry `json:"arrivals"`
+	Validation []string       `json:"validation"`
+	Fates      []string       `json:"fates"`
+}
+
+// policyDocs documents each registered policy for the catalog.
+var policyDocs = map[string]string{
+	"restricted":        "the paper's restricted priority scheme (potential-function bound)",
+	"restricted-det":    "restricted priority with deterministic tie-breaks",
+	"restricted-bfirst": "restricted priority preferring type-B packets",
+	"fewest-good":       "priority to packets with fewest good directions",
+	"random":            "greedy with uniform random tie-breaks",
+	"fixed":             "greedy with a fixed direction-priority order",
+	"dest-order":        "greedy prioritized by destination node order",
+	"oldest":            "greedy, oldest packet first",
+	"farthest":          "greedy, farthest-from-destination first",
+	"nearest":           "greedy, nearest-to-destination first",
+}
+
+// Catalog returns the discovery document, all sections sorted by name.
+func Catalog() CatalogInfo {
+	var c CatalogInfo
+	for _, name := range PolicyNames() {
+		c.Policies = append(c.Policies, CatalogEntry{Name: name, Doc: policyDocs[name]})
+	}
+	for _, name := range WorkloadNames() {
+		d := workloadDefs[name]
+		c.Workloads = append(c.Workloads, CatalogEntry{Name: name, Doc: d.Doc, FixedSize: d.FixedSize, Params: d.Params})
+	}
+	for _, name := range ArrivalNames() {
+		d := arrivalDefs[name]
+		c.Arrivals = append(c.Arrivals, CatalogEntry{Name: name, Doc: d.Doc, Params: d.Params})
+	}
+	c.Validation = []string{"off", "basic", "greedy", "restricted"}
+	c.Fates = []string{"drop", "absorb"}
+	return c
+}

@@ -226,7 +226,7 @@ func TestRecorderWithDynamicTraffic(t *testing.T) {
 
 type testInjector struct{ until int }
 
-func (ti *testInjector) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+func (ti *testInjector) Inject(t int, e sim.InjectorHost, rng *rand.Rand) []*sim.Packet {
 	if t >= ti.until || t%3 != 0 {
 		return nil
 	}

@@ -1,0 +1,168 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+)
+
+// Axis names for the Adversary's target lane.
+const (
+	// AxisCol targets a column: every packet's destination has x == lane.
+	AxisCol = "col"
+	// AxisRow targets a row: every packet's destination has y == lane.
+	AxisRow = "row"
+)
+
+// Adversary is a (ρ,σ)-admissible worst-case injector in the Even–Medina
+// online-routing model: over every window of w consecutive steps it injects
+// at most ρ·w + σ packets — a sustained rate ρ with burst budget σ —
+// enforced by a token bucket (capacity σ, refill ρ per step), which makes
+// admissibility a structural property rather than a tuning accident.
+//
+// Targeting maximizes contention on one mesh cut: every injected packet is
+// destined to a node of the target lane (a column for AxisCol, a row for
+// AxisRow) and sourced uniformly off the lane, so all adversarial traffic
+// must cross into the lane through its 2·side incoming arcs. The targeted
+// lane is therefore the maximally contended one by construction; Lane
+// selects it (default: the center lane, the worst case for mean distance
+// on an unwrapped mesh).
+//
+// The adversary needs a 2-dimensional mesh (the spec layer validates this;
+// on other meshes the axis falls back to dimension 0).
+type Adversary struct {
+	// Rho is the sustained injection rate in packets per step (> 0).
+	Rho float64
+	// Sigma is the burst budget in packets (>= 0): the reserve carried
+	// across steps on top of the per-step allowance Rho. With Sigma and Rho
+	// both < 1 the bucket can take several steps to accumulate a whole
+	// packet, which is the admissible behavior, not a bug.
+	Sigma float64
+	// Axis selects the lane orientation (AxisCol or AxisRow).
+	Axis string
+	// Lane is the lane's coordinate; negative means side/2 (center).
+	Lane int
+	// Until stops generation at this step (0 = never stop).
+	Until int
+	// Class tags every generated packet.
+	Class int
+
+	tokens  float64
+	started bool
+	emitted int
+}
+
+var _ StatefulGenerator = (*Adversary)(nil)
+
+// NewAdversary builds a (ρ,σ)-admissible adversarial generator.
+func NewAdversary(rho, sigma float64, axis string, lane, until int) (*Adversary, error) {
+	if rho <= 0 {
+		return nil, fmt.Errorf("traffic: adversary rho %v must be positive", rho)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("traffic: adversary sigma %v must be >= 0", sigma)
+	}
+	if axis != AxisCol && axis != AxisRow {
+		return nil, fmt.Errorf("traffic: adversary axis %q (want %q or %q)", axis, AxisCol, AxisRow)
+	}
+	if until < 0 {
+		return nil, fmt.Errorf("traffic: adversary until %d must be >= 0", until)
+	}
+	return &Adversary{Rho: rho, Sigma: sigma, Axis: axis, Lane: lane, Until: until}, nil
+}
+
+// lane resolves the target coordinate for the mesh.
+func (g *Adversary) lane(m *mesh.Mesh) int {
+	l := g.Lane
+	if l < 0 || l >= m.Side() {
+		l = m.Side() / 2
+	}
+	return l
+}
+
+// axisDim maps the axis name to a mesh dimension index.
+func (g *Adversary) axisDim(m *mesh.Mesh) int {
+	if g.Axis == AxisRow && m.Dim() >= 2 {
+		return 1
+	}
+	return 0
+}
+
+// Generate implements Generator. The carried-over reserve is capped at σ,
+// then this step's allowance ρ is added and ⌊tokens⌋ packets are emitted
+// and debited. Over any window of w steps the emissions total at most
+// σ + ρ·w (reserve at entry ≤ σ, plus w refills), the (ρ,σ) admissibility
+// bound — and unlike a bucket capped at σ outright, a rate ρ > σ is
+// sustained rather than silently throttled.
+func (g *Adversary) Generate(t int, m *mesh.Mesh, rng *rand.Rand, out []Gen) []Gen {
+	if g.Until > 0 && t >= g.Until {
+		return out
+	}
+	if !g.started { // the burst reserve starts full
+		g.tokens = g.Sigma
+		g.started = true
+	}
+	g.tokens = math.Min(g.Sigma, g.tokens) + g.Rho
+	n := int(g.tokens)
+	g.tokens -= float64(n)
+
+	lane := g.lane(m)
+	dim := g.axisDim(m)
+	var coord [mesh.MaxDim]int
+	for i := 0; i < n; i++ {
+		// Destination on the lane, remaining coordinates uniform.
+		c := coord[:m.Dim()]
+		for d := range c {
+			c[d] = rng.Intn(m.Side())
+		}
+		c[dim] = lane
+		dst := m.ID(c)
+		// Source uniform off the lane, so the packet must cross into it.
+		var src mesh.NodeID
+		if m.Side() < 2 {
+			src = uniformDest(dst, m, rng)
+		} else {
+			for {
+				src = mesh.NodeID(rng.Intn(m.Size()))
+				if m.CoordAxis(src, dim) != lane {
+					break
+				}
+			}
+		}
+		out = append(out, Gen{Src: src, Dst: dst, Class: g.Class})
+		g.emitted++
+	}
+	return out
+}
+
+// Done implements Generator.
+func (g *Adversary) Done(t int) bool { return g.Until > 0 && t >= g.Until }
+
+// Emitted returns the total packets the adversary has generated.
+func (g *Adversary) Emitted() int { return g.emitted }
+
+type adversaryState struct {
+	Tokens  float64 `json:"tokens"`
+	Started bool    `json:"started"`
+	Emitted int     `json:"emitted"`
+}
+
+// SnapshotGenerator implements StatefulGenerator: the token bucket.
+func (g *Adversary) SnapshotGenerator() (json.RawMessage, error) {
+	return json.Marshal(adversaryState{Tokens: g.tokens, Started: g.started, Emitted: g.emitted})
+}
+
+// RestoreGenerator implements StatefulGenerator.
+func (g *Adversary) RestoreGenerator(data json.RawMessage) error {
+	var st adversaryState
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			return err
+		}
+	}
+	g.tokens, g.started, g.emitted = st.Tokens, st.Started, st.Emitted
+	return nil
+}

@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+)
+
+// OnOff is a bursty multi-client profile: every node is an independent
+// two-state Markov chain (ON/OFF) with geometric sojourn times, emitting
+// Bernoulli(Rate) traffic while ON and nothing while OFF. Mean burst length
+// is MeanOn steps, mean silence MeanOff steps, so the long-run offered load
+// is Rate * MeanOn / (MeanOn + MeanOff) per node per step.
+type OnOff struct {
+	// Rate is the per-step generation probability while ON, in [0, 1].
+	Rate float64
+	// MeanOn and MeanOff are the mean sojourn times in steps (>= 1).
+	MeanOn, MeanOff float64
+	// Until stops generation at this step (0 = never stop).
+	Until int
+	// Class tags every generated packet.
+	Class int
+	// Dest draws destinations; nil means uniform over other nodes.
+	Dest DestFunc
+
+	on      []bool // per-node chain state, lazily sized; nodes start OFF
+	started bool
+}
+
+var _ StatefulGenerator = (*OnOff)(nil)
+
+// NewOnOff builds a bursty on/off generator.
+func NewOnOff(rate, meanOn, meanOff float64, until int) (*OnOff, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("traffic: on/off rate %v outside [0, 1]", rate)
+	}
+	if meanOn < 1 || meanOff < 1 {
+		return nil, fmt.Errorf("traffic: on/off sojourns (%v, %v) must be >= 1 step", meanOn, meanOff)
+	}
+	if until < 0 {
+		return nil, fmt.Errorf("traffic: on/off until %d must be >= 0", until)
+	}
+	return &OnOff{Rate: rate, MeanOn: meanOn, MeanOff: meanOff, Until: until}, nil
+}
+
+// Generate implements Generator: per node, one chain transition draw, then
+// (while ON) one emission draw — a fixed draw order, so the stream is
+// deterministic and checkpoint-stable.
+func (g *OnOff) Generate(t int, m *mesh.Mesh, rng *rand.Rand, out []Gen) []Gen {
+	if g.on == nil {
+		g.on = make([]bool, m.Size())
+	}
+	if g.Until > 0 && t >= g.Until {
+		return out
+	}
+	for node := mesh.NodeID(0); int(node) < m.Size(); node++ {
+		if g.on[node] {
+			if rng.Float64() < 1/g.MeanOn {
+				g.on[node] = false
+			}
+		} else if rng.Float64() < 1/g.MeanOff {
+			g.on[node] = true
+		}
+		if g.on[node] && rng.Float64() < g.Rate {
+			out = append(out, Gen{Src: node, Dst: drawDest(g.Dest, node, m, rng), Class: g.Class})
+		}
+	}
+	return out
+}
+
+// Done implements Generator.
+func (g *OnOff) Done(t int) bool { return g.Until > 0 && t >= g.Until }
+
+type onOffState struct {
+	On []bool `json:"on,omitempty"`
+}
+
+// SnapshotGenerator implements StatefulGenerator: the per-node chain states.
+func (g *OnOff) SnapshotGenerator() (json.RawMessage, error) {
+	return json.Marshal(onOffState{On: g.on})
+}
+
+// RestoreGenerator implements StatefulGenerator.
+func (g *OnOff) RestoreGenerator(data json.RawMessage) error {
+	var st onOffState
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			return err
+		}
+	}
+	g.on = st.On
+	return nil
+}
+
+// Diurnal is a rate-envelope profile: Bernoulli generation whose per-step
+// probability follows a sinusoidal day/night cycle,
+//
+//	rate(t) = Rate * (1 + Amp*sin(2π*(t/Period + Phase)))
+//
+// clamped to [0, 1]. Rate is the mean offered load; Amp the relative swing.
+// The envelope is a pure function of t, so the generator is stateless and
+// trivially checkpoint-exact.
+type Diurnal struct {
+	// Rate is the mean per-node per-step generation probability, in [0, 1].
+	Rate float64
+	// Amp is the relative amplitude of the swing, in [0, 1].
+	Amp float64
+	// Period is the cycle length in steps (>= 1).
+	Period int
+	// Phase offsets the cycle as a fraction of the period, so multiple
+	// diurnal clients (tenants in different timezones) can be composed.
+	Phase float64
+	// Until stops generation at this step (0 = never stop).
+	Until int
+	// Class tags every generated packet.
+	Class int
+	// Dest draws destinations; nil means uniform over other nodes.
+	Dest DestFunc
+}
+
+var _ Generator = (*Diurnal)(nil)
+
+// NewDiurnal builds a sinusoidal rate-envelope generator.
+func NewDiurnal(rate, amp float64, period, until int) (*Diurnal, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("traffic: diurnal rate %v outside [0, 1]", rate)
+	}
+	if amp < 0 || amp > 1 {
+		return nil, fmt.Errorf("traffic: diurnal amplitude %v outside [0, 1]", amp)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("traffic: diurnal period %d must be >= 1", period)
+	}
+	if until < 0 {
+		return nil, fmt.Errorf("traffic: diurnal until %d must be >= 0", until)
+	}
+	return &Diurnal{Rate: rate, Amp: amp, Period: period, Until: until}, nil
+}
+
+// RateAt returns the envelope's generation probability at step t.
+func (g *Diurnal) RateAt(t int) float64 {
+	r := g.Rate * (1 + g.Amp*math.Sin(2*math.Pi*(float64(t)/float64(g.Period)+g.Phase)))
+	return math.Min(1, math.Max(0, r))
+}
+
+// Generate implements Generator.
+func (g *Diurnal) Generate(t int, m *mesh.Mesh, rng *rand.Rand, out []Gen) []Gen {
+	if g.Until > 0 && t >= g.Until {
+		return out
+	}
+	rate := g.RateAt(t)
+	for node := mesh.NodeID(0); int(node) < m.Size(); node++ {
+		if rng.Float64() < rate {
+			out = append(out, Gen{Src: node, Dst: drawDest(g.Dest, node, m, rng), Class: g.Class})
+		}
+	}
+	return out
+}
+
+// Done implements Generator.
+func (g *Diurnal) Done(t int) bool { return g.Until > 0 && t >= g.Until }
+
+// BernoulliGen is the memoryless per-node profile (the classic [GG]/[ZA]
+// regime) as a composable Generator: every node generates a packet with
+// probability Rate each step. The standalone Bernoulli injector predates
+// the Generator interface and remains for direct API use; this is the same
+// process in composable form.
+type BernoulliGen struct {
+	// Rate is the per-node per-step generation probability, in [0, 1].
+	Rate float64
+	// Until stops generation at this step (0 = never stop).
+	Until int
+	// Class tags every generated packet.
+	Class int
+	// Dest draws destinations; nil means uniform over other nodes.
+	Dest DestFunc
+}
+
+var _ Generator = (*BernoulliGen)(nil)
+
+// NewBernoulliGen builds a Bernoulli generator.
+func NewBernoulliGen(rate float64, until int) (*BernoulliGen, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("traffic: rate %v outside [0, 1]", rate)
+	}
+	if until < 0 {
+		return nil, fmt.Errorf("traffic: bernoulli until %d must be >= 0", until)
+	}
+	return &BernoulliGen{Rate: rate, Until: until}, nil
+}
+
+// Generate implements Generator.
+func (g *BernoulliGen) Generate(t int, m *mesh.Mesh, rng *rand.Rand, out []Gen) []Gen {
+	if g.Until > 0 && t >= g.Until {
+		return out
+	}
+	for node := mesh.NodeID(0); int(node) < m.Size(); node++ {
+		if rng.Float64() < g.Rate {
+			out = append(out, Gen{Src: node, Dst: drawDest(g.Dest, node, m, rng), Class: g.Class})
+		}
+	}
+	return out
+}
+
+// Done implements Generator.
+func (g *BernoulliGen) Done(t int) bool { return g.Until > 0 && t >= g.Until }

@@ -1,0 +1,201 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hotpotato/internal/mesh"
+)
+
+// Injection-trace format: a line-oriented record of every injected packet,
+// replayable deterministically on any engine.
+//
+//	hotpotato-inj v1
+//	mesh <dim> <side> <wrap>
+//	i <step> <src> <dst> <class>
+//	...
+//
+// Steps are non-decreasing; src/dst are node IDs of the recorded mesh.
+// Blank lines and lines starting with '#' are ignored on read.
+
+const traceMagic = "hotpotato-inj v1"
+
+// TraceEvent is one recorded injection.
+type TraceEvent struct {
+	Step  int
+	Src   mesh.NodeID
+	Dst   mesh.NodeID
+	Class int
+}
+
+// TraceWriter streams injection events in the trace format. Errors are
+// sticky: the first write failure is retained and reported by Err and
+// Flush, so Record calls stay unchecked on the injection hot path.
+type TraceWriter struct {
+	w    *bufio.Writer
+	last int
+	err  error
+}
+
+// NewTraceWriter writes the trace header for mesh m and returns the writer.
+func NewTraceWriter(w io.Writer, m *mesh.Mesh) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	wrap := 0
+	if m.Wrap() {
+		wrap = 1
+	}
+	if _, err := fmt.Fprintf(bw, "%s\nmesh %d %d %d\n", traceMagic, m.Dim(), m.Side(), wrap); err != nil {
+		return nil, fmt.Errorf("traffic: write trace header: %w", err)
+	}
+	return &TraceWriter{w: bw, last: -1}, nil
+}
+
+// Record appends one injection event.
+func (tw *TraceWriter) Record(step int, src, dst mesh.NodeID, class int) {
+	if tw.err != nil {
+		return
+	}
+	if step < tw.last {
+		tw.err = fmt.Errorf("traffic: trace step %d after %d (must be non-decreasing)", step, tw.last)
+		return
+	}
+	tw.last = step
+	if _, err := fmt.Fprintf(tw.w, "i %d %d %d %d\n", step, src, dst, class); err != nil {
+		tw.err = err
+	}
+}
+
+// Err returns the first error encountered, if any.
+func (tw *TraceWriter) Err() error { return tw.err }
+
+// Flush drains the buffer and returns the first error of the whole stream.
+func (tw *TraceWriter) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.err = tw.w.Flush()
+	return tw.err
+}
+
+// ReadTrace parses a trace and validates it against mesh m: the recorded
+// geometry must match and every node ID must be in range.
+func ReadTrace(r io.Reader, m *mesh.Mesh) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := sc.Text()
+			if s == "" || s[0] == '#' {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+
+	s, ok := next()
+	if !ok || s != traceMagic {
+		return nil, fmt.Errorf("traffic: trace line %d: missing %q header", line, traceMagic)
+	}
+	s, ok = next()
+	if !ok {
+		return nil, fmt.Errorf("traffic: trace line %d: missing mesh line", line)
+	}
+	var dim, side, wrap int
+	if n, err := fmt.Sscanf(s, "mesh %d %d %d", &dim, &side, &wrap); err != nil || n != 3 {
+		return nil, fmt.Errorf("traffic: trace line %d: bad mesh line %q", line, s)
+	}
+	mwrap := 0
+	if m.Wrap() {
+		mwrap = 1
+	}
+	if dim != m.Dim() || side != m.Side() || wrap != mwrap {
+		return nil, fmt.Errorf("traffic: trace recorded on mesh (dim=%d side=%d wrap=%d), replaying on (dim=%d side=%d wrap=%d)",
+			dim, side, wrap, m.Dim(), m.Side(), mwrap)
+	}
+
+	var events []TraceEvent
+	lastStep := -1
+	for {
+		s, ok = next()
+		if !ok {
+			break
+		}
+		var ev TraceEvent
+		if n, err := fmt.Sscanf(s, "i %d %d %d %d", &ev.Step, &ev.Src, &ev.Dst, &ev.Class); err != nil || n != 4 {
+			return nil, fmt.Errorf("traffic: trace line %d: bad event %q", line, s)
+		}
+		if ev.Step < lastStep {
+			return nil, fmt.Errorf("traffic: trace line %d: step %d after %d (must be non-decreasing)", line, ev.Step, lastStep)
+		}
+		lastStep = ev.Step
+		if ev.Src < 0 || int(ev.Src) >= m.Size() || ev.Dst < 0 || int(ev.Dst) >= m.Size() {
+			return nil, fmt.Errorf("traffic: trace line %d: node out of range for %d-node mesh", line, m.Size())
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: read trace: %w", err)
+	}
+	return events, nil
+}
+
+// Replay regenerates a recorded trace: each event is emitted at its recorded
+// step (events whose step already passed — e.g. a replay started late — are
+// emitted immediately), so a recorded run's offered traffic is reproduced
+// exactly. Combined with the engine's deterministic injection stream, a
+// replayed run is bit-identical to the recorded one.
+type Replay struct {
+	events []TraceEvent
+	cursor int
+}
+
+var _ StatefulGenerator = (*Replay)(nil)
+
+// NewReplay builds a replay generator over parsed events (ordered by step,
+// as ReadTrace guarantees).
+func NewReplay(events []TraceEvent) *Replay {
+	return &Replay{events: events}
+}
+
+// Generate implements Generator: emits every remaining event with Step <= t.
+func (g *Replay) Generate(t int, m *mesh.Mesh, rng *rand.Rand, out []Gen) []Gen {
+	for g.cursor < len(g.events) && g.events[g.cursor].Step <= t {
+		ev := g.events[g.cursor]
+		out = append(out, Gen{Src: ev.Src, Dst: ev.Dst, Class: ev.Class})
+		g.cursor++
+	}
+	return out
+}
+
+// Done implements Generator.
+func (g *Replay) Done(t int) bool { return g.cursor >= len(g.events) }
+
+type replayState struct {
+	Cursor int `json:"cursor"`
+}
+
+// SnapshotGenerator implements StatefulGenerator: the replay cursor.
+func (g *Replay) SnapshotGenerator() (json.RawMessage, error) {
+	return json.Marshal(replayState{Cursor: g.cursor})
+}
+
+// RestoreGenerator implements StatefulGenerator.
+func (g *Replay) RestoreGenerator(data json.RawMessage) error {
+	var st replayState
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			return err
+		}
+	}
+	if st.Cursor < 0 || st.Cursor > len(g.events) {
+		return fmt.Errorf("traffic: replay cursor %d outside [0, %d]", st.Cursor, len(g.events))
+	}
+	g.cursor = st.Cursor
+	return nil
+}

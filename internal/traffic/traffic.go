@@ -1,17 +1,27 @@
 // Package traffic provides continuous packet sources for the sim engine's
 // injection hook, modeling the steady-state deflection-network regime of
 // the studies the paper cites ([GG], [Ma], [ZA]): every node generates
-// packets at a fixed rate, holds them in a local source queue, and injects
+// packets over time, holds them in a local source queue, and injects
 // whenever the hot-potato constraint leaves room (a node may never hold
 // more packets than its out-degree).
 //
-// The source records the generation time of every packet, so end-to-end
+// Two layers coexist. Bernoulli is the original standalone injector (fixed
+// per-node rate, optional hot-spot destinations and QoS split). The
+// Generator/Source layer composes richer processes — renewal interarrivals
+// (Renewal: Poisson/Gamma/Weibull), bursty and diurnal client profiles
+// (OnOff, Diurnal), a (ρ,σ)-admissible adversary (Adversary), and trace
+// replay (Replay) — behind one sim.CheckpointableInjector, so multi-client
+// workloads snapshot/restore exactly and run bit-identically on the single
+// and sharded engines.
+//
+// Sources record the generation time of every packet, so end-to-end
 // latency (source queueing + network time) and backlog growth can be
 // measured; the load at which the backlog stops being stable is the
 // network's saturation throughput.
 package traffic
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -51,7 +61,7 @@ type Bernoulli struct {
 	genTime    map[int]int // packet ID -> generation step
 }
 
-var _ sim.Injector = (*Bernoulli)(nil)
+var _ sim.CheckpointableInjector = (*Bernoulli)(nil)
 
 // NewBernoulli returns a source with uniform destinations.
 func NewBernoulli(rate float64, until int) (*Bernoulli, error) {
@@ -66,7 +76,7 @@ func NewBernoulli(rate float64, until int) (*Bernoulli, error) {
 }
 
 // Inject implements sim.Injector.
-func (b *Bernoulli) Inject(t int, e *sim.Engine, rng *rand.Rand) []*sim.Packet {
+func (b *Bernoulli) Inject(t int, e sim.InjectorHost, rng *rand.Rand) []*sim.Packet {
 	m := e.Mesh()
 	if b.backlog == nil {
 		b.backlog = make([][]pending, m.Size())
@@ -156,6 +166,57 @@ func (b *Bernoulli) Latency(p *sim.Packet) int {
 		return -1
 	}
 	return p.ArrivedAt - gen
+}
+
+// bernoulliState is the serialized Bernoulli checkpoint payload; it shares
+// the Source layout (minus generators) so both round-trip identically.
+type bernoulliState struct {
+	Nodes      int            `json:"nodes"`
+	Backlog    []backlogState `json:"backlog,omitempty"`
+	Generated  int            `json:"generated"`
+	Injected   int            `json:"injected"`
+	CurBacklog int            `json:"cur_backlog"`
+	MaxBacklog int            `json:"max_backlog"`
+	GenTime    []idStep       `json:"gen_time,omitempty"`
+}
+
+// SnapshotState implements sim.CheckpointableInjector.
+func (b *Bernoulli) SnapshotState() ([]byte, error) {
+	return json.Marshal(&bernoulliState{
+		Nodes:      len(b.backlog),
+		Backlog:    captureBacklog(b.backlog),
+		Generated:  b.generated,
+		Injected:   b.injected,
+		CurBacklog: b.curBacklog,
+		MaxBacklog: b.maxBacklog,
+		GenTime:    captureGenTime(b.genTime),
+	})
+}
+
+// RestoreState implements sim.CheckpointableInjector. The receiver must be
+// configured (Rate, Dest, Until, HighFrac) like the snapshotted source.
+func (b *Bernoulli) RestoreState(data []byte) error {
+	var st bernoulliState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("traffic: restore bernoulli state: %w", err)
+	}
+	backlog, count, err := restoreBacklog(st.Backlog, st.Nodes)
+	if err != nil {
+		return err
+	}
+	if count != st.CurBacklog {
+		return fmt.Errorf("traffic: backlog carries %d packets, state says %d", count, st.CurBacklog)
+	}
+	b.backlog = backlog
+	b.generated = st.Generated
+	b.injected = st.Injected
+	b.curBacklog = st.CurBacklog
+	b.maxBacklog = st.MaxBacklog
+	b.genTime = make(map[int]int, len(st.GenTime))
+	for _, e := range st.GenTime {
+		b.genTime[e.ID] = e.Step
+	}
+	return nil
 }
 
 // HotSpotDest returns a Dest function that targets `hot` with probability
