@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-shard bench-dist bench-smoke shard-parity experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke dist-chaos-smoke dist-demo clean
+.PHONY: all build test test-short test-race vet fmt fuzz-smoke bench bench-json bench-shard bench-dist bench-smoke shard-parity experiments experiments-quick figures cover sweep-resume-demo serve serve-smoke chaos chaos-smoke dist-chaos-smoke dist-demo policylab-demo clean
 
 # Output file for the committed benchmark record (see bench-json).
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR10.json
 
 all: build vet test
 
@@ -45,6 +45,8 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzHaloFrame -fuzztime 15s ./internal/dshard/
 	$(GO) test -fuzz FuzzParseWorkloadSpec -fuzztime 15s ./internal/spec/
 	$(GO) test -fuzz FuzzParseArrivalSpec -fuzztime 15s ./internal/spec/
+	$(GO) test -fuzz FuzzParsePolicySpec -fuzztime 15s ./internal/spec/
+	$(GO) test -fuzz FuzzReadTrace -fuzztime 15s ./internal/policylab/
 
 # Saturation smoke: the dynamic-traffic stack (renewal sources, the
 # adversary, injector checkpointing, single and sharded engines) under the
@@ -83,13 +85,22 @@ bench-dist:
 	$(GO) test -run '^$$' -bench DistributedFullLoad -benchtime 10x -benchmem -timeout 30m . \
 		| tee bench_dist_output.txt | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
-# CI smoke variant: one iteration per benchmark (-short keeps the sharded
-# benchmark to its 256x256 sizes), then a blocking delta-table comparison
-# against the committed record. The 2.0 threshold (3x) is generous enough
-# to absorb shared-runner noise; benchmarks absent from the old record
-# (e.g. the sharded ones vs BENCH_PR3) are listed as new, never failed.
+# CI smoke variant: 100ms per benchmark (-short keeps the sharded
+# benchmark to its 256x256 sizes) — time-based so microsecond-scale
+# benchmarks get hundreds of iterations (a single iteration is too noisy
+# to gate on) while the heavy sharded ones still run once — then a
+# blocking delta-table comparison against the committed record, which is
+# generated the same way. The 2.0 threshold (3x) absorbs shared-runner
+# noise; benchmarks absent from the old record are listed as new, never
+# failed. The zero-allocation contract for the engine hot path (Step with
+# a nil ConflictObserver) is asserted on a dedicated amortized pass —
+# 0 allocs/op is a steady-state claim, and a single iteration can catch a
+# one-off buffer growth that 5000 iterations round away.
 bench-smoke:
-	$(GO) test -short -run '^$$' -bench . -benchtime 1x -benchmem -timeout 10m . \
+	$(GO) test -run '^$$' -bench 'EngineStepSteadyState|ConflictTraceOverhead' -benchtime 5000x -benchmem -timeout 10m . \
+		| $(GO) run ./cmd/benchjson -o /dev/null \
+			-assert-zero-allocs 'EngineStepSteadyState|ConflictTraceOverhead/off'
+	$(GO) test -short -run '^$$' -bench . -benchtime 100ms -benchmem -timeout 15m . \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench-smoke.json
 	$(GO) run ./cmd/benchjson -compare -threshold 2.0 $(BENCH_JSON) /tmp/bench-smoke.json
 
@@ -176,6 +187,18 @@ dist-demo:
 		-workers 2 -worker-bin /tmp/hp-shardworker -checkpoint-every 8 \
 		-worker-flags "-step-delay 50ms" & \
 	pid=$$!; sleep 2; kill -9 $$(pgrep -x hp-shardworker | head -1); wait $$pid
+
+# Policy-lab demo: record a conflict trace (with a mid-run checkpoint) on
+# the (rho,sigma) column adversary, then replay the checkpointed window
+# under alternative priority orders and print the divergence table.
+policylab-demo:
+	$(GO) run ./cmd/policylab trace -n 12 -policy restricted -workload none \
+		-arrivals 'adversary:rho=3,sigma=6,until=200' -seed 7 \
+		-o /tmp/policylab-conflicts.jsonl -checkpoint /tmp/policylab-mid.ckpt -checkpoint-at 100
+	@echo "--- counterfactual replay from the checkpoint ---"
+	$(GO) run ./cmd/policylab counterfactual -checkpoint /tmp/policylab-mid.ckpt \
+		-policy restricted -arrivals 'adversary:rho=3,sigma=6,until=200' \
+		-alt "oldest,nearest,weighted:age=1,restrict=2" -steps 120
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -1,0 +1,127 @@
+package hotpotato_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/policylab"
+	"hotpotato/internal/policylab/search"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// BenchmarkConflictTraceOverhead prices the engine's conflict tap: the
+// "off" variant is a steady-state Step with a nil ConflictObserver — the
+// default every non-traced run pays — and must stay at 0 allocs/op and at
+// the plain engine's ns/op (a single predicted branch; CI gates both via
+// benchjson -assert-zero-allocs and the bench-smoke comparison). The "on"
+// variant steps the same workload into a live Recorder, pricing what
+// opting in costs.
+func BenchmarkConflictTraceOverhead(b *testing.B) {
+	m := mesh.MustNew(2, 32)
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			rebuild := func(seed int64) *sim.Engine {
+				rng := rand.New(rand.NewSource(seed))
+				packets, err := workload.FullLoad(m, 2, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{Seed: seed, Validation: sim.ValidateGreedy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.traced {
+					e.SetConflictObserver(policylab.NewRecorder(4096))
+				}
+				// Prime the lazily grown buffers with untimed steps until
+				// contention peaks, so even a -benchtime 1x run measures the
+				// steady state the 0 allocs/op contract is stated for.
+				for i := 0; i < 32 && !e.Done(); i++ {
+					if err := e.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return e
+			}
+			b.ReportAllocs()
+			b.StopTimer()
+			e, seed := rebuild(1), int64(1)
+			b.StartTimer()
+			for i := 0; i < b.N; i++ {
+				if e.Done() {
+					b.StopTimer()
+					seed++
+					e = rebuild(seed)
+					b.StartTimer()
+				}
+				if err := e.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCounterfactualReplay times one full replay (baseline + one
+// alternative arm over a 64-step window) from a mid-run checkpoint.
+func BenchmarkCounterfactualReplay(b *testing.B) {
+	m := mesh.MustNew(2, 16)
+	rng := rand.New(rand.NewSource(1))
+	packets, err := workload.FullLoad(m, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := sim.New(m, core.NewRestrictedPriority(), packets, sim.Options{Seed: 1, Validation: sim.ValidateGreedy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := policylab.ReplayConfig{
+		Baseline:     "restricted",
+		Alternatives: []string{"oldest"},
+		Steps:        64,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := policylab.Replay(snap, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicySearchGeneration times one full fitness evaluation of a
+// weighted-policy candidate over the default three-entry panel.
+func BenchmarkPolicySearchGeneration(b *testing.B) {
+	cfg := search.Config{
+		Side:        8,
+		Seeds:       []int64{1},
+		Population:  4,
+		Generations: 1,
+		Seed:        1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

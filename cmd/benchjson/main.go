@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"text/tabwriter"
 
@@ -45,6 +46,7 @@ func run(args []string) error {
 		tol       = fs.Float64("tolerance", 1.30, "fail when ns/op exceeds baseline by this factor")
 		compare   = fs.Bool("compare", false, "diff two committed reports (old.json new.json) instead of parsing stdin")
 		threshold = fs.Float64("threshold", 0.10, "with -compare, fail when ns/op grows by more than this fraction")
+		zeroAlloc = fs.String("assert-zero-allocs", "", "regexp of benchmarks that must report 0 allocs/op (needs -benchmem output)")
 		ver       = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +85,12 @@ func run(args []string) error {
 		os.Stdout.Write(buf)
 	}
 
+	if *zeroAlloc != "" {
+		if err := assertZeroAllocs(rep, *zeroAlloc); err != nil {
+			return err
+		}
+	}
+
 	if *baseline == "" {
 		return nil
 	}
@@ -108,6 +116,42 @@ func run(args []string) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx", regressed, *tol)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.2fx against %s\n", *tol, *baseline)
+	return nil
+}
+
+// assertZeroAllocs enforces an allocation-free contract: every benchmark
+// whose name matches the pattern must report exactly 0 allocs/op. A pattern
+// matching no benchmark is an error too — a renamed benchmark must not
+// silently void the gate.
+func assertZeroAllocs(rep *benchfmt.Report, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("-assert-zero-allocs: %w", err)
+	}
+	matched, failed := 0, 0
+	for _, b := range rep.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		allocs, ok := b.Metrics["allocs/op"]
+		if !ok {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no allocs/op metric (run with -benchmem)\n", b.Name)
+			continue
+		}
+		if allocs != 0 {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocates: %.0f allocs/op, want 0\n", b.Name, allocs)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("-assert-zero-allocs: no benchmark matches %q", pattern)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) violate the zero-allocation contract", failed)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) allocation-free (pattern %q)\n", matched, pattern)
 	return nil
 }
 

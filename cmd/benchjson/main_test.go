@@ -151,3 +151,45 @@ func TestCompareReportsBadInputs(t *testing.T) {
 		t.Errorf("self-compare: %v", err)
 	}
 }
+
+// mkReport builds an in-memory report with explicit allocs/op metrics.
+func mkReport(benches map[string]float64) *benchfmt.Report {
+	rep := &benchfmt.Report{}
+	for bn, allocs := range benches {
+		m := map[string]float64{"ns/op": 100}
+		if allocs >= 0 {
+			m["allocs/op"] = allocs
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchfmt.Benchmark{
+			Name: bn, Procs: 1, Iterations: 100, Metrics: m,
+		})
+	}
+	return rep
+}
+
+func TestAssertZeroAllocs(t *testing.T) {
+	// All matching benchmarks allocation-free: pass.
+	rep := mkReport(map[string]float64{"EngineStepSteadyState-8": 0, "Other-8": 5})
+	if err := assertZeroAllocs(rep, "EngineStep"); err != nil {
+		t.Fatalf("clean report failed: %v", err)
+	}
+	// A matching benchmark allocates: fail.
+	rep = mkReport(map[string]float64{"EngineStepSteadyState-8": 2})
+	if err := assertZeroAllocs(rep, "EngineStep"); err == nil {
+		t.Fatal("allocating benchmark passed the zero-alloc gate")
+	}
+	// Matching benchmark lacks the allocs/op metric (-benchmem missing): fail.
+	rep = mkReport(map[string]float64{"EngineStepSteadyState-8": -1})
+	if err := assertZeroAllocs(rep, "EngineStep"); err == nil {
+		t.Fatal("missing allocs/op metric passed the zero-alloc gate")
+	}
+	// Nothing matches: fail loudly, a renamed benchmark must not void the gate.
+	rep = mkReport(map[string]float64{"Other-8": 0})
+	if err := assertZeroAllocs(rep, "EngineStep"); err == nil {
+		t.Fatal("empty match set passed the zero-alloc gate")
+	}
+	// Bad pattern: fail.
+	if err := assertZeroAllocs(rep, "("); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}

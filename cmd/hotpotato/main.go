@@ -28,6 +28,7 @@ import (
 	"hotpotato/internal/core"
 	"hotpotato/internal/dshard"
 	"hotpotato/internal/mesh"
+	"hotpotato/internal/policylab"
 	"hotpotato/internal/shard"
 	"hotpotato/internal/sim"
 	"hotpotato/internal/spec"
@@ -111,13 +112,26 @@ func joinComma(xs []string) string {
 	return out
 }
 
+// listPolicies prints just the policy section of the catalog: every
+// registered policy with its parameter schema (the parameterized families
+// take -policy name:key=val,...).
+func listPolicies() {
+	c := spec.Catalog()
+	fmt.Println("policies (-policy name[:key=val,...]):")
+	for _, e := range c.Policies {
+		fmt.Printf("  %-18s %s\n", e.Name, e.Doc)
+		printParams(e.Params)
+	}
+}
+
 // listWorkloads prints the discovery catalog: every registered policy,
 // workload and arrival process with parameter schemas and defaults.
 func listWorkloads() {
 	c := spec.Catalog()
-	fmt.Println("policies (-policy name):")
+	fmt.Println("policies (-policy name[:key=val,...]):")
 	for _, e := range c.Policies {
 		fmt.Printf("  %-18s %s\n", e.Name, e.Doc)
+		printParams(e.Params)
 	}
 	fmt.Println("\nworkloads (-workload name[:key=val,...]):")
 	for _, e := range c.Workloads {
@@ -224,6 +238,8 @@ func runCtx(ctx context.Context, args []string) error {
 		arrivals       = fs.String("arrivals", "", "continuous arrival traffic: proc[:key=val,...][;proc2:...], e.g. poisson:rate=0.02 (see -list-workloads)")
 		arrivalsRecord = fs.String("arrivals-record", "", "with -arrivals, record every injection to this file (replay with -arrivals replay:file=...)")
 		listWl         = fs.Bool("list-workloads", false, "print every registered policy, workload and arrival process with its parameter schema, then exit")
+		listPol        = fs.Bool("list-policies", false, "print every registered policy with its parameter schema, then exit")
+		conflictTrace  = fs.String("conflict-trace", "", "record every routing conflict (contenders, features, winner, deflections) to this CRC-framed JSONL file (see cmd/policylab)")
 		shards         = fs.String("shards", "", "run the sharded engine with a PxQ spatial decomposition, e.g. 4x2 (2-D only; -checkpoint becomes a directory)")
 		dist           = fs.Int("dist", 0, "with -shards, run distributed: this many worker processes over loopback TCP instead of shard goroutines (see cmd/shardcoord for real multi-process runs)")
 
@@ -251,6 +267,10 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	if *listWl {
 		listWorkloads()
+		return nil
+	}
+	if *listPol {
+		listPolicies()
 		return nil
 	}
 	if *verify != "" {
@@ -350,6 +370,9 @@ func runCtx(ctx context.Context, args []string) error {
 	if *shards != "" {
 		if *track || *traceOut != "" || *heatmap || *animate > 0 {
 			return fmt.Errorf("-shards cannot be combined with -track, -trace-out, -heatmap or -animate (observers see one engine's move stream)")
+		}
+		if *conflictTrace != "" {
+			return fmt.Errorf("-shards cannot be combined with -conflict-trace (the conflict tap sees one engine's move stream)")
 		}
 		if *workers > 0 {
 			return fmt.Errorf("-shards and -workers are alternative parallelization schemes; pick one")
@@ -485,6 +508,31 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 		e.SetFaults(faults, fate)
 	}
+	var conflictRec *policylab.Recorder
+	var conflictFlush func() error
+	if *conflictTrace != "" {
+		f, err := os.Create(*conflictTrace)
+		if err != nil {
+			return err
+		}
+		cw, err := policylab.NewWriter(f, policylab.TraceHeader{
+			Dim: *dim, Side: *side, Policy: pol.Name(), Seed: *seed,
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		conflictRec = policylab.NewRecorder(0)
+		conflictRec.Spill(cw)
+		e.SetConflictObserver(conflictRec)
+		conflictFlush = func() error {
+			if err := cw.Flush(); err != nil {
+				f.Close()
+				return fmt.Errorf("conflict trace %s: %w", *conflictTrace, err)
+			}
+			return f.Close()
+		}
+	}
 	var tracker *core.Tracker
 	if *track {
 		tracker = core.NewTracker(m, packets, core.TrackerOptions{RecordSeries: *series, SelfCheckEvery: 64})
@@ -545,6 +593,17 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Printf("trace:       written to %s\n", *traceOut)
+	}
+	if conflictRec != nil {
+		if err := conflictRec.Err(); err != nil {
+			return fmt.Errorf("conflict trace %s: %w", *conflictTrace, err)
+		}
+		if err := conflictFlush(); err != nil {
+			return err
+		}
+		total, contenders, deflected, db, da := conflictRec.Stats()
+		fmt.Printf("conflicts:   %d recorded to %s (%d contenders, %d deflected, potential drop %d)\n",
+			total, *conflictTrace, contenders, deflected, db-da)
 	}
 
 	if faults != nil {

@@ -249,8 +249,10 @@ func runCtx(ctx context.Context, args []string) error {
 				if err != nil {
 					return err
 				}
-				for _, polName := range strings.Split(*polFlag, ",") {
-					polName = strings.TrimSpace(polName)
+				// SplitSpecList keeps parameterized policy specs
+				// ("weighted:age=1,dist=-0.5") in one piece: a bare key=val
+				// segment belongs to the spec before it.
+				for _, polName := range spec.SplitSpecList(*polFlag) {
 					mkPol, err := spec.PolicyFactory(polName)
 					if err != nil {
 						return err

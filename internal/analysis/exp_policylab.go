@@ -1,0 +1,227 @@
+package analysis
+
+// E24: the policy lab. Three tables, one per layer of internal/policylab:
+// (a) conflict anatomy — what the recorded decision traces say about how
+// often greedy conflicts happen and what they cost in potential under
+// different priority rules; (b) counterfactual replay — how much the
+// priority order actually matters from an identical mid-run configuration;
+// (c) policy search — whether automated search over the weighted family
+// rediscovers or beats the paper's restricted rule, and whether the winner
+// still satisfies Property 8 empirically.
+
+import (
+	"fmt"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/policylab"
+	"hotpotato/internal/policylab/search"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
+	"hotpotato/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E24",
+		Title: "Policy lab: conflict traces, counterfactual replay, and weighted-policy search",
+		Claim: "Conflict-level decision traces quantify how a priority rule spends its deflections; replaying an identical checkpointed configuration under alternative priority orders bounds how much the rule (as opposed to the configuration) determines the outcome; and evolutionary search over the weighted family age/dist/restrict/defl finds a rule competitive with the paper's restricted priority while the potential-decrease check (Property 8) separates rules inside the paper's proof from rules outside it.",
+		Run:   runE24,
+	})
+}
+
+func runE24(cfg Config) ([]*stats.Table, error) {
+	side := 12
+	until := 200
+	if cfg.Quick {
+		side = 8
+		until = 120
+	}
+	m, err := mesh.New(2, side)
+	if err != nil {
+		return nil, err
+	}
+
+	conflictTB, err := runE24Conflicts(cfg, m, until)
+	if err != nil {
+		return nil, err
+	}
+	replayTB, err := runE24Replay(cfg, m, until)
+	if err != nil {
+		return nil, err
+	}
+	searchTB, err := runE24Search(cfg, side)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{conflictTB, replayTB, searchTB}, nil
+}
+
+// runE24Conflicts records conflict traces for several priority rules on the
+// same (rho,sigma) column-adversary run and tabulates the anatomy: conflict
+// count, contender and deflection volume, and the potential drop realized
+// inside conflicts (Property 8 is exactly a lower bound on this drop at
+// loaded nodes).
+func runE24Conflicts(cfg Config, m *mesh.Mesh, until int) (*stats.Table, error) {
+	policies := []string{"restricted", "oldest", "nearest", "random", "weighted:age=1,restrict=2"}
+	arrivals := fmt.Sprintf("adversary:rho=%g,sigma=6,until=%d", float64(m.Side())/4, until)
+	trials := cfg.trials(5, 2)
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E24a (conflict anatomy): %dx%d mesh, %s, %d trials", m.Side(), m.Side(), arrivals, trials),
+		"policy", "steps", "delivered", "conflicts", "contenders", "deflected", "phi_drop", "drop/conflict")
+	for _, polSpec := range policies {
+		var steps, delivered, conflicts, contenders, deflected, drop float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.SeedBase + int64(trial)
+			pol, err := spec.NewPolicy(polSpec)
+			if err != nil {
+				return nil, err
+			}
+			e, err := sim.New(m, pol, nil, sim.Options{
+				Seed: seed, MaxSteps: until * 40, Validation: sim.ValidateGreedy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			as, err := spec.ParseArrivalSpec(arrivals)
+			if err != nil {
+				return nil, err
+			}
+			src, err := spec.BuildArrivals(as, m)
+			if err != nil {
+				return nil, err
+			}
+			e.SetInjector(src)
+			rec := policylab.NewRecorder(0)
+			e.SetConflictObserver(rec)
+			res, err := e.Run()
+			if err != nil {
+				return nil, err
+			}
+			total, cont, defl, db, da := rec.Stats()
+			steps += float64(res.Steps)
+			delivered += float64(res.Delivered)
+			conflicts += float64(total)
+			contenders += float64(cont)
+			deflected += float64(defl)
+			drop += float64(db - da)
+		}
+		f := float64(trials)
+		perConflict := 0.0
+		if conflicts > 0 {
+			perConflict = drop / conflicts
+		}
+		tb.AddRow(polSpec, steps/f, delivered/f, conflicts/f,
+			contenders/f, deflected/f, drop/f, perConflict)
+	}
+	tb.AddNote("conflict = a node whose move group this step had >=2 contenders and >=1 deflection; phi_drop = distance potential released inside conflicts (Property 8 lower-bounds this at loaded nodes)")
+	return tb, nil
+}
+
+// runE24Replay checkpoints one adversary run mid-burst and replays the same
+// window under alternative priority orders, tabulating the divergence.
+func runE24Replay(cfg Config, m *mesh.Mesh, until int) (*stats.Table, error) {
+	arrivals := fmt.Sprintf("adversary:rho=%g,sigma=6,until=%d", float64(m.Side())/4, until)
+	window := 10 * m.Side()
+	ckptAt := until / 2
+
+	pol, err := spec.NewPolicy("restricted")
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(m, pol, nil, sim.Options{
+		Seed: cfg.SeedBase, MaxSteps: until * 40, Validation: sim.ValidateGreedy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	as, err := spec.ParseArrivalSpec(arrivals)
+	if err != nil {
+		return nil, err
+	}
+	src, err := spec.BuildArrivals(as, m)
+	if err != nil {
+		return nil, err
+	}
+	e.SetInjector(src)
+	for e.Time() < ckptAt {
+		if err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+
+	rep, err := policylab.Replay(snap, policylab.ReplayConfig{
+		Baseline:     "restricted",
+		Alternatives: []string{"oldest", "nearest", "random", "weighted:age=1,restrict=2"},
+		Steps:        window,
+		Arrivals:     as,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E24b (counterfactual replay): %dx%d mesh, %s, checkpoint at t=%d, window %d steps",
+			m.Side(), m.Side(), arrivals, rep.CheckpointTime, window),
+		"policy", "delivered", "deflections", "mean_delay", "phi_L1", "diverge_at")
+	tb.AddRow(rep.Baseline.Policy+" (baseline)", rep.Baseline.Delivered, rep.Baseline.Deflections,
+		rep.Baseline.MeanDelay, "-", "-")
+	for _, d := range rep.Alternatives {
+		div := "never"
+		if d.FirstDiverge >= 0 {
+			div = fmt.Sprintf("t+%d", d.FirstDiverge)
+		}
+		tb.AddRow(d.Policy, d.Delivered, d.Deflections, d.MeanDelay, d.PotentialL1, div)
+	}
+	tb.AddNote("all arms restored from the same checkpoint (%d packets in flight) with identical RNG state; only the priority order differs", rep.Live)
+	return tb, nil
+}
+
+// runE24Search runs the evolutionary search and tabulates the discovered
+// policy against the restricted baseline, plus the Property 8 verdict.
+func runE24Search(cfg Config, side int) (*stats.Table, error) {
+	scfg := search.Config{
+		Side:        side,
+		Seeds:       []int64{cfg.SeedBase, cfg.SeedBase + 1},
+		Population:  12,
+		Generations: 5,
+		Seed:        cfg.SeedBase + 7,
+		VerifySteps: 40 * side,
+	}
+	if cfg.Quick {
+		scfg.Population = 8
+		scfg.Generations = 3
+		scfg.Seeds = scfg.Seeds[:1]
+	}
+	rep, err := search.Run(scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("E24c (policy search): %dx%d mesh, %d generations x %d candidates, %d unique policies evaluated",
+			side, side, rep.Config.Generations, rep.Config.Population, rep.Evaluated),
+		"policy", "fitness", "perm/steps", "poisson/p99", "adversary/p99")
+	row := func(label string, c search.Candidate) {
+		tb.AddRow(label, c.Fitness,
+			c.Scores["perm/steps"], c.Scores["poisson/p99"], c.Scores["adversary/p99"])
+	}
+	row(rep.Baseline.Spec+" (baseline)", rep.Baseline)
+	row(rep.Best.Spec, rep.Best)
+	for _, w := range rep.Wins {
+		tb.AddNote("beats baseline on %s: %.2f < %.2f (%+.1f%%)", w.Entry, w.Score, w.Baseline, 100*(w.Score-w.Baseline)/w.Baseline)
+	}
+	if v := rep.Verification; v != nil {
+		held := "held (no violations)"
+		if !v.Property8Held {
+			held = fmt.Sprintf("VIOLATED %d times (%s)", v.Property8Violations, v.Violations)
+		}
+		tb.AddNote("verification: Property 8 %s for %s over %d steps", held, v.Policy, v.Steps)
+	}
+	tb.AddNote("fitness = mean over the panel of score/baseline (< 1 beats the baseline); search seed %d", rep.Config.Seed)
+	return tb, nil
+}

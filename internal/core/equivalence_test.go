@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// TestRankLessEquivalence rebuilds each of this package's rank-based
+// policies as the semantically equivalent less-based routing.NewCustom
+// policy (less(i, j) = rank(i) < rank(j)) and runs the two in lockstep on
+// identical workloads and seeds: the per-step engine state hashes must
+// match exactly. The rank path and the less path of the routing matcher
+// consume the policy RNG identically, so any divergence is a real
+// priority-relation difference, not a tie-break artifact.
+func TestRankLessEquivalence(t *testing.T) {
+	cases := []struct {
+		rankBased func() sim.Policy
+		rank      func(ns *sim.NodeState, i int) int
+	}{
+		{
+			rankBased: NewRestrictedPriority,
+			rank:      func(ns *sim.NodeState, i int) int { return restrictedRank(ns, i, true) },
+		},
+		{
+			rankBased: NewRestrictedPriorityTypeBFirst,
+			rank:      func(ns *sim.NodeState, i int) int { return restrictedRank(ns, i, false) },
+		},
+		{
+			rankBased: func() sim.Policy { return NewFewestGoodFirst() },
+			rank: func(ns *sim.NodeState, i int) int {
+				r := 2 * ns.Info(i).GoodCount
+				if !ns.Packets[i].AdvancedPrev {
+					r++
+				}
+				return r
+			},
+		},
+	}
+	m := mesh.MustNew(2, 8)
+	for _, tc := range cases {
+		pol := tc.rankBased()
+		t.Run(pol.Name(), func(t *testing.T) {
+			rank := tc.rank
+			lessBased := func() sim.Policy {
+				return routing.NewCustom(pol.Name()+"-less",
+					func(ns *sim.NodeState, i, j int) bool { return rank(ns, i) < rank(ns, j) },
+					true, routing.DeflectRandom)
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				packets, err := workload.UniformRandom(m, 60, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := sim.Options{Seed: seed + 100, Validation: sim.ValidateGreedy, MaxSteps: 200000}
+				a, err := sim.New(m, tc.rankBased(), clonePkts(packets), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := sim.New(m, lessBased(), clonePkts(packets), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for !a.Done() && !a.Livelocked() {
+					if err := a.Step(); err != nil {
+						t.Fatal(err)
+					}
+					if err := b.Step(); err != nil {
+						t.Fatal(err)
+					}
+					if ha, hb := a.StateHash(), b.StateHash(); ha != hb {
+						t.Fatalf("seed %d: state hash diverged at step %d: %#x vs %#x", seed, a.Time(), ha, hb)
+					}
+				}
+				if b.Done() != a.Done() {
+					t.Fatalf("seed %d: termination diverged", seed)
+				}
+			}
+		})
+	}
+}
+
+func clonePkts(pkts []*sim.Packet) []*sim.Packet {
+	out := make([]*sim.Packet, len(pkts))
+	for i, p := range pkts {
+		c := *p
+		out[i] = &c
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package policylab
+
+import "hotpotato/internal/sim"
+
+// DefaultRingSize is the number of most-recent conflicts a Recorder keeps
+// in memory when the caller does not choose a capacity.
+const DefaultRingSize = 4096
+
+// Recorder implements sim.ConflictObserver: it copies each conflict record
+// (the engine's record is scratch, valid only during the call) into a fixed
+// ring of the most recent conflicts, and optionally spills every record to
+// a Writer. Aggregate counters cover the whole run regardless of ring
+// wrap-around.
+type Recorder struct {
+	ring  []sim.ConflictRecord
+	next  int // ring insertion cursor
+	n     int // records currently held (≤ len(ring))
+	total int64
+
+	contenders int64
+	deflected  int64
+	distBefore int64
+	distAfter  int64
+
+	spill *Writer
+	err   error
+}
+
+// NewRecorder returns a Recorder keeping the last capacity conflicts
+// (DefaultRingSize when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Recorder{ring: make([]sim.ConflictRecord, capacity)}
+}
+
+// Spill streams every record (not just the ring window) to w as it is
+// observed. The first write error is latched (see Err) and stops further
+// spilling; recording continues.
+func (r *Recorder) Spill(w *Writer) { r.spill = w }
+
+// OnConflict implements sim.ConflictObserver.
+func (r *Recorder) OnConflict(rec *sim.ConflictRecord) {
+	r.total++
+	r.contenders += int64(len(rec.Contenders))
+	r.deflected += int64(rec.Deflected)
+	r.distBefore += int64(rec.DistBefore)
+	r.distAfter += int64(rec.DistAfter)
+	// Keep the slot's own backing array: *slot = *rec would replace it with
+	// the engine's scratch slice, and appending scratch onto scratch would
+	// leave every slot aliasing the engine's (mutating) record.
+	slot := &r.ring[r.next]
+	backing := slot.Contenders
+	*slot = *rec
+	slot.Contenders = append(backing[:0], rec.Contenders...)
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	if r.spill != nil && r.err == nil {
+		r.err = r.spill.Write(rec)
+	}
+}
+
+// Records returns the retained window, oldest first. The returned slice is
+// freshly allocated but shares Contenders backing arrays with the ring;
+// callers that keep recording should copy what they need.
+func (r *Recorder) Records() []sim.ConflictRecord {
+	out := make([]sim.ConflictRecord, 0, r.n)
+	start := (r.next - r.n + len(r.ring)) % len(r.ring)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Total is the number of conflicts observed over the whole run.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Stats summarizes the whole run: conflicts observed, total contenders,
+// total deflections issued in conflicts, and the aggregate distance
+// potential before/after the conflicting moves.
+func (r *Recorder) Stats() (total, contenders, deflected, distBefore, distAfter int64) {
+	return r.total, r.contenders, r.deflected, r.distBefore, r.distAfter
+}
+
+// Err reports the first spill write error, if any.
+func (r *Recorder) Err() error { return r.err }

@@ -1,0 +1,500 @@
+// Package search runs automated policy search over the parameterized
+// weighted greedy family ("weighted:age=..,defl=..,dist=..,restrict=..",
+// see internal/spec): random initialization plus local-mutation
+// evolutionary refinement, scored by multi-objective fitness over a panel
+// of workloads (batch permutation, Poisson arrivals, the (ρ,σ) column
+// adversary), followed by a verification pass that measures whether the
+// paper's potential-decrease property (Property 8) still holds empirically
+// for the discovered policy. Everything is deterministic given Config.Seed.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/spec"
+	"hotpotato/internal/stats"
+)
+
+// Params is one point of the weighted policy family's search space.
+type Params struct {
+	Age      float64 `json:"age"`
+	Dist     float64 `json:"dist"`
+	Restrict float64 `json:"restrict"`
+	Deflect  float64 `json:"defl"`
+}
+
+// quantum is the search-space grid: weights are rounded to multiples of
+// 1/256, comfortably finer than the policy's own 1/1024 fixed-point
+// quantization, so spec strings stay short and candidates dedup exactly.
+const quantum = 256
+
+// weightBound clamps mutated weights; the family is scale-invariant (only
+// weight ratios matter), so a bounded box loses no policies.
+const weightBound = 8
+
+func quantize(v float64) float64 {
+	q := math.Round(v*quantum) / quantum
+	if q > weightBound {
+		q = weightBound
+	}
+	if q < -weightBound {
+		q = -weightBound
+	}
+	if q == 0 { // normalize -0 so specs render identically
+		return 0
+	}
+	return q
+}
+
+// Spec renders the point as the policy spec string every surface accepts.
+func (p Params) Spec() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return "weighted:age=" + f(p.Age) + ",defl=" + f(p.Deflect) +
+		",dist=" + f(p.Dist) + ",restrict=" + f(p.Restrict)
+}
+
+// Metric selects the panel-entry score. All metrics are lower-is-better.
+type Metric string
+
+const (
+	// MetricSteps is the batch makespan (steps until the last delivery;
+	// livelocked or unfinished runs score the full step budget plus the
+	// undelivered backlog).
+	MetricSteps Metric = "steps"
+	// MetricMeanDelay is the mean packet delay; packets still in flight at
+	// the end are censored at the horizon (budget - injection time), so
+	// starving packets are charged, not ignored.
+	MetricMeanDelay Metric = "mean_delay"
+	// MetricP99Delay is the 99th-percentile packet delay, censored the same
+	// way.
+	MetricP99Delay Metric = "p99_delay"
+	// MetricDeflections is deflections per delivered packet.
+	MetricDeflections Metric = "deflections"
+)
+
+// PanelEntry is one workload/metric pair of the fitness panel.
+type PanelEntry struct {
+	// Name labels the entry in reports ("perm/steps").
+	Name string `json:"name"`
+	// Workload is the batch workload spec ("none" for pure arrival runs).
+	Workload string `json:"workload"`
+	// K is the batch packet count (ignored by fixed-size workloads).
+	K int `json:"k,omitempty"`
+	// Arrivals is the arrival spec ("" for batch-only entries).
+	Arrivals string `json:"arrivals,omitempty"`
+	// MaxSteps is the entry's step budget.
+	MaxSteps int `json:"max_steps"`
+	// Metric scores the run.
+	Metric Metric `json:"metric"`
+}
+
+// DefaultPanel is the three-workload panel from the issue: the batch
+// permutation the paper's bound addresses, smooth Poisson arrivals, and the
+// (ρ,σ) column adversary — makespan, p99 delay and p99 delay respectively.
+func DefaultPanel(side int) []PanelEntry {
+	return []PanelEntry{
+		{Name: "perm/steps", Workload: "permutation", MaxSteps: 40 * side, Metric: MetricSteps},
+		{Name: "poisson/p99", Workload: "none", Arrivals: "poisson:rate=0.02,until=200", MaxSteps: 200 + 30*side, Metric: MetricP99Delay},
+		{Name: "adversary/p99", Workload: "none", Arrivals: fmt.Sprintf("adversary:rho=%g,sigma=6,until=200", float64(side)/4), MaxSteps: 200 + 30*side, Metric: MetricP99Delay},
+	}
+}
+
+// Config parameterizes a search run.
+type Config struct {
+	// Side is the mesh side (2-dimensional, no wrap).
+	Side int `json:"side"`
+	// Seeds are the per-trial engine/workload seeds; every candidate is
+	// scored on every (panel entry, seed) pair and entries average over
+	// seeds.
+	Seeds []int64 `json:"seeds"`
+	// Panel is the fitness panel; nil means DefaultPanel(Side).
+	Panel []PanelEntry `json:"panel,omitempty"`
+	// Population, Generations, Elite, Immigrants and MutationScale shape
+	// the evolutionary loop: each generation keeps the Elite best, adds
+	// Immigrants fresh random points, and fills the rest with Gaussian
+	// mutations (scale MutationScale) of the elites.
+	Population    int     `json:"population"`
+	Generations   int     `json:"generations"`
+	Elite         int     `json:"elite"`
+	Immigrants    int     `json:"immigrants"`
+	MutationScale float64 `json:"mutation_scale"`
+	// Baseline is the policy spec the candidates are normalized against and
+	// must beat; default "restricted" (the paper's rule).
+	Baseline string `json:"baseline"`
+	// Seed drives the search's own randomness (initialization, mutation).
+	Seed int64 `json:"seed"`
+	// VerifySteps budgets the verification pass; 0 disables verification.
+	VerifySteps int `json:"verify_steps,omitempty"`
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Side == 0 {
+		c.Side = 12
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2}
+	}
+	if c.Panel == nil {
+		c.Panel = DefaultPanel(c.Side)
+	}
+	if c.Population == 0 {
+		c.Population = 16
+	}
+	if c.Generations == 0 {
+		c.Generations = 6
+	}
+	if c.Elite == 0 {
+		c.Elite = 3
+	}
+	if c.Immigrants == 0 {
+		c.Immigrants = 2
+	}
+	if c.MutationScale == 0 {
+		c.MutationScale = 0.5
+	}
+	if c.Baseline == "" {
+		c.Baseline = "restricted"
+	}
+	return c
+}
+
+// Candidate is one evaluated point: its per-entry scores (averaged over
+// seeds) and its scalar fitness (mean score ratio vs the baseline; < 1
+// beats the baseline on average).
+type Candidate struct {
+	Params  Params             `json:"params"`
+	Spec    string             `json:"spec"`
+	Scores  map[string]float64 `json:"scores"`
+	Fitness float64            `json:"fitness"`
+}
+
+// GenSummary records one generation's best for the report's history.
+type GenSummary struct {
+	Gen     int     `json:"gen"`
+	Best    string  `json:"best"`
+	Fitness float64 `json:"fitness"`
+}
+
+// Win describes one workload/metric pair where the best candidate beat the
+// baseline.
+type Win struct {
+	Entry    string  `json:"entry"`
+	Score    float64 `json:"score"`
+	Baseline float64 `json:"baseline"`
+}
+
+// Verification reports the potential-decrease check on the discovered
+// policy: the best candidate is run on a batch permutation under the
+// paper's potential tracker and every Property 8 breach is counted.
+type Verification struct {
+	Policy string `json:"policy"`
+	Steps  int    `json:"steps"`
+	// Property8Violations counts node-steps whose potential loss fell short
+	// of Property 8's bound; Property8Held is its zero-ness. The restricted
+	// rule holds it by construction; an unconstrained weighted policy
+	// usually does not — which is exactly what this pass is for.
+	Property8Violations int  `json:"property8_violations"`
+	Property8Held       bool `json:"property8_held"`
+	// Violations is the tracker's full counter summary.
+	Violations string `json:"violations"`
+}
+
+// Report is the full result of a search run.
+type Report struct {
+	Config       Config        `json:"config"`
+	Baseline     Candidate     `json:"baseline"`
+	Best         Candidate     `json:"best"`
+	Evaluated    int           `json:"evaluated"`
+	History      []GenSummary  `json:"history"`
+	Wins         []Win         `json:"wins"`
+	Verification *Verification `json:"verification,omitempty"`
+}
+
+// Run executes the search. Deterministic: the same config produces the
+// same report, bit for bit.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	m, err := mesh.New(2, cfg.Side)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{m: m, cfg: cfg, cache: map[string]Candidate{}}
+
+	baseScores, err := ev.scores(cfg.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("search: baseline %q: %w", cfg.Baseline, err)
+	}
+	ev.base = baseScores
+	baseline := Candidate{Spec: cfg.Baseline, Scores: baseScores, Fitness: 1}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop := seedPopulation(cfg, rng)
+	rep := &Report{Config: cfg, Baseline: baseline}
+	var ranked []Candidate
+	for gen := 0; gen < cfg.Generations; gen++ {
+		ranked = ranked[:0]
+		for _, p := range pop {
+			c, err := ev.candidate(p)
+			if err != nil {
+				return nil, err
+			}
+			ranked = append(ranked, c)
+		}
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Fitness < ranked[j].Fitness })
+		rep.History = append(rep.History, GenSummary{Gen: gen, Best: ranked[0].Spec, Fitness: ranked[0].Fitness})
+		if gen == cfg.Generations-1 {
+			break
+		}
+		pop = nextGeneration(cfg, ranked, rng)
+	}
+	rep.Best = ranked[0]
+	rep.Evaluated = len(ev.cache)
+	for _, e := range cfg.Panel {
+		if s, b := rep.Best.Scores[e.Name], baseScores[e.Name]; s < b {
+			rep.Wins = append(rep.Wins, Win{Entry: e.Name, Score: s, Baseline: b})
+		}
+	}
+	if cfg.VerifySteps > 0 {
+		v, err := Verify(m, rep.Best.Spec, cfg.Seeds[0], cfg.VerifySteps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Verification = v
+	}
+	return rep, nil
+}
+
+// seedPopulation builds generation 0: the family's interpretable corners
+// (each classic rule as a pure weight), then random points.
+func seedPopulation(cfg Config, rng *rand.Rand) []Params {
+	pop := []Params{
+		{},            // all-zero: random greedy
+		{Age: 1},      // oldest-first
+		{Dist: 1},     // farthest-first
+		{Restrict: 1}, // restricted-priority-ish
+		{Deflect: 1},  // most-deflected-first
+		{Age: 1, Restrict: 2},
+	}
+	if len(pop) > cfg.Population {
+		pop = pop[:cfg.Population]
+	}
+	for len(pop) < cfg.Population {
+		pop = append(pop, randomPoint(rng))
+	}
+	return pop
+}
+
+// randomPoint samples weights uniformly from [-2, 2].
+func randomPoint(rng *rand.Rand) Params {
+	u := func() float64 { return quantize(rng.Float64()*4 - 2) }
+	return Params{Age: u(), Dist: u(), Restrict: u(), Deflect: u()}
+}
+
+// nextGeneration keeps the elites, injects immigrants, and fills the rest
+// with Gaussian mutations of uniformly chosen elites.
+func nextGeneration(cfg Config, ranked []Candidate, rng *rand.Rand) []Params {
+	elite := cfg.Elite
+	if elite > len(ranked) {
+		elite = len(ranked)
+	}
+	next := make([]Params, 0, cfg.Population)
+	for i := 0; i < elite; i++ {
+		next = append(next, ranked[i].Params)
+	}
+	for i := 0; i < cfg.Immigrants && len(next) < cfg.Population; i++ {
+		next = append(next, randomPoint(rng))
+	}
+	for len(next) < cfg.Population {
+		p := ranked[rng.Intn(elite)].Params
+		g := func(v float64) float64 { return quantize(v + rng.NormFloat64()*cfg.MutationScale) }
+		next = append(next, Params{Age: g(p.Age), Dist: g(p.Dist), Restrict: g(p.Restrict), Deflect: g(p.Deflect)})
+	}
+	return next
+}
+
+// evaluator scores policy specs over the panel, memoized by spec string —
+// elites and re-discovered points are never re-simulated.
+type evaluator struct {
+	m     *mesh.Mesh
+	cfg   Config
+	base  map[string]float64
+	cache map[string]Candidate
+}
+
+// candidate scores one search point (memoized).
+func (ev *evaluator) candidate(p Params) (Candidate, error) {
+	s := p.Spec()
+	if c, ok := ev.cache[s]; ok {
+		return c, nil
+	}
+	scores, err := ev.scores(s)
+	if err != nil {
+		return Candidate{}, fmt.Errorf("search: candidate %q: %w", s, err)
+	}
+	c := Candidate{Params: p, Spec: s, Scores: scores, Fitness: fitness(ev.cfg.Panel, scores, ev.base)}
+	ev.cache[s] = c
+	return c, nil
+}
+
+// fitness is the mean over panel entries of score/baseline (both floored
+// at 1 to keep tiny denominators from exploding the ratio).
+func fitness(panel []PanelEntry, scores, base map[string]float64) float64 {
+	var sum float64
+	for _, e := range panel {
+		s, b := scores[e.Name], base[e.Name]
+		if s < 1 {
+			s = 1
+		}
+		if b < 1 {
+			b = 1
+		}
+		sum += s / b
+	}
+	return sum / float64(len(panel))
+}
+
+// scores runs the policy over every (panel entry, seed) pair and averages
+// each entry over its seeds.
+func (ev *evaluator) scores(polSpec string) (map[string]float64, error) {
+	mk, err := spec.PolicyFactory(polSpec)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(ev.cfg.Panel))
+	for _, entry := range ev.cfg.Panel {
+		var sum float64
+		for _, seed := range ev.cfg.Seeds {
+			v, err := ev.scoreOne(mk(), entry, seed)
+			if err != nil {
+				return nil, fmt.Errorf("entry %q seed %d: %w", entry.Name, seed, err)
+			}
+			sum += v
+		}
+		out[entry.Name] = sum / float64(len(ev.cfg.Seeds))
+	}
+	return out, nil
+}
+
+// scoreOne runs one trial and applies the entry's metric.
+func (ev *evaluator) scoreOne(pol sim.Policy, entry PanelEntry, seed int64) (float64, error) {
+	k := entry.K
+	if k == 0 {
+		k = ev.m.Size() / 2
+	}
+	pkts, err := spec.NewWorkload(entry.Workload, ev.m, k, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	e, err := sim.New(ev.m, pol, pkts, sim.Options{
+		Seed:       seed + 1,
+		MaxSteps:   entry.MaxSteps,
+		Validation: sim.ValidateGreedy,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if entry.Arrivals != "" {
+		as, err := spec.ParseArrivalSpec(entry.Arrivals)
+		if err != nil {
+			return 0, err
+		}
+		src, err := spec.BuildArrivals(as, ev.m)
+		if err != nil {
+			return 0, err
+		}
+		e.SetInjector(src)
+	}
+	res, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	return metricValue(entry, e, res), nil
+}
+
+// metricValue scores a finished run. Undelivered packets are censored at
+// the horizon: a packet still in flight when the budget ran out counts a
+// delay of (budget - injection), so policies cannot win by starving the
+// hard packets out of the statistics.
+func metricValue(entry PanelEntry, e *sim.Engine, res *sim.Result) float64 {
+	switch entry.Metric {
+	case MetricSteps:
+		v := float64(res.Steps)
+		if res.Livelocked || res.Total != res.Delivered {
+			v = float64(entry.MaxSteps + (res.Total - res.Delivered))
+		}
+		return v
+	case MetricDeflections:
+		if res.Delivered == 0 {
+			return float64(entry.MaxSteps)
+		}
+		return float64(res.TotalDeflections) / float64(res.Delivered)
+	case MetricMeanDelay, MetricP99Delay:
+		delays := make([]float64, 0, len(e.Packets()))
+		for _, p := range e.Packets() {
+			switch {
+			case p.Arrived():
+				delays = append(delays, float64(p.ArrivedAt-p.InjectedAt))
+			case p.Dropped():
+				// Fault-free panels never drop; skip defensively.
+			default:
+				delays = append(delays, float64(entry.MaxSteps-p.InjectedAt))
+			}
+		}
+		if len(delays) == 0 {
+			return 0
+		}
+		sort.Float64s(delays)
+		if entry.Metric == MetricP99Delay {
+			return stats.Percentile(delays, 99)
+		}
+		var sum float64
+		for _, d := range delays {
+			sum += d
+		}
+		return sum / float64(len(delays))
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Verify runs the policy on a batch permutation under the paper's potential
+// tracker and counts Property 8 breaches. The restricted rule passes by
+// construction (that is Theorem 20's engine); a searched weighted policy
+// that also passes inherits the paper's O(n·k) delivery argument
+// empirically, and one that fails is measurably outside it.
+func Verify(m *mesh.Mesh, polSpec string, seed int64, maxSteps int) (*Verification, error) {
+	pol, err := spec.NewPolicy(polSpec)
+	if err != nil {
+		return nil, err
+	}
+	pkts, err := spec.NewWorkload("permutation", m, 0, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(m, pol, pkts, sim.Options{Seed: seed + 1, MaxSteps: maxSteps, Validation: sim.ValidateGreedy})
+	if err != nil {
+		return nil, err
+	}
+	tr := core.NewTracker(m, pkts, core.TrackerOptions{})
+	e.AddObserver(tr)
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	vio := tr.Violations()
+	return &Verification{
+		Policy:              pol.Name(),
+		Steps:               res.Steps,
+		Property8Violations: vio.Property8,
+		Property8Held:       vio.Property8 == 0,
+		Violations:          vio.String(),
+	}, nil
+}

@@ -1,0 +1,146 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"hotpotato/internal/mesh"
+)
+
+// quickConfig is a small but non-trivial search configuration used by the
+// determinism and acceptance tests. Seed 7 is the committed reproduction
+// seed: TestSearchBeatsBaseline pins the discovery it makes.
+func quickConfig() Config {
+	return Config{
+		Side:        8,
+		Seeds:       []int64{1},
+		Population:  8,
+		Generations: 3,
+		Seed:        7,
+		VerifySteps: 1500,
+	}
+}
+
+func TestParamsSpecCanonical(t *testing.T) {
+	cases := []struct {
+		p    Params
+		want string
+	}{
+		{Params{}, "weighted:age=0,defl=0,dist=0,restrict=0"},
+		{Params{Age: 1, Restrict: 2}, "weighted:age=1,defl=0,dist=0,restrict=2"},
+		{Params{Dist: -0.5, Deflect: 0.25}, "weighted:age=0,defl=0.25,dist=-0.5,restrict=0"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Spec(); got != tc.want {
+			t.Errorf("Spec(%+v) = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.12345, 0.125}, // nearest 1/256 (32/256)
+		{100, 8},         // clamped
+		{-100, -8},
+		{-0.001, 0}, // rounds to -0, normalized
+	}
+	for _, tc := range cases {
+		if got := quantize(tc.in); got != tc.want {
+			t.Errorf("quantize(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSearchDeterministic: the same config must produce the same report,
+// bit for bit — the reproducibility half of the acceptance criterion.
+func TestSearchDeterministic(t *testing.T) {
+	rep1, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("search not deterministic:\nfirst  best %v fitness %v\nsecond best %v fitness %v",
+			rep1.Best.Spec, rep1.Best.Fitness, rep2.Best.Spec, rep2.Best.Fitness)
+	}
+}
+
+// TestSearchBeatsBaseline is the acceptance criterion: from the committed
+// seed, the search discovers a weighted policy that beats the restricted
+// baseline on at least one workload/metric pair, and the verification pass
+// reports the Property 8 status of the winner.
+func TestSearchBeatsBaseline(t *testing.T) {
+	rep, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best.Fitness >= 1 {
+		t.Errorf("best fitness %v does not beat the baseline", rep.Best.Fitness)
+	}
+	if len(rep.Wins) == 0 {
+		t.Fatal("no workload/metric pair beat the baseline from the committed seed")
+	}
+	for _, w := range rep.Wins {
+		if w.Score >= w.Baseline {
+			t.Errorf("win %q is not a win: %v >= %v", w.Entry, w.Score, w.Baseline)
+		}
+	}
+	if rep.Verification == nil {
+		t.Fatal("verification pass did not run")
+	}
+	if rep.Verification.Policy != rep.Best.Spec && rep.Verification.Policy == "" {
+		t.Errorf("verification ran for %q, want the best policy", rep.Verification.Policy)
+	}
+	if rep.Evaluated == 0 || len(rep.History) != rep.Config.Generations {
+		t.Errorf("history incomplete: %d generations recorded, %d evaluated", len(rep.History), rep.Evaluated)
+	}
+}
+
+// TestFitnessMonotone: per-generation best fitness never worsens, since
+// elites always survive into the next generation.
+func TestFitnessMonotone(t *testing.T) {
+	rep, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.History); i++ {
+		if rep.History[i].Fitness > rep.History[i-1].Fitness {
+			t.Errorf("generation %d best fitness %v worse than generation %d's %v",
+				i, rep.History[i].Fitness, i-1, rep.History[i-1].Fitness)
+		}
+	}
+}
+
+// TestVerifyRestrictedHolds: the paper's own rule must pass its own
+// property — Verify on restricted-priority reports zero Property 8
+// violations (that is Theorem 20's engine).
+func TestVerifyRestrictedHolds(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	v, err := Verify(m, "restricted", 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Property8Held {
+		t.Fatalf("restricted-priority violated Property 8 %d times: %s", v.Property8Violations, v.Violations)
+	}
+	if v.Steps == 0 {
+		t.Fatal("verification ran zero steps")
+	}
+}
+
+// TestSearchRejectsBadConfig covers the error paths.
+func TestSearchRejectsBadConfig(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Baseline = "no-such-policy"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown baseline should be rejected")
+	}
+	cfg = quickConfig()
+	cfg.Side = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative mesh side should be rejected")
+	}
+}

@@ -1,0 +1,101 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpotato/internal/mesh"
+	"hotpotato/internal/sim"
+	"hotpotato/internal/workload"
+)
+
+// lessVariant rebuilds a rank-based matchingPolicy as the semantically
+// equivalent less-based one: less(i, j) = rank(i) < rank(j). The two code
+// paths consume the policy RNG identically (only the shuffle draws), so a
+// run under the variant must be bit-identical to a run under the original.
+func lessVariant(t *testing.T, pol sim.Policy) sim.Policy {
+	t.Helper()
+	mp, ok := pol.(*matchingPolicy)
+	if !ok {
+		t.Fatalf("policy %s is not a matchingPolicy", pol.Name())
+	}
+	if mp.rank == nil {
+		t.Fatalf("policy %s has no rank function", pol.Name())
+	}
+	rank := mp.rank
+	c := mp.Clone().(*matchingPolicy)
+	c.rank = nil
+	c.less = func(ns *sim.NodeState, i, j int) bool { return rank(ns, i) < rank(ns, j) }
+	return c
+}
+
+// stepLockstep runs two engines in lockstep and compares their state hashes
+// after every step, failing on the first divergence.
+func stepLockstep(t *testing.T, a, b *sim.Engine) {
+	t.Helper()
+	for !a.Done() && !a.Livelocked() {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if ha, hb := a.StateHash(), b.StateHash(); ha != hb {
+			t.Fatalf("state hash diverged at step %d: %#x vs %#x", a.Time(), ha, hb)
+		}
+	}
+	if b.Done() != a.Done() || b.Livelocked() != a.Livelocked() {
+		t.Fatalf("termination diverged: done %v/%v livelocked %v/%v",
+			a.Done(), b.Done(), a.Livelocked(), b.Livelocked())
+	}
+}
+
+// TestRankLessEquivalence runs every shipped rank-based policy against its
+// less-based reconstruction on identical workloads and identical seeds: the
+// executions must match step for step. This pins the optimization contract
+// of the rank path (NewCustomRank): it is a faster evaluation order for the
+// same priority relation, never a different relation.
+func TestRankLessEquivalence(t *testing.T) {
+	m := mesh.MustNew(2, 8)
+	policies := []func() sim.Policy{
+		NewFixedPriority,
+		NewDestOrderGreedy,
+		NewOldestFirst,
+		NewFarthestFirst,
+		NewNearestFirst,
+		func() sim.Policy { return NewWeighted("", Weights{Age: 1, Restrict: 2}) },
+		func() sim.Policy { return NewWeighted("", Weights{Age: 0.5, Dist: -1, Deflect: 0.25}) },
+	}
+	for _, mk := range policies {
+		pol := mk()
+		t.Run(pol.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				packets, err := workload.UniformRandom(m, 60, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := sim.Options{Seed: seed + 100, Validation: sim.ValidateGreedy, MaxSteps: 200000}
+				a, err := sim.New(m, mk(), clonePackets(packets), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := sim.New(m, lessVariant(t, mk()), clonePackets(packets), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stepLockstep(t, a, b)
+			}
+		})
+	}
+}
+
+// clonePackets deep-copies a workload so two engines cannot share state.
+func clonePackets(pkts []*sim.Packet) []*sim.Packet {
+	out := make([]*sim.Packet, len(pkts))
+	for i, p := range pkts {
+		c := *p
+		out[i] = &c
+	}
+	return out
+}

@@ -45,6 +45,23 @@ func TestSpecEndpoint(t *testing.T) {
 	if len(hotspot.Params) == 0 || hotspot.Params[0].Doc == "" {
 		t.Errorf("hotspot schema lacks documented parameters: %+v", hotspot)
 	}
+	var weighted *spec.CatalogEntry
+	for i := range got.Policies {
+		if got.Policies[i].Name == "weighted" {
+			weighted = &got.Policies[i]
+		}
+	}
+	if weighted == nil {
+		t.Fatal("catalog missing weighted policy")
+	}
+	if len(weighted.Params) != 4 {
+		t.Errorf("weighted policy schema has %d parameters, want 4 (age, defl, dist, restrict)", len(weighted.Params))
+	}
+	for _, p := range weighted.Params {
+		if p.Doc == "" || p.Type != "float" {
+			t.Errorf("weighted parameter %q lacks doc or float type: %+v", p.Name, p)
+		}
+	}
 }
 
 // TestJobStructuredWorkload: the object form of WorkloadSpec — parameters

@@ -222,6 +222,13 @@ type Engine struct {
 	activeMark  []bool
 	observers   []Observer
 
+	// conflictObs is the opt-in conflict tap (SetConflictObserver); confRec
+	// is its engine-owned scratch record, reused across emissions so the
+	// traced hot path stays allocation-free once warm. Nil observer = one
+	// predicted branch per step, nothing else.
+	conflictObs ConflictObserver
+	confRec     ConflictRecord
+
 	livelock     bool
 	livelockable bool
 	seen         map[uint64]int
@@ -880,6 +887,10 @@ func (e *Engine) Step() error {
 		}
 	}
 	e.sortActive()
+
+	if e.conflictObs != nil {
+		e.emitConflicts(t)
+	}
 
 	if len(e.observers) > 0 {
 		rec := StepRecord{Time: t, Moves: e.moves}

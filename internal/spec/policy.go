@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"hotpotato/internal/core"
+	"hotpotato/internal/routing"
+	"hotpotato/internal/sim"
+)
+
+// PolicySpec is the structured, parameterized form of a policy request,
+// exactly parallel to WorkloadSpec: a bare registered name, or
+// "name:key=val,..." for the parameterized families. Every entry surface
+// (cmd/hotpotato, cmd/sweep, hotpotatod job specs, cmd/policylab) parses the
+// same syntax through here, and parameters are validated against the
+// registered schema — unknown keys and out-of-range values are rejected,
+// never ignored or clamped.
+type PolicySpec struct {
+	// Name is the policy's registered name.
+	Name string `json:"name"`
+	// Params configures the policy; keys and ranges are validated against
+	// the registered schema (see Catalog).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// policyDef registers one routing policy: documentation, parameter schema
+// and builder. Most policies take no parameters; for those, any key=val is
+// an "unknown parameter (takes no parameters)" error from resolveParams.
+type policyDef struct {
+	Doc    string
+	Params []ParamDef
+	build  func(a args) (sim.Policy, error)
+}
+
+// fixed wraps a parameterless constructor as a policyDef.
+func fixedPolicy(doc string, mk func() sim.Policy) policyDef {
+	return policyDef{Doc: doc, build: func(args) (sim.Policy, error) { return mk(), nil }}
+}
+
+// weightDoc documents one weighted-policy weight.
+func weightParam(name, doc string) ParamDef {
+	return ParamDef{Name: name, Type: "float", Default: "0", Min: fp(-1000), Max: fp(1000), Doc: doc}
+}
+
+var policyDefs = map[string]policyDef{
+	"restricted":        fixedPolicy("the paper's restricted priority scheme (potential-function bound)", core.NewRestrictedPriority),
+	"restricted-det":    fixedPolicy("restricted priority with deterministic tie-breaks", core.NewRestrictedPriorityDeterministic),
+	"restricted-bfirst": fixedPolicy("restricted priority preferring type-B packets", core.NewRestrictedPriorityTypeBFirst),
+	"fewest-good":       fixedPolicy("priority to packets with fewest good directions", core.NewFewestGoodFirst),
+	"random":            fixedPolicy("greedy with uniform random tie-breaks", routing.NewRandomGreedy),
+	"fixed":             fixedPolicy("greedy with a fixed direction-priority order", routing.NewFixedPriority),
+	"dest-order":        fixedPolicy("greedy prioritized by destination node order", routing.NewDestOrderGreedy),
+	"oldest":            fixedPolicy("greedy, oldest packet first", routing.NewOldestFirst),
+	"farthest":          fixedPolicy("greedy, farthest-from-destination first", routing.NewFarthestFirst),
+	"nearest":           fixedPolicy("greedy, nearest-to-destination first", routing.NewNearestFirst),
+	"weighted": {
+		Doc: "parameterized greedy family: priority score = age*age + dist*dist + restricted*restrict + deflections*defl, highest score advances first (the policy-lab search space; all-zero weights = random greedy)",
+		Params: []ParamDef{
+			weightParam("age", "weight on packet age in steps"),
+			weightParam("defl", "weight on the packet's deflection count"),
+			weightParam("dist", "weight on distance to destination"),
+			weightParam("restrict", "weight on restriction status (exactly one good direction)"),
+		},
+		build: func(a args) (sim.Policy, error) {
+			w := routing.Weights{
+				Age:      a.Float("age"),
+				Dist:     a.Float("dist"),
+				Restrict: a.Float("restrict"),
+				Deflect:  a.Float("defl"),
+			}
+			// The display name is canonicalized from the resolved weights —
+			// every parameter present, sorted, %g-rendered — so
+			// "weighted:age=1" and "weighted:age=1,defl=0" restore the same
+			// checkpoints.
+			return routing.NewWeighted("", w), nil
+		},
+	},
+}
+
+// ParsePolicySpec parses the compact flag syntax "name[:key=val,...]". The
+// result is syntax-checked only; Validate checks it against the registry.
+func ParsePolicySpec(s string) (PolicySpec, error) {
+	name, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return PolicySpec{}, fmt.Errorf("spec: empty policy name in %q", s)
+	}
+	params, err := parseParams(fmt.Sprintf("policy %q", name), rest)
+	if err != nil {
+		return PolicySpec{}, err
+	}
+	return PolicySpec{Name: name, Params: params}, nil
+}
+
+// String renders the spec back into the flag syntax (parameters sorted).
+func (ps PolicySpec) String() string { return ps.Name + renderParams(ps.Params) }
+
+// Validate checks the spec against the registry: known name, known
+// parameter keys, values of the right type and range — unknown parameters
+// on a parameterless policy are an error, not a silent no-op.
+func (ps PolicySpec) Validate() error {
+	def, ok := policyDefs[ps.Name]
+	if !ok {
+		return fmt.Errorf("spec: unknown policy %q (have: %s)", ps.Name, strings.Join(PolicyNames(), ", "))
+	}
+	_, err := resolveParams(fmt.Sprintf("policy %q", ps.Name), def.Params, ps.Params)
+	return err
+}
+
+// BuildPolicy validates the spec and constructs its policy.
+func BuildPolicy(ps PolicySpec) (sim.Policy, error) {
+	def, ok := policyDefs[ps.Name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown policy %q (have: %s)", ps.Name, strings.Join(PolicyNames(), ", "))
+	}
+	a, err := resolveParams(fmt.Sprintf("policy %q", ps.Name), def.Params, ps.Params)
+	if err != nil {
+		return nil, err
+	}
+	return def.build(a)
+}
+
+// PolicyFactory returns a constructor for the policy spec string (bare name
+// or "name:key=val,..."), for callers that build many independent instances
+// (one per trial or per job). The spec is validated eagerly — the returned
+// factory cannot fail.
+func PolicyFactory(s string) (func() sim.Policy, error) {
+	ps, err := ParsePolicySpec(s)
+	if err != nil {
+		return nil, err
+	}
+	def, ok := policyDefs[ps.Name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown policy %q (have: %s)", ps.Name, strings.Join(PolicyNames(), ", "))
+	}
+	a, err := resolveParams(fmt.Sprintf("policy %q", ps.Name), def.Params, ps.Params)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := def.build(a); err != nil {
+		return nil, err
+	}
+	return func() sim.Policy {
+		p, _ := def.build(a)
+		return p
+	}, nil
+}
+
+// NewPolicy constructs the policy named by a spec string (bare name or
+// parameterized "name:key=val,..." syntax).
+func NewPolicy(s string) (sim.Policy, error) {
+	ps, err := ParsePolicySpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return BuildPolicy(ps)
+}
+
+// CheckPolicy validates a policy spec string without constructing anything.
+func CheckPolicy(s string) error {
+	ps, err := ParsePolicySpec(s)
+	if err != nil {
+		return err
+	}
+	return ps.Validate()
+}

@@ -1,0 +1,151 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParsePolicySpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want PolicySpec
+	}{
+		{"restricted", PolicySpec{Name: "restricted"}},
+		{" restricted ", PolicySpec{Name: "restricted"}},
+		{"weighted:age=1", PolicySpec{Name: "weighted", Params: map[string]string{"age": "1"}}},
+		{"weighted:age=1,restrict=2", PolicySpec{Name: "weighted", Params: map[string]string{"age": "1", "restrict": "2"}}},
+	}
+	for _, tc := range cases {
+		got, err := ParsePolicySpec(tc.in)
+		if err != nil {
+			t.Errorf("ParsePolicySpec(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParsePolicySpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPolicySpecErrors pins the unified error format, including the
+// satellite fix: unknown key=val parameters on a non-parameterized policy
+// are rejected with the "(takes no parameters)" form — never clamped,
+// never ignored.
+func TestPolicySpecErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		errPart string
+	}{
+		{"", "empty policy name"},
+		{":age=1", "empty policy name"},
+		{"no-such-policy", `unknown policy "no-such-policy"`},
+		{"restricted:age=1", `unknown parameter "age" (takes no parameters)`},
+		{"oldest:foo=3", `unknown parameter "foo" (takes no parameters)`},
+		{"weighted:bogus=1", `unknown parameter "bogus" (have: age, defl, dist, restrict)`},
+		{"weighted:age=zap", `parameter "age"`},
+		{"weighted:age=1e99", `parameter "age"`},
+		{"weighted:age", `bad parameter "age" (want key=value)`},
+	}
+	for _, tc := range cases {
+		_, err := NewPolicy(tc.in)
+		if err == nil {
+			t.Errorf("NewPolicy(%q): expected error containing %q, got nil", tc.in, tc.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("NewPolicy(%q) error %q does not contain %q", tc.in, err, tc.errPart)
+		}
+		if !strings.HasPrefix(err.Error(), "spec: ") {
+			t.Errorf("NewPolicy(%q) error %q is not in the unified 'spec: ...' format", tc.in, err)
+		}
+	}
+}
+
+// TestWeightedPolicyCanonicalName: every spelling of the same weights
+// resolves to the same canonical policy name, so checkpoints written under
+// one spelling restore under any other.
+func TestWeightedPolicyCanonicalName(t *testing.T) {
+	specs := []string{
+		"weighted:age=1,restrict=2",
+		"weighted:restrict=2,age=1",
+		"weighted:age=1,restrict=2,dist=0,defl=0",
+	}
+	const want = "weighted:age=1,defl=0,dist=0,restrict=2"
+	for _, s := range specs {
+		pol, err := NewPolicy(s)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", s, err)
+		}
+		if pol.Name() != want {
+			t.Errorf("NewPolicy(%q).Name() = %q, want %q", s, pol.Name(), want)
+		}
+	}
+}
+
+func TestCheckPolicy(t *testing.T) {
+	for _, good := range []string{"restricted", "weighted:age=1", "random"} {
+		if err := CheckPolicy(good); err != nil {
+			t.Errorf("CheckPolicy(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "nope", "restricted:x=1", "weighted:age=bogus"} {
+		if err := CheckPolicy(bad); err == nil {
+			t.Errorf("CheckPolicy(%q): expected error", bad)
+		}
+	}
+}
+
+// TestPolicyFactoryParameterized: the factory produces independent policy
+// instances for parameterized specs, and the legacy plain names keep
+// working through the same path.
+func TestPolicyFactoryParameterized(t *testing.T) {
+	mk, err := PolicyFactory("weighted:age=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mk(), mk()
+	if a == b {
+		t.Fatal("factory returned the same instance twice")
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("instances disagree on name: %q vs %q", a.Name(), b.Name())
+	}
+	if _, err := PolicyFactory("weighted:age=oops"); err == nil {
+		t.Fatal("factory should validate eagerly")
+	}
+}
+
+// FuzzParsePolicySpec: the parser must never panic, and anything it accepts
+// must render back to a string it accepts and parses identically.
+func FuzzParsePolicySpec(f *testing.F) {
+	seeds := []string{
+		"restricted", "oldest", "weighted:age=1", "weighted:age=1,restrict=2",
+		"weighted:age=-0.5,defl=0.25,dist=3,restrict=0",
+		"bogus", "a:b=c", ":", "x:", "a:b", "a:b=", "a:=c", "a,b",
+		"restricted:x=1", "weighted:age=1e99", "weighted:age=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ps, err := ParsePolicySpec(s)
+		if err != nil {
+			return
+		}
+		if err := ps.Validate(); err != nil {
+			return
+		}
+		text := ps.String()
+		back, err := ParsePolicySpec(text)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", s, text, err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("rendering %q of valid %q fails validation: %v", text, s, err)
+		}
+		if !reflect.DeepEqual(ps, back) {
+			t.Fatalf("rendering changed the spec: %+v != %+v", back, ps)
+		}
+	})
+}

@@ -12,26 +12,10 @@ import (
 	"sort"
 	"strings"
 
-	"hotpotato/internal/core"
 	"hotpotato/internal/fault"
 	"hotpotato/internal/mesh"
-	"hotpotato/internal/routing"
 	"hotpotato/internal/sim"
 )
-
-// policies maps every routing-policy name to its constructor.
-var policies = map[string]func() sim.Policy{
-	"restricted":        core.NewRestrictedPriority,
-	"restricted-det":    core.NewRestrictedPriorityDeterministic,
-	"restricted-bfirst": core.NewRestrictedPriorityTypeBFirst,
-	"fewest-good":       core.NewFewestGoodFirst,
-	"random":            routing.NewRandomGreedy,
-	"fixed":             routing.NewFixedPriority,
-	"dest-order":        routing.NewDestOrderGreedy,
-	"oldest":            routing.NewOldestFirst,
-	"farthest":          routing.NewFarthestFirst,
-	"nearest":           routing.NewNearestFirst,
-}
 
 // names returns the sorted keys of a registry, for error messages and docs.
 func names[V any](m map[string]V) []string {
@@ -44,29 +28,10 @@ func names[V any](m map[string]V) []string {
 }
 
 // PolicyNames lists every accepted policy name, sorted.
-func PolicyNames() []string { return names(policies) }
+func PolicyNames() []string { return names(policyDefs) }
 
 // WorkloadNames lists every accepted workload name, sorted.
 func WorkloadNames() []string { return names(workloadDefs) }
-
-// PolicyFactory returns a constructor for the named policy, for callers
-// that build many independent instances (one per trial or per job).
-func PolicyFactory(name string) (func() sim.Policy, error) {
-	mk, ok := policies[name]
-	if !ok {
-		return nil, fmt.Errorf("spec: unknown policy %q (have: %s)", name, strings.Join(PolicyNames(), ", "))
-	}
-	return mk, nil
-}
-
-// NewPolicy constructs the named routing policy.
-func NewPolicy(name string) (sim.Policy, error) {
-	mk, err := PolicyFactory(name)
-	if err != nil {
-		return nil, err
-	}
-	return mk(), nil
-}
 
 // CheckWorkload validates a workload spec string (bare name or
 // parameterized "name:key=val,..." syntax) without generating anything, so

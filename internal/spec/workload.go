@@ -814,25 +814,12 @@ type CatalogInfo struct {
 	Fates      []string       `json:"fates"`
 }
 
-// policyDocs documents each registered policy for the catalog.
-var policyDocs = map[string]string{
-	"restricted":        "the paper's restricted priority scheme (potential-function bound)",
-	"restricted-det":    "restricted priority with deterministic tie-breaks",
-	"restricted-bfirst": "restricted priority preferring type-B packets",
-	"fewest-good":       "priority to packets with fewest good directions",
-	"random":            "greedy with uniform random tie-breaks",
-	"fixed":             "greedy with a fixed direction-priority order",
-	"dest-order":        "greedy prioritized by destination node order",
-	"oldest":            "greedy, oldest packet first",
-	"farthest":          "greedy, farthest-from-destination first",
-	"nearest":           "greedy, nearest-to-destination first",
-}
-
 // Catalog returns the discovery document, all sections sorted by name.
 func Catalog() CatalogInfo {
 	var c CatalogInfo
 	for _, name := range PolicyNames() {
-		c.Policies = append(c.Policies, CatalogEntry{Name: name, Doc: policyDocs[name]})
+		d := policyDefs[name]
+		c.Policies = append(c.Policies, CatalogEntry{Name: name, Doc: d.Doc, Params: d.Params})
 	}
 	for _, name := range WorkloadNames() {
 		d := workloadDefs[name]
